@@ -1,0 +1,150 @@
+(* Benchmark entry point.
+
+   Part 1 — bechamel microbenchmarks: one Test.make per core operation and
+   per evaluation table/figure (the fast-loop kernel each figure stresses).
+   Part 2 — the full experiment harness: regenerates every table/figure of
+   the paper's evaluation section (same drivers as `bin/smc_bench all`).
+
+   Environment variables:
+     SMC_BENCH_SF     scale factor for the figure harness (default 0.05)
+     SMC_BENCH_QUICK  set to 1 for reduced sizes
+     SMC_BENCH_SKIP_FIGURES  set to 1 to run only the microbenchmarks *)
+
+open Bechamel
+open Toolkit
+module E = Smc_experiments
+
+(* ---------------- microbenchmark fixtures ---------------- *)
+
+let small_ds = lazy (Smc_tpch.Dbgen.generate ~sf:0.01 ())
+let smc_db = lazy (Smc_tpch.Db_smc.load (Lazy.force small_ds))
+let list_db = lazy (Smc_tpch.Db_managed.of_vectors (Lazy.force small_ds))
+let column_db = lazy (Smc_tpch.Db_column.load (Lazy.force small_ds))
+let direct_db = lazy (Smc_tpch.Db_smc.load ~mode:Smc_offheap.Context.Direct (Lazy.force small_ds))
+let columnar_db =
+  lazy (Smc_tpch.Db_smc.load ~placement:Smc_offheap.Block.Columnar (Lazy.force small_ds))
+
+let alloc_fixture =
+  lazy
+    (let rt, coll = E.Workload.lineitem_collection () in
+     ignore rt;
+     (coll, Smc_util.Prng.create ~seed:1L ()))
+
+let tests =
+  [
+    (* memory manager primitives *)
+    Test.make ~name:"smc/add+remove (Fig 6-7 kernel)"
+      (Staged.stage (fun () ->
+           let coll, g = Lazy.force alloc_fixture in
+           let r = E.Workload.add_lineitem coll g in
+           ignore (Smc.Collection.remove coll r : bool)));
+    Test.make ~name:"smc/deref (incarnation check)"
+      (Staged.stage
+         (let db = lazy (Lazy.force smc_db) in
+          fun () ->
+            let db = Lazy.force db in
+            ignore
+              (Smc.Collection.deref db.Smc_tpch.Db_smc.lineitems
+                 db.Smc_tpch.Db_smc.lineitem_refs.(0))));
+    Test.make ~name:"epoch/enter+exit critical section"
+      (Staged.stage
+         (let rt = lazy (Smc_offheap.Runtime.create ()) in
+          fun () ->
+            let rt = Lazy.force rt in
+            Smc_offheap.Epoch.enter_critical rt.Smc_offheap.Runtime.epoch;
+            Smc_offheap.Epoch.exit_critical rt.Smc_offheap.Runtime.epoch));
+    (* enumeration kernels (Fig 10) *)
+    Test.make ~name:"fig10/smc enumeration"
+      (Staged.stage (fun () ->
+           ignore (E.Workload.scan_sum (Lazy.force smc_db).Smc_tpch.Db_smc.lineitems : int)));
+    Test.make ~name:"fig10/list enumeration"
+      (Staged.stage (fun () ->
+           let acc = ref 0 in
+           (Lazy.force list_db).Smc_tpch.Db_managed.iter_lineitems (fun li ->
+               acc := !acc + li.Smc_tpch.Row.l_quantity);
+           ignore (Sys.opaque_identity !acc)));
+    (* query kernels (Fig 11-13) *)
+    Test.make ~name:"fig11/Q1 list"
+      (Staged.stage (fun () -> ignore (Smc_tpch.Q_managed.q1 (Lazy.force list_db))));
+    Test.make ~name:"fig11/Q1 smc unsafe"
+      (Staged.stage (fun () -> ignore (Smc_tpch.Q_smc.q1 ~unsafe:true (Lazy.force smc_db))));
+    Test.make ~name:"fig11/Q6 list"
+      (Staged.stage (fun () -> ignore (Smc_tpch.Q_managed.q6 (Lazy.force list_db) : int)));
+    Test.make ~name:"fig11/Q6 smc unsafe"
+      (Staged.stage (fun () ->
+           ignore (Smc_tpch.Q_smc.q6 ~unsafe:true (Lazy.force smc_db) : int)));
+    Test.make ~name:"fig12/Q5 smc direct"
+      (Staged.stage (fun () -> ignore (Smc_tpch.Q_smc.q5 ~unsafe:true (Lazy.force direct_db))));
+    Test.make ~name:"fig12/Q6 smc columnar"
+      (Staged.stage (fun () ->
+           ignore (Smc_tpch.Q_smc.q6 ~unsafe:true (Lazy.force columnar_db) : int)));
+    Test.make ~name:"fig13/Q6 columnstore"
+      (Staged.stage (fun () -> ignore (Smc_tpch.Q_column.q6 (Lazy.force column_db) : int)));
+    Test.make ~name:"fig13/Q1 columnstore"
+      (Staged.stage (fun () -> ignore (Smc_tpch.Q_column.q1 (Lazy.force column_db))));
+  ]
+
+let run_microbenchmarks () =
+  print_endline "== Bechamel microbenchmarks (ns/run) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let estimate =
+            match Analyze.OLS.estimates ols_result with
+            | Some (x :: _) -> x
+            | _ -> Float.nan
+          in
+          Printf.printf "%-40s %12.1f ns/run\n%!" name estimate)
+        analyzed)
+    tests
+
+(* ---------------- figure harness ---------------- *)
+
+let getenv_flag name = match Sys.getenv_opt name with Some ("1" | "true") -> true | _ -> false
+
+let run_figures () =
+  let sf =
+    match Sys.getenv_opt "SMC_BENCH_SF" with
+    | Some s -> float_of_string s
+    | None -> 0.05
+  in
+  let quick = getenv_flag "SMC_BENCH_QUICK" in
+  (* Off-heap Bigarrays of dropped figure databases are only returned to
+     the OS when the GC finalises them; compact between figures so memory
+     does not accumulate across the battery. *)
+  let p t =
+    Smc_util.Table.print t;
+    Gc.compact ()
+  in
+  print_endline "\n== Figure harness (paper evaluation reproduction) ==";
+  p (E.Fig6.table (E.Fig6.run ~n:(if quick then 50_000 else 200_000) ()));
+  p (E.Fig7.table (E.Fig7.run ~per_thread:(if quick then 100_000 else 300_000) ()));
+  p (E.Fig8.table (E.Fig8.run ~sf:(Float.min sf 0.02) ~pairs_per_thread:(if quick then 2 else 3) ()));
+  p
+    (E.Fig9.table
+       (E.Fig9.run
+          ~sizes:(if quick then [ 50_000; 200_000 ] else [ 100_000; 400_000; 1_600_000 ])
+          ~duration_s:(if quick then 1.0 else 2.0) ()));
+  p (E.Fig10.table (E.Fig10.run ~sf ~wear_pairs:(if quick then 10 else 20) ()));
+  p (E.Fig11.table (E.Fig11.run ~sf ()));
+  p (E.Fig12.table (E.Fig12.run ~sf ()));
+  p (E.Fig13.table (E.Fig13.run ~sf ()));
+  p (E.Linq_vs_compiled.table (E.Linq_vs_compiled.run ~sf ()));
+  p (E.Ext_queries.table (E.Ext_queries.run ~sf ()));
+  E.Ablations.print_all ~sf:(Float.min sf 0.02) ()
+
+let () =
+  (* Figures run first, on a clean heap: the microbenchmark fixtures retain
+     several databases for the process lifetime, which would otherwise add
+     a constant GC-marking floor to Figure 9. *)
+  if not (getenv_flag "SMC_BENCH_SKIP_FIGURES") then run_figures ();
+  Gc.compact ();
+  run_microbenchmarks ()

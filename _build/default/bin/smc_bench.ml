@@ -1,0 +1,102 @@
+(* Experiment runner: regenerates every table/figure of the paper's
+   evaluation section as a plain-text table. `smc_bench all` runs the whole
+   battery; individual figures have their own subcommands. *)
+
+open Cmdliner
+module E = Smc_experiments
+
+let print_table t = Smc_util.Table.print t
+
+let sf_arg default =
+  let doc = "TPC-H scale factor (fraction of the official 1.0 scale)." in
+  Arg.(value & opt float default & info [ "sf" ] ~docv:"SF" ~doc)
+
+let quick_arg =
+  let doc = "Reduced problem sizes for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let run_fig6 quick =
+  let n = if quick then 50_000 else 200_000 in
+  print_table (E.Fig6.table (E.Fig6.run ~n ()))
+
+let run_fig7 quick =
+  let per_thread = if quick then 100_000 else 300_000 in
+  print_table (E.Fig7.table (E.Fig7.run ~per_thread ()))
+
+let run_fig8 sf quick =
+  let pairs = if quick then 2 else 3 in
+  print_table (E.Fig8.table (E.Fig8.run ~sf ~pairs_per_thread:pairs ()))
+
+let run_fig9 quick =
+  let sizes = if quick then [ 50_000; 200_000 ] else [ 100_000; 400_000; 1_600_000 ] in
+  let duration_s = if quick then 1.0 else 2.0 in
+  print_table (E.Fig9.table (E.Fig9.run ~sizes ~duration_s ()))
+
+let run_fig10 sf quick =
+  let wear = if quick then 10 else 20 in
+  print_table (E.Fig10.table (E.Fig10.run ~sf ~wear_pairs:wear ()))
+
+let run_fig11 sf = print_table (E.Fig11.table (E.Fig11.run ~sf ()))
+let run_fig12 sf = print_table (E.Fig12.table (E.Fig12.run ~sf ()))
+let run_fig13 sf = print_table (E.Fig13.table (E.Fig13.run ~sf ()))
+let run_linq sf = print_table (E.Linq_vs_compiled.table (E.Linq_vs_compiled.run ~sf ()))
+let run_ablations sf = E.Ablations.print_all ~sf ()
+let run_ext sf = print_table (E.Ext_queries.table (E.Ext_queries.run ~sf ()))
+
+let run_all sf quick =
+  (* Compact between figures: off-heap Bigarrays of dropped databases are
+     only returned to the OS on finalisation. *)
+  let seq fs = List.iter (fun f -> f (); Gc.compact ()) fs in
+  seq
+    [
+      (fun () -> run_fig6 quick);
+      (fun () -> run_fig7 quick);
+      (fun () -> run_fig8 sf quick);
+      (fun () -> run_fig9 quick);
+      (fun () -> run_fig10 sf quick);
+      (fun () -> run_fig11 sf);
+      (fun () -> run_fig12 sf);
+      (fun () -> run_fig13 sf);
+      (fun () -> run_linq sf);
+      (fun () -> run_ext sf);
+      (fun () -> run_ablations sf);
+    ]
+
+let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+
+let fig6_cmd = cmd "fig6" "Reclamation-threshold sensitivity" Term.(const run_fig6 $ quick_arg)
+let fig7_cmd = cmd "fig7" "Batch allocation throughput" Term.(const run_fig7 $ quick_arg)
+
+let fig8_cmd =
+  cmd "fig8" "Refresh stream throughput" Term.(const run_fig8 $ sf_arg 0.02 $ quick_arg)
+
+let fig9_cmd = cmd "fig9" "GC pause vs collection size" Term.(const run_fig9 $ quick_arg)
+
+let fig10_cmd =
+  cmd "fig10" "Enumeration performance (fresh/worn)"
+    Term.(const run_fig10 $ sf_arg 0.05 $ quick_arg)
+
+let fig11_cmd = cmd "fig11" "TPC-H Q1-Q6 vs List" Term.(const run_fig11 $ sf_arg 0.05)
+let fig12_cmd = cmd "fig12" "Direct pointers & columnar" Term.(const run_fig12 $ sf_arg 0.05)
+let fig13_cmd = cmd "fig13" "Comparison to RDBMS columnstore" Term.(const run_fig13 $ sf_arg 0.05)
+let linq_cmd = cmd "linq" "LINQ (Volcano) vs compiled" Term.(const run_linq $ sf_arg 0.05)
+
+let ext_cmd =
+  cmd "ext" "Extension queries Q7/Q10/Q12/Q14/Q19" Term.(const run_ext $ sf_arg 0.05)
+
+let ablations_cmd =
+  cmd "ablations" "Implementation design-choice ablations" Term.(const run_ablations $ sf_arg 0.02)
+
+let all_cmd =
+  cmd "all" "Run every experiment" Term.(const run_all $ sf_arg 0.05 $ quick_arg)
+
+let () =
+  let info = Cmd.info "smc_bench" ~doc:"Self-managed collections experiment harness" in
+  let group =
+    Cmd.group info
+      [
+        fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
+        linq_cmd; ext_cmd; ablations_cmd; all_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

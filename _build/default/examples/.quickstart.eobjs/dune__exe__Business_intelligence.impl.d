@@ -1,0 +1,1 @@
+examples/business_intelligence.ml: Array List Printf Smc Smc_decimal Smc_query Smc_tpch

@@ -1,0 +1,1 @@
+examples/gc_pressure.ml: Array Bytes Gc List Printf Smc Smc_tpch Sys Unix

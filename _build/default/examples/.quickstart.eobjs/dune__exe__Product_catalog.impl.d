@@ -1,0 +1,1 @@
+examples/product_catalog.ml: Compaction Hashtbl Layout Printf Runtime Smc Smc_decimal Smc_offheap Smc_util

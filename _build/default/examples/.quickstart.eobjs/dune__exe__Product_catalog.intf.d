@@ -1,0 +1,1 @@
+examples/product_catalog.mli:

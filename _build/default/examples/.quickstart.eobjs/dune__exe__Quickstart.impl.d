@@ -1,0 +1,1 @@
+examples/quickstart.ml: Constants Layout List Printf Runtime Smc Smc_offheap

@@ -1,0 +1,88 @@
+(* A product catalogue that is continuously refreshed — the paper's §2
+   use case for collection-owned object lifetime ("removing a product from
+   the collection usually means the product is no longer relevant to any
+   other part of the application") and the §5 compaction machinery for
+   collections that shrink heavily.
+
+   Run with: dune exec examples/product_catalog.exe *)
+
+open Smc_offheap
+module C = Smc.Collection
+module F = Smc.Field
+module D = Smc_decimal.Decimal
+
+let () =
+  let rt = Runtime.create () in
+  let product =
+    Layout.create ~name:"product"
+      [
+        ("sku", Layout.Int);
+        ("name", Layout.Str 24);
+        ("price", Layout.Dec);
+        ("stock", Layout.Int);
+        ("discontinued", Layout.Bool);
+      ]
+  in
+  let f_sku = F.int product "sku"
+  and f_name = F.str product "name"
+  and f_price = F.dec product "price"
+  and f_stock = F.int product "stock" in
+  let products = C.create rt ~name:"products" ~layout:product ~slots_per_block:256 () in
+  let g = Smc_util.Prng.create ~seed:2024L () in
+
+  (* Seasonal catalogue load. *)
+  let catalogue = Hashtbl.create 1024 in
+  let add_product sku =
+    let r =
+      C.add products ~init:(fun blk slot ->
+          F.set_int f_sku blk slot sku;
+          F.set_string f_name blk slot (Printf.sprintf "product-%05d" sku);
+          F.set_dec f_price blk slot (D.of_cents (Smc_util.Prng.int_in g 99 99999));
+          F.set_int f_stock blk slot (Smc_util.Prng.int_in g 0 500))
+    in
+    Hashtbl.replace catalogue sku r
+  in
+  for sku = 1 to 5_000 do
+    add_product sku
+  done;
+  Printf.printf "catalogue: %d products in %d blocks (%.1f KB off-heap)\n"
+    (C.count products) (C.block_count products)
+    (float_of_int (C.memory_words products * 8) /. 1024.0);
+
+  (* End of season: 80%% of the range is delisted. Removal ends the object's
+     lifetime; the catalogue map's stale references all read as null. *)
+  Hashtbl.iter
+    (fun sku r -> if sku mod 5 <> 0 then ignore (C.remove products r : bool))
+    catalogue;
+  Printf.printf "after delisting: %d products, %d limbo slots, %d blocks\n"
+    (C.count products) (C.limbo_count products) (C.block_count products);
+
+  let stale = Hashtbl.fold (fun _ r acc -> if C.mem products r then acc else acc + 1) catalogue 0 in
+  Printf.printf "stale references now reading as null: %d\n" stale;
+
+  (* Heavy shrinkage triggers compaction (§5): live products relocate into
+     fresh blocks, emptied blocks are retired, references keep working. *)
+  let before = C.memory_words products in
+  let report = C.compact products ~occupancy_threshold:0.5 () in
+  Printf.printf
+    "compaction: %d candidate blocks, %d groups, %d objects moved, %d blocks retired\n"
+    report.Compaction.candidates report.Compaction.groups_formed
+    report.Compaction.objects_moved report.Compaction.blocks_retired;
+  Printf.printf "memory: %d -> %d words\n" before (C.memory_words products);
+
+  (* Surviving references still dereference to the right objects. *)
+  let checked = ref 0 in
+  Hashtbl.iter
+    (fun sku r ->
+      match C.deref_opt products r with
+      | Some (blk, slot) ->
+        assert (F.get_int f_sku blk slot = sku);
+        incr checked
+      | None -> assert (sku mod 5 <> 0))
+    catalogue;
+  Printf.printf "verified %d surviving references after relocation\n" !checked;
+
+  (* Restock query over the compacted collection. *)
+  let low = ref 0 in
+  C.iter products ~f:(fun blk slot -> if F.get_int f_stock blk slot < 50 then incr low);
+  Printf.printf "products needing restock: %d of %d\n" !low (C.count products)

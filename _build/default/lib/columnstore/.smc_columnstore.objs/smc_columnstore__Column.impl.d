@@ -1,0 +1,1 @@
+lib/columnstore/column.ml: Array Bytes Char Hashtbl List String

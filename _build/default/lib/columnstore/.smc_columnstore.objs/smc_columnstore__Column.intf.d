@@ -1,0 +1,1 @@
+lib/columnstore/column.mli: Bytes

@@ -1,0 +1,1 @@
+lib/columnstore/table.ml: Array Column Fun Int List Printf String

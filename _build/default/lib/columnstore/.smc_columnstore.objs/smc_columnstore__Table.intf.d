@@ -1,0 +1,1 @@
+lib/columnstore/table.mli: Column

@@ -1,0 +1,193 @@
+type int_encoding =
+  | Raw of int array
+  | Rle of { starts : int array; values : int array }
+  | Dict of { dict : int array; codes : Bytes.t; width : int }
+
+type t =
+  | Ints of { enc : int_encoding; length : int; seg_min : int array; seg_max : int array }
+  | Strs of { dict : string array; codes : int array }
+
+let segment_size = 4096
+
+let segment_stats xs =
+  let n = Array.length xs in
+  let nseg = (n + segment_size - 1) / segment_size in
+  let mins = Array.make (max nseg 1) max_int in
+  let maxs = Array.make (max nseg 1) min_int in
+  Array.iteri
+    (fun i x ->
+      let s = i / segment_size in
+      if x < mins.(s) then mins.(s) <- x;
+      if x > maxs.(s) then maxs.(s) <- x)
+    xs;
+  (mins, maxs)
+
+let run_count xs =
+  let n = Array.length xs in
+  if n = 0 then 0
+  else begin
+    let runs = ref 1 in
+    for i = 1 to n - 1 do
+      if xs.(i) <> xs.(i - 1) then incr runs
+    done;
+    !runs
+  end
+
+let code_width ndistinct =
+  if ndistinct <= 0x100 then 1 else if ndistinct <= 0x10000 then 2 else if ndistinct <= 0x1000000 then 3 else 8
+
+let write_code codes width i v =
+  for b = 0 to width - 1 do
+    Bytes.unsafe_set codes ((i * width) + b) (Char.unsafe_chr ((v lsr (b * 8)) land 0xFF))
+  done
+
+let read_code codes width i =
+  let v = ref 0 in
+  for b = width - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code (Bytes.unsafe_get codes ((i * width) + b))
+  done;
+  !v
+
+let encode_ints xs =
+  let n = Array.length xs in
+  let seg_min, seg_max = segment_stats xs in
+  let distinct = Hashtbl.create 1024 in
+  Array.iter (fun x -> if not (Hashtbl.mem distinct x) then Hashtbl.add distinct x ()) xs;
+  let ndistinct = Hashtbl.length distinct in
+  let runs = run_count xs in
+  let raw_bytes = 8 * n in
+  let rle_bytes = 16 * runs in
+  let width = code_width ndistinct in
+  let dict_bytes = (8 * ndistinct) + (width * n) in
+  let enc =
+    if rle_bytes <= dict_bytes && rle_bytes < raw_bytes then begin
+      let starts = Array.make runs 0 and values = Array.make runs 0 in
+      let r = ref (-1) in
+      Array.iteri
+        (fun i x ->
+          if i = 0 || x <> xs.(i - 1) then begin
+            incr r;
+            starts.(!r) <- i;
+            values.(!r) <- x
+          end)
+        xs;
+      Rle { starts; values }
+    end
+    else if dict_bytes < raw_bytes && width < 8 then begin
+      let dict = Array.make ndistinct 0 in
+      let index = Hashtbl.create ndistinct in
+      let next = ref 0 in
+      Array.iter
+        (fun x ->
+          if not (Hashtbl.mem index x) then begin
+            dict.(!next) <- x;
+            Hashtbl.add index x !next;
+            incr next
+          end)
+        xs;
+      let codes = Bytes.create (width * n) in
+      Array.iteri (fun i x -> write_code codes width i (Hashtbl.find index x)) xs;
+      Dict { dict; codes; width }
+    end
+    else Raw (Array.copy xs)
+  in
+  Ints { enc; length = n; seg_min; seg_max }
+
+let encode_strings xs =
+  let index = Hashtbl.create 1024 in
+  let dict_rev = ref [] in
+  let next = ref 0 in
+  let codes =
+    Array.map
+      (fun s ->
+        match Hashtbl.find_opt index s with
+        | Some c -> c
+        | None ->
+          let c = !next in
+          Hashtbl.add index s c;
+          dict_rev := s :: !dict_rev;
+          incr next;
+          c)
+      xs
+  in
+  Strs { dict = Array.of_list (List.rev !dict_rev); codes }
+
+let length = function
+  | Ints { length; _ } -> length
+  | Strs { codes; _ } -> Array.length codes
+
+(* Binary search for the run containing [row]. *)
+let rle_find starts row =
+  let lo = ref 0 and hi = ref (Array.length starts - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if starts.(mid) <= row then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+let get_int col row =
+  match col with
+  | Strs _ -> invalid_arg "Column.get_int: string column"
+  | Ints { enc; _ } ->
+    (match enc with
+    | Raw xs -> Array.unsafe_get xs row
+    | Rle { starts; values } -> values.(rle_find starts row)
+    | Dict { dict; codes; width } -> dict.(read_code codes width row))
+
+let get_string col row =
+  match col with
+  | Strs { dict; codes } -> dict.(codes.(row))
+  | Ints _ as col -> string_of_int (get_int col row)
+
+let iter_int_range col ~lo ~hi ~f =
+  match col with
+  | Strs _ -> invalid_arg "Column.iter_int_range: string column"
+  | Ints { enc; length; seg_min; seg_max } ->
+    let nseg = Array.length seg_min in
+    for s = 0 to nseg - 1 do
+      (* Segment elimination: skip segments that cannot match. *)
+      if seg_max.(s) >= lo && seg_min.(s) <= hi then begin
+        let first = s * segment_size in
+        let last = min (first + segment_size) length - 1 in
+        match enc with
+        | Raw xs ->
+          for row = first to last do
+            let v = Array.unsafe_get xs row in
+            if v >= lo && v <= hi then f row v
+          done
+        | Dict { dict; codes; width } ->
+          for row = first to last do
+            let v = dict.(read_code codes width row) in
+            if v >= lo && v <= hi then f row v
+          done
+        | Rle { starts; values } ->
+          (* Walk runs overlapping the segment. *)
+          let r0 = rle_find starts first in
+          let r = ref r0 in
+          let nruns = Array.length starts in
+          while !r < nruns && starts.(!r) <= last do
+            let v = values.(!r) in
+            if v >= lo && v <= hi then begin
+              let run_start = max starts.(!r) first in
+              let run_end =
+                min last (if !r + 1 < nruns then starts.(!r + 1) - 1 else length - 1)
+              in
+              for row = run_start to run_end do
+                f row v
+              done
+            end;
+            incr r
+          done
+      end
+    done
+
+let bytes_estimate = function
+  | Ints { enc; seg_min; _ } ->
+    16 * Array.length seg_min
+    + (match enc with
+      | Raw xs -> 8 * Array.length xs
+      | Rle { starts; values } -> 8 * (Array.length starts + Array.length values)
+      | Dict { dict; codes; _ } -> (8 * Array.length dict) + Bytes.length codes)
+  | Strs { dict; codes } ->
+    (8 * Array.length codes)
+    + Array.fold_left (fun acc s -> acc + String.length s + 24) 0 dict

@@ -1,0 +1,95 @@
+type t = {
+  name : string;
+  nrows : int;
+  columns : (string * Column.t) list;
+  sort_key : string option;
+  sorted_values : int array option; (* clustered key values, ascending *)
+}
+
+let create ~name ?sort_by ~columns () =
+  let nrows =
+    match columns with
+    | [] -> invalid_arg "Table.create: no columns"
+    | (_, `Ints xs) :: _ -> Array.length xs
+    | (_, `Strs xs) :: _ -> Array.length xs
+  in
+  List.iter
+    (fun (cname, data) ->
+      let len = match data with `Ints xs -> Array.length xs | `Strs xs -> Array.length xs in
+      if len <> nrows then
+        invalid_arg (Printf.sprintf "Table.create: column %s has %d rows, expected %d" cname len nrows))
+    columns;
+  let perm =
+    match sort_by with
+    | None -> None
+    | Some key ->
+      let keydata =
+        match List.assoc_opt key columns with
+        | Some (`Ints xs) -> xs
+        | Some (`Strs _) -> invalid_arg "Table.create: sort_by must be an integer column"
+        | None -> invalid_arg ("Table.create: unknown sort column " ^ key)
+      in
+      let idx = Array.init nrows Fun.id in
+      Array.sort (fun a b -> Int.compare keydata.(a) keydata.(b)) idx;
+      Some idx
+  in
+  let apply_perm_int xs =
+    match perm with None -> xs | Some p -> Array.map (fun i -> xs.(i)) p
+  in
+  let apply_perm_str xs =
+    match perm with None -> xs | Some p -> Array.map (fun i -> xs.(i)) p
+  in
+  let sorted_values =
+    match (sort_by, perm) with
+    | Some key, Some _ ->
+      (match List.assoc key columns with
+      | `Ints xs -> Some (apply_perm_int xs)
+      | `Strs _ -> None)
+    | _ -> None
+  in
+  let encoded =
+    List.map
+      (fun (cname, data) ->
+        ( cname,
+          match data with
+          | `Ints xs -> Column.encode_ints (apply_perm_int xs)
+          | `Strs xs -> Column.encode_strings (apply_perm_str xs) ))
+      columns
+  in
+  { name; nrows; columns = encoded; sort_key = sort_by; sorted_values }
+
+let name t = t.name
+let nrows t = t.nrows
+let column t cname = List.assoc cname t.columns
+let sort_key t = t.sort_key
+
+let get_int t cname row = Column.get_int (column t cname) row
+let get_string t cname row = Column.get_string (column t cname) row
+
+(* First index with value >= x in the ascending clustered key. *)
+let lower_bound xs x =
+  let lo = ref 0 and hi = ref (Array.length xs) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if xs.(mid) < x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let iter_range t ~col ~lo ~hi ~f =
+  match (t.sort_key, t.sorted_values) with
+  | Some key, Some values when String.equal key col ->
+    (* Clustered index seek: contiguous row range. *)
+    let first = lower_bound values lo in
+    let last = lower_bound values (hi + 1) - 1 in
+    for row = first to last do
+      f row
+    done
+  | _ -> Column.iter_int_range (column t col) ~lo ~hi ~f:(fun row _ -> f row)
+
+let iter_all t ~f =
+  for row = 0 to t.nrows - 1 do
+    f row
+  done
+
+let bytes_estimate t =
+  List.fold_left (fun acc (_, col) -> acc + Column.bytes_estimate col) 0 t.columns

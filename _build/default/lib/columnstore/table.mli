@@ -1,0 +1,33 @@
+(** Columnstore tables: named compressed columns plus an optional clustered
+    sort order. The paper's RDBMS baseline stores all TPC-H tables in the
+    column store with clustered indexes on [shipdate] and [orderdate]; a
+    table sorted by a column turns range predicates on it into contiguous
+    row-id ranges (binary search on the RLE/sorted data), the analogue of a
+    clustered-index seek. *)
+
+type t
+
+val create :
+  name:string -> ?sort_by:string -> columns:(string * [ `Ints of int array | `Strs of string array ]) list -> unit -> t
+(** All column arrays must have equal length. When [sort_by] is given, all
+    columns are reordered by ascending value of that (integer) column before
+    encoding. *)
+
+val name : t -> string
+val nrows : t -> int
+val column : t -> string -> Column.t
+(** Raises [Not_found]. *)
+
+val sort_key : t -> string option
+
+val get_int : t -> string -> int -> int
+val get_string : t -> string -> int -> string
+
+val iter_range : t -> col:string -> lo:int -> hi:int -> f:(int -> unit) -> unit
+(** Rows whose [col] value lies within [\[lo, hi\]]. If [col] is the
+    clustered sort key, only the matching contiguous row range is visited
+    (index seek); otherwise segment-eliminated scan. *)
+
+val iter_all : t -> f:(int -> unit) -> unit
+
+val bytes_estimate : t -> int

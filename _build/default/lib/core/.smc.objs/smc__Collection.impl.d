@@ -1,0 +1,1 @@
+lib/core/collection.ml: Compaction Constants Context Epoch Fun Layout Ref Runtime Smc_offheap

@@ -1,0 +1,1 @@
+lib/core/field.ml: Array Bigarray Block Char Collection Constants Context Layout Printf Ref Smc_offheap String

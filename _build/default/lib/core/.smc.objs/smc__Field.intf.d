@@ -1,0 +1,1 @@
+lib/core/field.mli: Collection Ref Smc_decimal Smc_offheap Smc_util

@@ -1,0 +1,1 @@
+lib/core/ref.ml: Hashtbl Int Smc_offheap

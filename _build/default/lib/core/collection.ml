@@ -1,0 +1,60 @@
+open Smc_offheap
+
+type t = {
+  name : string;
+  layout : Layout.t;
+  ctx : Context.t;
+  rt : Runtime.t;
+}
+
+let create rt ~name ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () =
+  let ctx = Context.create rt ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () in
+  { name; layout; ctx; rt }
+
+let add t ~init =
+  let packed = Context.alloc t.ctx in
+  (match Context.resolve t.ctx packed with
+  | Some (blk, slot) -> init blk slot
+  | None -> assert false (* a freshly allocated object cannot be dead *));
+  Ref.of_packed packed
+
+let remove t r = Context.free t.ctx (Ref.to_packed r)
+
+let deref_opt t r = Context.resolve t.ctx (Ref.to_packed r)
+
+let deref t r =
+  match deref_opt t r with
+  | Some loc -> loc
+  | None -> raise Constants.Null_reference
+
+let mem t r = deref_opt t r <> None
+
+let with_read t f =
+  Epoch.enter_critical t.rt.Runtime.epoch;
+  Fun.protect ~finally:(fun () -> Epoch.exit_critical t.rt.Runtime.epoch) f
+
+let iter t ~f = with_read t (fun () -> Context.iter_valid t.ctx ~f)
+
+let iter_per_block t ~f = Context.iter_valid_per_block t.ctx ~f
+
+let iter_scan t ~on_block = with_read t (fun () -> Context.iter_valid_hoisted t.ctx ~on_block)
+
+let loc_block t loc = Context.block_of_loc t.ctx loc
+let loc_slot loc = Constants.ptr_slot loc
+
+let ref_of_slot t blk slot = Ref.of_packed (Context.indirect_ref_of_slot t.ctx blk slot)
+
+let iter_refs t ~f = iter t ~f:(fun blk slot -> f (ref_of_slot t blk slot))
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun blk slot -> acc := f !acc blk slot);
+  !acc
+
+let count t = Context.valid_count t.ctx
+
+let compact t ?occupancy_threshold () = Compaction.run t.ctx ?occupancy_threshold ()
+
+let memory_words t = Context.off_heap_words t.ctx
+let block_count t = Context.block_count t.ctx
+let limbo_count t = Context.stats_limbo t.ctx

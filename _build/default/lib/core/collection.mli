@@ -1,0 +1,92 @@
+(** Self-managed collections (§2 and §4 of the paper).
+
+    A collection owns the memory of its objects: [add] allocates an object
+    in the collection's private memory context, [remove] frees it and every
+    outstanding reference to it reads as null from then on. Collections have
+    bag semantics and are enumerated in memory (block) order inside epoch
+    critical sections, which is what compiled queries exploit.
+
+    Storage knobs mirror the paper's variants: row vs columnar placement
+    (§4.1) and indirect vs direct reference mode (§6). *)
+
+type t = {
+  name : string;
+  layout : Smc_offheap.Layout.t;
+  ctx : Smc_offheap.Context.t;
+  rt : Smc_offheap.Runtime.t;
+}
+
+val create :
+  Smc_offheap.Runtime.t ->
+  name:string ->
+  layout:Smc_offheap.Layout.t ->
+  ?placement:Smc_offheap.Block.placement ->
+  ?mode:Smc_offheap.Context.mode ->
+  ?slots_per_block:int ->
+  ?reclaim_threshold:float ->
+  unit ->
+  t
+
+val add : t -> init:(Smc_offheap.Block.t -> int -> unit) -> Ref.t
+(** Allocates an object (zeroed), runs [init] on its (block, slot) to set
+    the fields, and returns a reference. Maps directly onto the memory
+    manager's alloc, as §2 prescribes. *)
+
+val remove : t -> Ref.t -> bool
+(** Frees the object; [false] if the reference was already null/dead. *)
+
+val deref : t -> Ref.t -> Smc_offheap.Block.t * int
+(** Current location of the object. Raises
+    {!Smc_offheap.Constants.Null_reference} when the object is gone. Use
+    inside {!with_read} if the location must stay stable while reading. *)
+
+val deref_opt : t -> Ref.t -> (Smc_offheap.Block.t * int) option
+
+val mem : t -> Ref.t -> bool
+(** Whether the reference still names a live object. *)
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Runs [f] inside an epoch critical section — the amortisation unit for
+    queries (§4): one enter/exit per query, not per object. Nestable. *)
+
+val iter : t -> f:(Smc_offheap.Block.t -> int -> unit) -> unit
+(** Enumerates valid slots in block order within one critical section. *)
+
+val iter_per_block : t -> f:(Smc_offheap.Block.t -> int -> unit) -> unit
+(** Like {!iter} but with one critical section per memory block instead of
+    one for the whole enumeration — §4's alternative granularity, keeping
+    grace periods short so reclamation can progress during long scans. *)
+
+val iter_scan : t -> on_block:(Smc_offheap.Block.t -> int -> unit) -> unit
+(** Block-hoisted enumeration: [on_block blk] is evaluated once per block,
+    and the resulting closure runs for each valid slot. Compiled queries use
+    this to hoist the block's raw arrays and field offsets out of the slot
+    loop — the paper's direct pointer access to the collection's memory
+    blocks. *)
+
+val loc_block : t -> int -> Smc_offheap.Block.t
+(** Block for a packed location from {!Field.follow_loc}. *)
+
+val loc_slot : int -> int
+(** Slot for a packed location. *)
+
+val iter_refs : t -> f:(Ref.t -> unit) -> unit
+(** Like {!iter} but yields references (built via back-pointers, as the
+    paper's generated enumeration code does). *)
+
+val fold : t -> init:'a -> f:('a -> Smc_offheap.Block.t -> int -> 'a) -> 'a
+
+val count : t -> int
+(** Live objects (O(blocks), from the per-block counters). *)
+
+val ref_of_slot : t -> Smc_offheap.Block.t -> int -> Ref.t
+(** Reference for an enumerated slot. *)
+
+val compact : t -> ?occupancy_threshold:float -> unit -> Smc_offheap.Compaction.report
+(** Runs a §5 compaction pass over the collection's context. *)
+
+val memory_words : t -> int
+(** Off-heap words held by the collection (blocks only). *)
+
+val block_count : t -> int
+val limbo_count : t -> int

@@ -1,0 +1,117 @@
+open Smc_offheap
+
+type loc = Block.t * int
+
+let resolve layout name expected describe =
+  let f = Layout.field layout name in
+  if not (expected f.Layout.ftype) then
+    invalid_arg
+      (Printf.sprintf "Field: %s.%s is not a %s field" layout.Layout.type_name name describe);
+  f
+
+let int layout name =
+  resolve layout name (function Layout.Int -> true | _ -> false) "Int"
+
+let dec layout name =
+  resolve layout name (function Layout.Dec -> true | _ -> false) "Dec"
+
+let date layout name =
+  resolve layout name (function Layout.Date -> true | _ -> false) "Date"
+
+let bool layout name =
+  resolve layout name (function Layout.Bool -> true | _ -> false) "Bool"
+
+let float layout name =
+  resolve layout name (function Layout.Float -> true | _ -> false) "Float"
+
+let str layout name =
+  resolve layout name (function Layout.Str _ -> true | _ -> false) "Str"
+
+let ref_ layout name =
+  resolve layout name (function Layout.Ref _ -> true | _ -> false) "Ref"
+
+let get_int (f : Layout.field) blk slot = Block.get_word blk ~slot ~word:f.Layout.word
+let set_int (f : Layout.field) blk slot v = Block.set_word blk ~slot ~word:f.Layout.word v
+
+let get_dec = get_int
+let set_dec = set_int
+let get_date = get_int
+let set_date = set_int
+
+let get_bool f blk slot = get_int f blk slot <> 0
+let set_bool f blk slot v = set_int f blk slot (if v then 1 else 0)
+
+let get_float (f : Layout.field) blk slot = Block.get_float blk ~slot ~word:f.Layout.word
+let set_float (f : Layout.field) blk slot v = Block.set_float blk ~slot ~word:f.Layout.word v
+
+let get_string (f : Layout.field) blk slot = Block.get_string blk ~slot f
+let set_string (f : Layout.field) blk slot s = Block.set_string blk ~slot f s
+
+let get_char f blk slot = Char.unsafe_chr (get_int f blk slot land 0xFF)
+
+let string_eq (f : Layout.field) literal =
+  let words = Block.string_words f literal in
+  let n = Array.length words in
+  let base = f.Layout.word in
+  fun blk slot ->
+    let rec go w =
+      w >= n
+      || Block.get_word blk ~slot ~word:(base + w) = Array.unsafe_get words w && go (w + 1)
+    in
+    go 0
+
+let set_ref (f : Layout.field) ~(target : Collection.t) blk slot r =
+  (* §2's tabular typing: a Ref field names the tabular type it may point
+     to; storing a reference into a differently-typed collection is a type
+     error. *)
+  (match f.Layout.ftype with
+  | Layout.Ref expected
+    when not (String.equal expected target.Collection.layout.Layout.type_name) ->
+    invalid_arg
+      (Printf.sprintf "Field.set_ref: field %s expects a %s, got a %s" f.Layout.name
+         expected target.Collection.layout.Layout.type_name)
+  | _ -> ());
+  let packed = Ref.to_packed r in
+  let stored =
+    if packed < 0 then Constants.null_ref
+    else
+      match target.Collection.ctx.Context.mode with
+      | Context.Indirect -> packed
+      | Context.Direct -> Context.direct_ref_of target.Collection.ctx packed
+  in
+  Block.set_word blk ~slot ~word:f.Layout.word stored
+
+let follow (f : Layout.field) ~(target : Collection.t) blk slot =
+  let w = Block.get_word blk ~slot ~word:f.Layout.word in
+  if w < 0 then None
+  else
+    match target.Collection.ctx.Context.mode with
+    | Context.Indirect -> Context.resolve target.Collection.ctx w
+    | Context.Direct -> begin
+      match Context.resolve_direct target.Collection.ctx w with
+      | None -> None
+      | Some (tb, ts) as loc ->
+        (* §6: after forwarding through a tombstone, update the stored
+           pointer so future accesses go straight to the new location. *)
+        if tb.Block.id <> Constants.direct_block w then begin
+          let inc =
+            Bigarray.Array1.unsafe_get tb.Block.slot_inc ts land Constants.direct_inc_mask
+          in
+          Block.set_word blk ~slot ~word:f.Layout.word
+            (Constants.pack_direct ~block:tb.Block.id ~slot:ts ~inc)
+        end;
+        loc
+    end
+
+(* Allocation-free join step: packed (block, slot) location or -1. The
+   unsafe compiled queries use this on hot paths. *)
+let follow_loc (f : Layout.field) ~(target : Collection.t) blk slot =
+  let w = Block.get_word blk ~slot ~word:f.Layout.word in
+  match target.Collection.ctx.Context.mode with
+  | Context.Indirect -> Context.resolve_loc target.Collection.ctx w
+  | Context.Direct -> Context.resolve_direct_loc target.Collection.ctx w
+
+let get_ref (f : Layout.field) ~(target : Collection.t) blk slot =
+  match follow f ~target blk slot with
+  | None -> Ref.null
+  | Some (tb, ts) -> Ref.of_packed (Context.indirect_ref_of_slot target.Collection.ctx tb ts)

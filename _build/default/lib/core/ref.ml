@@ -1,0 +1,9 @@
+type t = int
+
+let null = Smc_offheap.Constants.null_ref
+let is_null t = t < 0
+let equal = Int.equal
+let compare = Int.compare
+let hash t = Hashtbl.hash t
+let of_packed t = t
+let to_packed t = t

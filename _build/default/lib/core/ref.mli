@@ -1,0 +1,22 @@
+(** References to self-managed objects.
+
+    A reference names an object for as long as the object lives in its
+    collection; once the object is removed, every outstanding reference to
+    it implicitly becomes null and dereferencing raises
+    {!Smc_offheap.Constants.Null_reference} — the semantics of §2 of the
+    paper. A reference packs the indirection-table entry and the low bits of
+    the incarnation number into a single immediate integer, so references
+    are free to copy and add no garbage-collection load. *)
+
+type t = private int
+
+val null : t
+val is_null : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val of_packed : int -> t
+(** Internal: wraps a packed reference produced by the memory manager. *)
+
+val to_packed : t -> int

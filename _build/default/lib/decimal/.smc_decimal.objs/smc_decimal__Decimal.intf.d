@@ -1,0 +1,1 @@
+lib/decimal/decimal.mli:

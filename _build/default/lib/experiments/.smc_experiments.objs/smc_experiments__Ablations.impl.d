@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Array Bigarray List Printf Prng Smc Smc_offheap Smc_tpch Smc_util Stats Sys Table Timing Workload

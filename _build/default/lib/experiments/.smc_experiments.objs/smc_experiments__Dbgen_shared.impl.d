@@ -1,0 +1,1 @@
+lib/experiments/dbgen_shared.ml: Array Smc_tpch

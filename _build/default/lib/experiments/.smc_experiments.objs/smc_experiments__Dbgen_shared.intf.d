@@ -1,0 +1,1 @@
+lib/experiments/dbgen_shared.mli: Smc_tpch

@@ -1,0 +1,1 @@
+lib/experiments/ext_queries.ml: Array Fig11 List Obj Printf Smc_tpch Smc_util

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Array Bigarray Hashtbl List Printf Prng Smc Smc_managed Smc_offheap Smc_tpch Smc_util Stats Sys Table Timing

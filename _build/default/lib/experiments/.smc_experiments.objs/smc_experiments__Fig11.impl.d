@@ -1,0 +1,1 @@
+lib/experiments/fig11.ml: Array List Obj Printf Smc_tpch Smc_util Stats Sys Table Timing

@@ -1,0 +1,1 @@
+lib/experiments/fig12.ml: Fig11 List Printf Smc_offheap Smc_tpch Smc_util

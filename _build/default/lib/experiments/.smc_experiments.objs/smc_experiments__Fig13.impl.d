@@ -1,0 +1,1 @@
+lib/experiments/fig13.ml: Fig11 List Obj Printf Smc_offheap Smc_tpch Smc_util

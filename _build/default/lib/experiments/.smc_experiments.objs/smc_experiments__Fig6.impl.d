@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Array Float List Printf Prng Smc Smc_util Stats Table Timing Workload

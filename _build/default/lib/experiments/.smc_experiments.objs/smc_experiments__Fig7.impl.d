@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Dbgen_shared Gc Int64 Lazy List Printf Prng Smc Smc_decimal Smc_managed Smc_tpch Smc_util Sys Table Timing Unix Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Fun Gc Int64 List Mutex Printf Prng Smc_tpch Smc_util Table Unix Workload

@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Bytes Dbgen_shared Fun Gc List Printf Prng Smc Smc_tpch Smc_util Sys Table Unix Workload

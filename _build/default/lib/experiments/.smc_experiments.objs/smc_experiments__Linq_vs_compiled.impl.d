@@ -1,0 +1,1 @@
+lib/experiments/linq_vs_compiled.ml: List Obj Printf Smc Smc_query Smc_tpch Smc_util Stats String Sys Table Timing

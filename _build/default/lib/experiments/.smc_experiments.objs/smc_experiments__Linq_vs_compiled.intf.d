@@ -1,0 +1,1 @@
+lib/experiments/linq_vs_compiled.mli: Smc_util

@@ -1,0 +1,1 @@
+lib/experiments/workload.ml: Array Domain Fun Gc Lazy List Prng Smc Smc_decimal Smc_offheap Smc_tpch Smc_util

@@ -1,0 +1,1 @@
+lib/experiments/workload.mli: Smc Smc_offheap Smc_util

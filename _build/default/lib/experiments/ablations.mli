@@ -1,0 +1,11 @@
+(** Ablation benchmarks for the implementation's own design choices
+    (complementing the paper's figures):
+
+    - block size: slots-per-block vs allocation and enumeration performance;
+    - reference mechanics: the checked application-reference path vs the
+      allocation-free indirect location path vs direct pointers (§6);
+    - critical-section granularity: one section per query vs per block (§4);
+    - string predicates: allocating reads vs pre-packed word comparison. *)
+
+val run : ?sf:float -> unit -> Smc_util.Table.t list
+val print_all : ?sf:float -> unit -> unit

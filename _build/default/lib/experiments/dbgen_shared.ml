@@ -1,0 +1,3 @@
+let make () =
+  let ds = Smc_tpch.Dbgen.generate ~sf:0.0001 () in
+  (ds.Smc_tpch.Row.orders.(0), ds.Smc_tpch.Row.parts.(0), ds.Smc_tpch.Row.suppliers.(0))

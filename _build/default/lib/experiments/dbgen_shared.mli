@@ -1,0 +1,5 @@
+(** Tiny shared referents for allocation benchmarks: one order, part and
+    supplier record reused by every synthetic lineitem so only the lineitem
+    object itself is being allocated. *)
+
+val make : unit -> Smc_tpch.Row.order * Smc_tpch.Row.part * Smc_tpch.Row.supplier

@@ -1,0 +1,63 @@
+type point = { engine : string; query : string; relative_pct : float; absolute_ms : float }
+
+let names = [| "Q7"; "Q10"; "Q12"; "Q14"; "Q19" |]
+
+let queries_for_managed db =
+  [|
+    (fun () -> Obj.repr (Smc_tpch.Q_managed.q7 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_managed.q10 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_managed.q12 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_managed.q14 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_managed.q19 db));
+  |]
+
+let queries_for_smc ~unsafe db =
+  [|
+    (fun () -> Obj.repr (Smc_tpch.Q_smc.q7 ~unsafe db));
+    (fun () -> Obj.repr (Smc_tpch.Q_smc.q10 ~unsafe db));
+    (fun () -> Obj.repr (Smc_tpch.Q_smc.q12 ~unsafe db));
+    (fun () -> Obj.repr (Smc_tpch.Q_smc.q14 ~unsafe db));
+    (fun () -> Obj.repr (Smc_tpch.Q_smc.q19 ~unsafe db));
+  |]
+
+let run ?(sf = 0.05) () =
+  let ds = Smc_tpch.Dbgen.generate ~sf () in
+  let list_db = Smc_tpch.Db_managed.of_vectors ds in
+  let dict_db = Smc_tpch.Db_managed.of_dicts ds in
+  let smc_db = Smc_tpch.Db_smc.load ds in
+  let points =
+    Fig11.measure
+      [
+        ("List", queries_for_managed list_db);
+        ("C. Dictionary", queries_for_managed dict_db);
+        ("SMC (safe)", queries_for_smc ~unsafe:false smc_db);
+        ("SMC (unsafe)", queries_for_smc ~unsafe:true smc_db);
+      ]
+  in
+  List.map
+    (fun (p : Fig11.point) ->
+      {
+        engine = p.Fig11.engine;
+        query = names.(p.Fig11.query - 1);
+        relative_pct = p.Fig11.relative_pct;
+        absolute_ms = p.Fig11.absolute_ms;
+      })
+    points
+
+let table points =
+  let t =
+    Smc_util.Table.create
+      ~title:"Extension queries Q7/Q10/Q12/Q14/Q19, relative to List (%)"
+      ~columns:[ "engine"; "query"; "relative to List (%)"; "absolute (ms)" ]
+  in
+  List.iter
+    (fun p ->
+      Smc_util.Table.add_row t
+        [
+          p.engine;
+          p.query;
+          Printf.sprintf "%.1f" p.relative_pct;
+          Printf.sprintf "%.2f" p.absolute_ms;
+        ])
+    points;
+  t

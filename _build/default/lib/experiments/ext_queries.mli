@@ -1,0 +1,9 @@
+(** Extension workload: the additional enumeration-heavy TPC-H queries
+    (Q7, Q10, Q12, Q14, Q19) that a production user of the library would run
+    beyond the paper's Q1–Q6 evaluation set. Same engines and baseline
+    normalisation as Figure 11. *)
+
+type point = { engine : string; query : string; relative_pct : float; absolute_ms : float }
+
+val run : ?sf:float -> unit -> point list
+val table : point list -> Smc_util.Table.t

@@ -1,0 +1,19 @@
+(** Figure 10 — enumeration performance, fresh vs worn.
+
+    Two query shapes: (a) enumerate the lineitem collection applying a cheap
+    function to each object; (b) enumerate and additionally follow the order
+    reference and the order's customer reference (nested access). Each runs
+    against freshly-loaded collections and against collections worn by
+    repeated refresh streams (removals + insertions), for the managed
+    baselines, SMCs with indirection, and SMCs with direct pointers (§6). *)
+
+type point = {
+  variant : string;
+  worn : bool;
+  enumeration_ms : float;
+  nested_ms : float;
+}
+
+val run : ?sf:float -> ?wear_pairs:int -> unit -> point list
+
+val table : point list -> Smc_util.Table.t

@@ -1,0 +1,20 @@
+(** Figure 11 — TPC-H queries 1–6, evaluation time relative to List.
+
+    Engines: compiled queries over List (Vector) and ConcurrentDictionary,
+    and over SMCs in the managed-equivalent ("SMC (C#)") and raw-access
+    ("SMC (unsafe C#)") variants. Values are percentages of the List time
+    (List = 100). *)
+
+type point = { engine : string; query : int; relative_pct : float; absolute_ms : float }
+
+val run : ?sf:float -> unit -> point list
+val table : point list -> Smc_util.Table.t
+
+(** Reusable pieces for the other query figures. *)
+
+val queries_for_managed : Smc_tpch.Db_managed.t -> (unit -> Obj.t) array
+val queries_for_smc : unsafe:bool -> Smc_tpch.Db_smc.t -> (unit -> Obj.t) array
+
+val measure : (string * (unit -> Obj.t) array) list -> point list
+(** Times every engine's six queries (median of three runs); the first
+    engine is the 100% baseline. *)

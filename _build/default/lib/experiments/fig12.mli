@@ -1,0 +1,10 @@
+(** Figure 12 — direct pointers and columnar storage.
+
+    Q1–Q6 over three SMC configurations — indirect row store, direct
+    pointers (§6), columnar placement (§4.1) — relative to the indirect
+    unsafe baseline ("SMC (unsafe C#)" = 100). *)
+
+type point = { engine : string; query : int; relative_pct : float; absolute_ms : float }
+
+val run : ?sf:float -> unit -> point list
+val table : point list -> Smc_util.Table.t

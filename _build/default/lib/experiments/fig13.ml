@@ -1,0 +1,52 @@
+type point = { engine : string; query : int; relative_pct : float; absolute_ms : float }
+
+let queries_for_column db =
+  [|
+    (fun () -> Obj.repr (Smc_tpch.Q_column.q1 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_column.q2 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_column.q3 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_column.q4 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_column.q5 db));
+    (fun () -> Obj.repr (Smc_tpch.Q_column.q6 db));
+  |]
+
+let run ?(sf = 0.05) () =
+  let ds = Smc_tpch.Dbgen.generate ~sf () in
+  let column_db = Smc_tpch.Db_column.load ds in
+  let direct = Smc_tpch.Db_smc.load ~mode:Smc_offheap.Context.Direct ds in
+  let columnar = Smc_tpch.Db_smc.load ~placement:Smc_offheap.Block.Columnar ds in
+  let points =
+    Fig11.measure
+      [
+        ("Columnstore (SQL Server)", queries_for_column column_db);
+        ("SMC (direct)", Fig11.queries_for_smc ~unsafe:true direct);
+        ("SMC (columnar)", Fig11.queries_for_smc ~unsafe:true columnar);
+      ]
+  in
+  List.map
+    (fun (p : Fig11.point) ->
+      {
+        engine = p.Fig11.engine;
+        query = p.Fig11.query;
+        relative_pct = p.Fig11.relative_pct;
+        absolute_ms = p.Fig11.absolute_ms;
+      })
+    points
+
+let table points =
+  let t =
+    Smc_util.Table.create
+      ~title:"Figure 13: comparison to the RDBMS columnstore, relative to columnstore (%)"
+      ~columns:[ "engine"; "query"; "relative to columnstore (%)"; "absolute (ms)" ]
+  in
+  List.iter
+    (fun p ->
+      Smc_util.Table.add_row t
+        [
+          p.engine;
+          Printf.sprintf "Q%d" p.query;
+          Printf.sprintf "%.1f" p.relative_pct;
+          Printf.sprintf "%.2f" p.absolute_ms;
+        ])
+    points;
+  t

@@ -1,0 +1,10 @@
+(** Figure 13 — comparison to an RDBMS columnstore.
+
+    Q1–Q6 over the compressed columnstore (clustered on shipdate/orderdate,
+    value-based joins — the SQL Server 2014 stand-in) versus SMC (direct)
+    and SMC (columnar); percentages relative to the columnstore (= 100). *)
+
+type point = { engine : string; query : int; relative_pct : float; absolute_ms : float }
+
+val run : ?sf:float -> unit -> point list
+val table : point list -> Smc_util.Table.t

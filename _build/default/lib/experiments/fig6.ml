@@ -1,0 +1,65 @@
+open Smc_util
+
+type point = {
+  threshold_pct : int;
+  alloc_remove_norm : float;
+  query_norm : float;
+  memory_norm : float;
+}
+
+type raw = { pct : int; ops_ms : float; query_ms : float; memory : int }
+
+let measure ~n pct =
+  let threshold = float_of_int pct /. 100.0 in
+  let _rt, coll =
+    Workload.lineitem_collection ~slots_per_block:1024 ~reclaim_threshold:threshold ()
+  in
+  let g = Prng.create ~seed:66L () in
+  let refs = Array.init n (fun _ -> Workload.add_lineitem coll g) in
+  (* Wear the collection so limbo slots exist, then measure a churn round
+     (allocation/removal performance), a full enumeration (query
+     performance) and the footprint. *)
+  Workload.churn coll ~refs ~prng:g ~fraction:0.2 ~rounds:2;
+  let ops_ms =
+    Timing.time_ms (fun () -> Workload.churn coll ~refs ~prng:g ~fraction:0.2 ~rounds:2)
+  in
+  let query_ms =
+    let samples = Timing.repeat ~warmup:1 3 (fun () -> ignore (Workload.scan_sum coll : int)) in
+    Stats.median samples
+  in
+  { pct; ops_ms; query_ms; memory = Smc.Collection.memory_words coll }
+
+let run ?(n = 200_000) ?(thresholds = [ 1; 2; 5; 10; 20; 30; 50; 75; 100 ]) () =
+  let raws = List.map (measure ~n) thresholds in
+  let max_by f = List.fold_left (fun acc r -> Float.max acc (f r)) 0.0 raws in
+  (* Throughput = 1/ops_ms; normalise each curve to its own maximum. *)
+  let max_tput = max_by (fun r -> 1.0 /. r.ops_ms) in
+  let max_query = max_by (fun r -> r.query_ms) in
+  let max_mem = max_by (fun r -> float_of_int r.memory) in
+  List.map
+    (fun r ->
+      {
+        threshold_pct = r.pct;
+        alloc_remove_norm = 1.0 /. r.ops_ms /. max_tput;
+        query_norm = r.query_ms /. max_query;
+        memory_norm = float_of_int r.memory /. max_mem;
+      })
+    raws
+
+let table points =
+  let t =
+    Table.create ~title:"Figure 6: varying the relocation (reclamation) threshold"
+      ~columns:
+        [ "threshold %"; "alloc/removal perf (norm)"; "query time (norm)"; "memory (norm)" ]
+  in
+  List.iter
+    (fun p ->
+      Table.add_row t
+        [
+          string_of_int p.threshold_pct;
+          Printf.sprintf "%.3f" p.alloc_remove_norm;
+          Printf.sprintf "%.3f" p.query_norm;
+          Printf.sprintf "%.3f" p.memory_norm;
+        ])
+    points;
+  t

@@ -1,0 +1,19 @@
+(** Figure 6 — sensitivity to the reclamation threshold.
+
+    Loads a lineitem SMC, churns it, and sweeps the limbo-slot reclamation
+    threshold, reporting allocation/removal throughput, enumeration-query
+    time and total memory size, each normalised to its maximum over the
+    sweep — the same three normalised curves the paper plots. *)
+
+type point = {
+  threshold_pct : int;
+  alloc_remove_norm : float;  (** throughput, higher is better *)
+  query_norm : float;  (** evaluation time, lower is better *)
+  memory_norm : float;  (** total memory size *)
+}
+
+val run : ?n:int -> ?thresholds:int list -> unit -> point list
+(** [n] objects (default 200_000); thresholds in percent
+    (default 1,2,5,10,20,30,50,75,100). *)
+
+val table : point list -> Smc_util.Table.t

@@ -1,0 +1,15 @@
+(** Figure 7 — batch allocation throughput.
+
+    Allocates lineitem objects from 1/2/4 threads and reports millions of
+    allocations per second for: pure managed allocation (records kept
+    reachable in pre-allocated thread-local arrays), ConcurrentBag adds,
+    ConcurrentDictionary adds — each under the default ("interactive") and a
+    throughput-tuned ("batch") garbage collector — and SMC adds (one shared
+    collection, thread-local blocks). *)
+
+type point = { variant : string; threads : int; mallocs_per_sec : float }
+
+val run : ?per_thread:int -> ?thread_counts:int list -> unit -> point list
+(** [per_thread] allocations per thread (default 300_000). *)
+
+val table : point list -> Smc_util.Table.t

@@ -1,0 +1,13 @@
+(** Figure 8 — refresh stream throughput.
+
+    Each thread alternately runs an insert stream (adds 0.1% of the initial
+    lineitem population) and a remove stream (one enumeration removing 0.1%
+    by orderkey predicate); reported as streams per minute for the
+    Vector/List baseline (externally locked, as List<T> would need),
+    ConcurrentDictionary and SMC. *)
+
+type point = { variant : string; threads : int; streams_per_min : float }
+
+val run : ?sf:float -> ?pairs_per_thread:int -> ?thread_counts:int list -> unit -> point list
+
+val table : point list -> Smc_util.Table.t

@@ -1,0 +1,32 @@
+(** Figure 9 — worst-case stalls caused by garbage collection.
+
+    Populates a collection with N lineitem objects (managed records vs
+    SMC), then runs an allocation workload in fixed small units and records
+    the longest unit — the worst-case stall the application observes. It
+    grows with the number of heap-resident objects for managed collections
+    (the collector must trace them) and stays flat for SMCs, whose objects
+    the collector never scans.
+
+    The paper's version measures a 1 ms sleeper thread's overshoot next to
+    an allocator thread; on this reproduction's single-core container that
+    measures scheduler preemption, so the stall is timed inside the
+    allocating workload itself (same phenomenon, single-threaded probe).
+    The paper's batch/interactive .NET collector modes map to the OCaml
+    collector in a throughput-tuned configuration (large minor heap,
+    relaxed space overhead) vs its default. *)
+
+type point = {
+  variant : string;
+  size : int;
+  max_timeout_ms : float;  (** longest single workload unit *)
+  full_gc_ms : float;
+      (** duration of a forced full major collection mid-workload — the
+          deterministic analogue of .NET's batch gen2 pause *)
+  workload_ms : float;  (** total time for the fixed workload *)
+}
+
+val run : ?sizes:int list -> ?duration_s:float -> unit -> point list
+(** Default sizes 100k/400k/1.6M; [duration_s] calibrates the fixed
+    workload size per configuration (default 2.0). *)
+
+val table : point list -> Smc_util.Table.t

@@ -1,0 +1,14 @@
+(** §7's LINQ-vs-compiled observation (E9 in DESIGN.md).
+
+    The paper notes that evaluating the queries through LINQ instead of
+    compiled C# costs 40–400% more. The closest analogue here is
+    {!Smc_tpch.Q_linq}: lazy Seq pipelines over the managed List, compared
+    against the compiled managed queries — the same collections, only the
+    evaluation model differs. The table also reports the generic engines
+    over an SMC source (fused push pipeline and the tagged-value Volcano
+    interpreter, which bounds the interpreted cost model from above). *)
+
+type point = { query : string; engine : string; ms : float; vs_compiled_pct : float }
+
+val run : ?sf:float -> unit -> point list
+val table : point list -> Smc_util.Table.t

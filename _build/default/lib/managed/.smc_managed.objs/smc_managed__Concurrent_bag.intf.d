@@ -1,0 +1,1 @@
+lib/managed/concurrent_bag.mli:

@@ -1,0 +1,1 @@
+lib/managed/concurrent_dictionary.ml: Array Fun Hashtbl Mutex

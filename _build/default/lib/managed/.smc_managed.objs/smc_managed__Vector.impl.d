@@ -1,0 +1,1 @@
+lib/managed/vector.ml: Array Obj

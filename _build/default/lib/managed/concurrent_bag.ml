@@ -1,0 +1,59 @@
+type 'a segment = { mutable items : 'a array; mutable count : int; lock : Mutex.t }
+
+type 'a t = {
+  mutable segments : 'a segment array; (* grow-only snapshots *)
+  reg_lock : Mutex.t;
+  key : 'a segment option ref Domain.DLS.key;
+}
+
+let create () =
+  { segments = [||]; reg_lock = Mutex.create (); key = Domain.DLS.new_key (fun () -> ref None) }
+
+let register t =
+  let seg = { items = Array.make 64 (Obj.magic 0); count = 0; lock = Mutex.create () } in
+  Mutex.lock t.reg_lock;
+  let old = t.segments in
+  let next = Array.make (Array.length old + 1) seg in
+  Array.blit old 0 next 0 (Array.length old);
+  t.segments <- next;
+  Mutex.unlock t.reg_lock;
+  seg
+
+let my_segment t =
+  let cell = Domain.DLS.get t.key in
+  match !cell with
+  | Some seg -> seg
+  | None ->
+    let seg = register t in
+    cell := Some seg;
+    seg
+
+let add t x =
+  let seg = my_segment t in
+  (* The segment lock is only contended by enumerators; adds from the owner
+     domain are effectively local. *)
+  Mutex.lock seg.lock;
+  if seg.count = Array.length seg.items then begin
+    let next = Array.make (2 * Array.length seg.items) (Obj.magic 0) in
+    Array.blit seg.items 0 next 0 seg.count;
+    seg.items <- next
+  end;
+  seg.items.(seg.count) <- x;
+  seg.count <- seg.count + 1;
+  Mutex.unlock seg.lock
+
+let length t = Array.fold_left (fun acc seg -> acc + seg.count) 0 t.segments
+
+let iter t ~f =
+  Array.iter
+    (fun seg ->
+      let n = seg.count in
+      for i = 0 to n - 1 do
+        f (Array.unsafe_get seg.items i)
+      done)
+    t.segments
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun x -> acc := f !acc x);
+  !acc

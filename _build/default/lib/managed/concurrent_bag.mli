@@ -1,0 +1,20 @@
+(** Per-thread segmented bag — the analogue of C#'s [ConcurrentBag<T>]:
+    thread-safe unordered adds with cheap thread-local append; enumeration
+    walks every thread's segment. Like the original, it does not support
+    removing specific elements (which is why the paper excludes it from the
+    refresh-stream benchmark). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> 'a -> unit
+(** Appends to the calling domain's segment; contention-free between
+    domains. *)
+
+val length : 'a t -> int
+
+val iter : 'a t -> f:('a -> unit) -> unit
+(** Weakly consistent enumeration over all segments. *)
+
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b

@@ -1,0 +1,59 @@
+type 'a shard = { lock : Mutex.t; table : (int, 'a) Hashtbl.t }
+
+type 'a t = { shards : 'a shard array; mask : int }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(shards = 64) ?(capacity = 1024) () =
+  let n = next_pow2 (max 1 shards) in
+  {
+    shards =
+      Array.init n (fun _ ->
+          { lock = Mutex.create (); table = Hashtbl.create (max 16 (capacity / n)) });
+    mask = n - 1;
+  }
+
+let shard_of t key = t.shards.((key * 0x2545F4914F6CDD1D) lsr 17 land t.mask)
+
+let with_shard t key f =
+  let s = shard_of t key in
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) (fun () -> f s.table)
+
+let add t ~key v = with_shard t key (fun tbl -> Hashtbl.replace tbl key v)
+
+let remove t ~key =
+  with_shard t key (fun tbl ->
+      if Hashtbl.mem tbl key then begin
+        Hashtbl.remove tbl key;
+        true
+      end
+      else false)
+
+let find t ~key = with_shard t key (fun tbl -> Hashtbl.find_opt tbl key)
+let mem t ~key = with_shard t key (fun tbl -> Hashtbl.mem tbl key)
+
+let length t =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.lock;
+      let n = Hashtbl.length s.table in
+      Mutex.unlock s.lock;
+      acc + n)
+    0 t.shards
+
+let iter t ~f =
+  Array.iter
+    (fun s ->
+      Mutex.lock s.lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock s.lock)
+        (fun () -> Hashtbl.iter f s.table))
+    t.shards
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun k v -> acc := f !acc k v);
+  !acc

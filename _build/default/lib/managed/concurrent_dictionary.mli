@@ -1,0 +1,23 @@
+(** Sharded hash table with per-shard locks — the analogue of C#'s
+    [ConcurrentDictionary<TKey,TValue>], the paper's best-performing
+    thread-safe managed collection. Keys are ints (object identifiers in the
+    TPC-H adaptation). *)
+
+type 'a t
+
+val create : ?shards:int -> ?capacity:int -> unit -> 'a t
+(** [shards] defaults to 64 (rounded up to a power of two). *)
+
+val add : 'a t -> key:int -> 'a -> unit
+(** Adds or replaces. *)
+
+val remove : 'a t -> key:int -> bool
+val find : 'a t -> key:int -> 'a option
+val mem : 'a t -> key:int -> bool
+val length : 'a t -> int
+
+val iter : 'a t -> f:(int -> 'a -> unit) -> unit
+(** Iterates shard by shard, locking one shard at a time (weakly consistent
+    like the .NET original). *)
+
+val fold : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b

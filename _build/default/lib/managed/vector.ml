@@ -1,0 +1,70 @@
+type 'a t = { mutable items : 'a array; mutable count : int }
+
+let create ?(capacity = 16) () = { items = Array.make (max 1 capacity) (Obj.magic 0); count = 0 }
+
+let length t = t.count
+
+let ensure t needed =
+  if needed > Array.length t.items then begin
+    let next = Array.make (max needed (2 * Array.length t.items)) (Obj.magic 0) in
+    Array.blit t.items 0 next 0 t.count;
+    t.items <- next
+  end
+
+let add t x =
+  ensure t (t.count + 1);
+  t.items.(t.count) <- x;
+  t.count <- t.count + 1
+
+let check t i = if i < 0 || i >= t.count then invalid_arg "Vector: index out of bounds"
+
+let get t i =
+  check t i;
+  t.items.(i)
+
+let set t i x =
+  check t i;
+  t.items.(i) <- x
+
+let iter t ~f =
+  for i = 0 to t.count - 1 do
+    f (Array.unsafe_get t.items i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t ~f:(fun x -> acc := f !acc x);
+  !acc
+
+let remove_bulk t ~pred =
+  let kept = ref 0 in
+  for i = 0 to t.count - 1 do
+    let x = Array.unsafe_get t.items i in
+    if not (pred x) then begin
+      Array.unsafe_set t.items !kept x;
+      incr kept
+    end
+  done;
+  let removed = t.count - !kept in
+  (* Drop trailing references so the GC can reclaim removed elements. *)
+  for i = !kept to t.count - 1 do
+    Array.unsafe_set t.items i (Obj.magic 0)
+  done;
+  t.count <- !kept;
+  removed
+
+let remove_at t i =
+  check t i;
+  Array.blit t.items (i + 1) t.items i (t.count - i - 1);
+  t.count <- t.count - 1;
+  Array.unsafe_set t.items t.count (Obj.magic 0)
+
+let clear t =
+  for i = 0 to t.count - 1 do
+    Array.unsafe_set t.items i (Obj.magic 0)
+  done;
+  t.count <- 0
+
+let to_array t = Array.sub t.items 0 t.count
+
+let of_array arr = { items = Array.copy arr; count = Array.length arr }

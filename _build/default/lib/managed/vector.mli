@@ -1,0 +1,32 @@
+(** Growable array of boxed elements — the analogue of C#'s [List<T>], the
+    paper's fastest (but not thread-safe) managed baseline. Elements live on
+    the OCaml heap and are traced by the garbage collector, which is exactly
+    the overhead self-managed collections avoid. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+
+val add : 'a t -> 'a -> unit
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+
+val iter : 'a t -> f:('a -> unit) -> unit
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b
+
+val remove_bulk : 'a t -> pred:('a -> bool) -> int
+(** Removes all elements satisfying [pred] in a single compacting pass
+    (preserving order, like repeated [List<T>.Remove] but batched the way
+    the paper's refresh streams batch removals); returns the number
+    removed. *)
+
+val remove_at : 'a t -> int -> unit
+(** Shifting removal, like [List<T>.RemoveAt]. O(n). *)
+
+val clear : 'a t -> unit
+val to_array : 'a t -> 'a array
+val of_array : 'a array -> 'a t

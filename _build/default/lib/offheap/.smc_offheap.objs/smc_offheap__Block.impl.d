@@ -1,0 +1,1 @@
+lib/offheap/block.ml: Array Atomic Bigarray Bytes Char Constants Int64 Layout String

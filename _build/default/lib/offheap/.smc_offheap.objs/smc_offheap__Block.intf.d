@@ -1,0 +1,1 @@
+lib/offheap/block.mli: Atomic Bigarray Layout

@@ -1,0 +1,1 @@
+lib/offheap/compaction.ml: Array Atomic Bigarray Block Constants Context Domain Epoch Fun Hashtbl Indirection Layout List Mutex Registry Runtime Unix

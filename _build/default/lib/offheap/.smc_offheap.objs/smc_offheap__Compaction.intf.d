@@ -1,0 +1,1 @@
+lib/offheap/compaction.mli: Atomic Context Domain

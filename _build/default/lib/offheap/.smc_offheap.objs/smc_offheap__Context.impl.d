@@ -1,0 +1,1 @@
+lib/offheap/context.ml: Array Atomic Bigarray Block Constants Domain Epoch Fun Indirection Layout List Mutex Registry Runtime

@@ -1,0 +1,1 @@
+lib/offheap/context.mli: Atomic Block Layout Mutex Runtime

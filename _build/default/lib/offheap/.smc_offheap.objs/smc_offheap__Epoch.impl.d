@@ -1,0 +1,1 @@
+lib/offheap/epoch.ml: Array Atomic Domain

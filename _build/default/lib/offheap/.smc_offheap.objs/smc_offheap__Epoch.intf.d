@@ -1,0 +1,1 @@
+lib/offheap/epoch.mli:

@@ -1,0 +1,1 @@
+lib/offheap/indirection.ml: Array Atomic Bigarray Constants Fun Mutex

@@ -1,0 +1,1 @@
+lib/offheap/indirection.mli:

@@ -1,0 +1,1 @@
+lib/offheap/layout.ml: Array Hashtbl List String

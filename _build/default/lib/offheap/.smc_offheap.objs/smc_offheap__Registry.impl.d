@@ -1,0 +1,1 @@
+lib/offheap/registry.ml: Array Atomic Bigarray Block Constants Fun Layout Mutex Printf

@@ -1,0 +1,1 @@
+lib/offheap/registry.mli: Block

@@ -1,0 +1,1 @@
+lib/offheap/runtime.ml: Atomic Constants Epoch Indirection Registry Smc_util

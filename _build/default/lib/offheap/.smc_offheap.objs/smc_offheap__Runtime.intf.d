@@ -1,0 +1,1 @@
+lib/offheap/runtime.mli: Atomic Epoch Indirection Registry Smc_util

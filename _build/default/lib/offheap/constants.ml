@@ -1,0 +1,78 @@
+(* Shared bit-level encodings for the manual memory manager.
+
+   Incarnation words (stored in the indirection table in indirect mode, in
+   the block's slot-incarnation plane in direct mode) reserve three high bits
+   for the compaction/direct-pointer protocol of §5 and §6 of the paper:
+
+     bit 60  forward   - slot is a tombstone; follow the back-pointer
+     bit 59  lock      - relocation in progress on this object
+     bit 58  frozen    - object scheduled for relocation this epoch
+
+   References carry the low 31 bits of the incarnation so a reference plus
+   incarnation packs into a single OCaml int (63 bits) both for indirect
+   references (entry index + inc) and direct references (block + slot + inc).
+*)
+
+exception Null_reference
+(* Raised when dereferencing a reference whose object has been removed from
+   its collection — the paper's NullReferenceException semantics. *)
+
+let frozen_bit = 1 lsl 58
+let lock_bit = 1 lsl 59
+let forward_bit = 1 lsl 60
+let flags_mask = frozen_bit lor lock_bit lor forward_bit
+
+let inc_bits = 31
+let inc_mask = (1 lsl inc_bits) - 1
+
+(* Indirect reference packing: [entry:31][inc:31]. *)
+let packed_entry_shift = inc_bits
+let null_ref = -1
+
+let pack_ref ~entry ~inc = (entry lsl packed_entry_shift) lor (inc land inc_mask)
+let ref_entry r = r lsr packed_entry_shift
+let ref_inc r = r land inc_mask
+
+(* Direct reference packing: [block:20][slot:16][inc:27]. *)
+let direct_inc_bits = 27
+let direct_inc_mask = (1 lsl direct_inc_bits) - 1
+let direct_slot_bits = 16
+let direct_slot_mask = (1 lsl direct_slot_bits) - 1
+let max_direct_slots = 1 lsl direct_slot_bits
+let max_direct_blocks = 1 lsl 20
+
+let pack_direct ~block ~slot ~inc =
+  (block lsl (direct_slot_bits + direct_inc_bits))
+  lor (slot lsl direct_inc_bits)
+  lor (inc land direct_inc_mask)
+
+let direct_block r = r lsr (direct_slot_bits + direct_inc_bits)
+let direct_slot r = (r lsr direct_inc_bits) land direct_slot_mask
+let direct_inc r = r land direct_inc_mask
+
+(* Indirection-table pointer packing: [block:30][slot:20]. The paper stores a
+   raw address for row layouts and block+slot identifiers for columnar
+   layouts (§4.1); in OCaml a raw address is not addressable, so block+slot
+   is the uniform pointer representation. *)
+let ptr_slot_bits = 20
+let ptr_slot_mask = (1 lsl ptr_slot_bits) - 1
+let pack_ptr ~block ~slot = (block lsl ptr_slot_bits) lor slot
+let ptr_block p = p lsr ptr_slot_bits
+let ptr_slot p = p land ptr_slot_mask
+
+(* Slot-directory states, 2 low bits; the rest of the word is the removal
+   epoch stamp for limbo slots (§3.5). *)
+let state_free = 0
+let state_valid = 1
+let state_limbo = 2
+
+let state_quarantined = 3
+(* §3.1: if an incarnation number would overflow its reference-visible
+   width, the slot stops being reused ("we stop reusing these memory slots
+   until a background thread has scanned all manually managed objects") —
+   quarantined slots are permanently skipped by the allocator. *)
+let state_bits = 2
+let state_mask = (1 lsl state_bits) - 1
+let dir_entry ~state ~stamp = (stamp lsl state_bits) lor state
+let dir_state e = e land state_mask
+let dir_stamp e = e lsr state_bits

@@ -1,0 +1,529 @@
+open Constants
+
+type mode = Indirect | Direct
+
+(* One immutable snapshot of the context's block list. Mutators publish a
+   fresh view record under the context lock; enumerators read the field
+   once and work off a consistent (array, count) pair even while appends or
+   pruning run concurrently. Appends may reuse the array (slots beyond
+   [v_n] are invisible to holders of the old view); pruning always builds a
+   fresh array. *)
+type view = { v_blocks : Block.t array; v_n : int }
+
+type t = {
+  id : int;
+  rt : Runtime.t;
+  layout : Layout.t;
+  placement : Block.placement;
+  mode : mode;
+  slots_per_block : int;
+  reclaim_threshold : float;
+  lock : Mutex.t;
+  mutable view : view;
+  mutable reclaim_queue : Block.t list;
+  local_block : Block.t option array;
+  mutable direct_referrers : (t * Layout.field) list;
+  compaction_requested : bool Atomic.t;
+}
+
+let max_threads = 128
+
+let create rt ~layout ?(placement = Block.Row) ?(mode = Indirect) ?(slots_per_block = 4096)
+    ?(reclaim_threshold = 0.05) () =
+  if slots_per_block > Constants.max_direct_slots then
+    invalid_arg "Context.create: slots_per_block too large";
+  {
+    id = Atomic.fetch_and_add rt.Runtime.next_context_id 1;
+    rt;
+    layout;
+    placement;
+    mode;
+    slots_per_block;
+    reclaim_threshold;
+    lock = Mutex.create ();
+    view = { v_blocks = [||]; v_n = 0 };
+    reclaim_queue = [];
+    local_block = Array.make max_threads None;
+    direct_referrers = [];
+    compaction_requested = Atomic.make false;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let append_block_locked t blk =
+  let { v_blocks; v_n } = t.view in
+  let v_blocks =
+    if v_n = Array.length v_blocks then begin
+      let next = Array.make (max 8 (2 * Array.length v_blocks)) blk in
+      Array.blit v_blocks 0 next 0 v_n;
+      next
+    end
+    else v_blocks
+  in
+  v_blocks.(v_n) <- blk;
+  t.view <- { v_blocks; v_n = v_n + 1 }
+
+let new_block_unpublished t =
+  Registry.register t.rt.Runtime.registry (fun ~id ->
+      Block.create ~id ~layout:t.layout ~placement:t.placement ~nslots:t.slots_per_block)
+
+let publish_block t blk = with_lock t (fun () -> append_block_locked t blk)
+
+let fresh_block t =
+  let blk = new_block_unpublished t in
+  publish_block t blk;
+  blk
+
+(* Pop the oldest ready block from the reclamation queue; when blocks are
+   queued but not yet ready, nudge the global epoch (§3.5: lazy advance from
+   the allocation function). *)
+let pop_reclaimable t =
+  let epoch = t.rt.Runtime.epoch in
+  with_lock t (fun () ->
+      match t.reclaim_queue with
+      | [] -> None
+      | head :: rest ->
+        if head.Block.dead then begin
+          head.Block.queued <- false;
+          t.reclaim_queue <- rest;
+          None
+        end
+        else if Epoch.global epoch >= head.Block.queued_ready then begin
+          head.Block.queued <- false;
+          t.reclaim_queue <- rest;
+          Some head
+        end
+        else begin
+          ignore (Epoch.try_advance epoch : bool);
+          None
+        end)
+
+let acquire_block t tid =
+  let blk =
+    match pop_reclaimable t with
+    | Some blk -> blk
+    | None -> fresh_block t
+  in
+  blk.Block.owner_tid <- tid;
+  blk.Block.scan_pos <- 0;
+  blk
+
+let maybe_queue t blk =
+  (* Queue blocks whose limbo fraction crossed the reclamation threshold so
+     their memory is recycled two epochs on (§3.5). *)
+  let limbo = Atomic.get blk.Block.limbo_count in
+  if
+    (not blk.Block.queued) && (not blk.Block.dead) && blk.Block.group = None
+    && blk.Block.owner_tid < 0
+    && float_of_int limbo /. float_of_int blk.Block.nslots > t.reclaim_threshold
+  then
+    with_lock t (fun () ->
+        if (not blk.Block.queued) && not blk.Block.dead then begin
+          blk.Block.queued <- true;
+          blk.Block.queued_ready <- Epoch.global t.rt.Runtime.epoch + 2;
+          t.reclaim_queue <- t.reclaim_queue @ [ blk ]
+        end)
+
+let release_local t tid blk =
+  blk.Block.owner_tid <- -1;
+  t.local_block.(tid) <- None;
+  maybe_queue t blk
+
+(* Scan the slot directory from the last allocation position for a free slot
+   or a reclaimable limbo slot (§3.5). *)
+let scan_for_slot t tid blk =
+  let epoch = t.rt.Runtime.epoch in
+  let ind = t.rt.Runtime.ind in
+  let n = blk.Block.nslots in
+  let rec go remaining pos =
+    if remaining = 0 then None
+    else begin
+      let pos = if pos >= n then 0 else pos in
+      let entry = Block.dir_entry blk pos in
+      let state = dir_state entry in
+      if state = state_free then begin
+        blk.Block.scan_pos <- pos + 1;
+        Some pos
+      end
+      else if state = state_limbo && Epoch.can_reclaim epoch ~stamp:(dir_stamp entry) then begin
+        (* Grace period passed: recycle the slot and its indirection entry.
+           Stale references already fail the incarnation check. *)
+        let old_entry = Bigarray.Array1.unsafe_get blk.Block.backptr pos in
+        if old_entry >= 0 then Indirection.free ind ~tid old_entry;
+        Bigarray.Array1.unsafe_set blk.Block.backptr pos Constants.null_ref;
+        ignore (Atomic.fetch_and_add blk.Block.limbo_count (-1) : int);
+        blk.Block.scan_pos <- pos + 1;
+        Some pos
+      end
+      else go (remaining - 1) (pos + 1)
+    end
+  in
+  go n blk.Block.scan_pos
+
+let rec alloc t =
+  let tid = Runtime.tid t.rt in
+  let blk =
+    match t.local_block.(tid) with
+    | Some blk -> blk
+    | None ->
+      let blk = acquire_block t tid in
+      t.local_block.(tid) <- Some blk;
+      blk
+  in
+  match scan_for_slot t tid blk with
+  | None ->
+    release_local t tid blk;
+    alloc t
+  | Some slot ->
+    let ind = t.rt.Runtime.ind in
+    Block.clear_slot_words blk ~slot;
+    let entry = Indirection.alloc ind ~tid in
+    Indirection.set_ptr ind entry (pack_ptr ~block:blk.Block.id ~slot);
+    Bigarray.Array1.unsafe_set blk.Block.backptr slot entry;
+    Block.set_dir_entry blk slot (dir_entry ~state:state_valid ~stamp:0);
+    ignore (Atomic.fetch_and_add blk.Block.valid_count 1 : int);
+    let inc = Indirection.inc_word ind entry land inc_mask in
+    pack_ref ~entry ~inc
+
+(* Mark the slot limbo, stamped with the current global epoch — or
+   quarantine it permanently when its incarnation is about to exhaust the
+   reference-visible width (§3.1's overflow rule). *)
+let retire_slot t blk slot ~new_inc =
+  ignore (Atomic.fetch_and_add blk.Block.valid_count (-1) : int);
+  if new_inc land inc_mask >= t.rt.Runtime.inc_quarantine_limit then begin
+    Block.set_dir_entry blk slot (dir_entry ~state:state_quarantined ~stamp:0);
+    ignore (Atomic.fetch_and_add t.rt.Runtime.quarantined_slots 1 : int)
+  end
+  else begin
+    let epoch = Epoch.global t.rt.Runtime.epoch in
+    Block.set_dir_entry blk slot (dir_entry ~state:state_limbo ~stamp:epoch);
+    ignore (Atomic.fetch_and_add blk.Block.limbo_count 1 : int);
+    maybe_queue t blk
+  end
+
+(* Freeing a frozen object must tell the compactor: the relocation sweep
+   re-checks slot validity so a dead slot is not resurrected. *)
+let mark_reloc_failed blk slot =
+  match Block.find_reloc blk ~slot with
+  | None -> ()
+  | Some r -> if r.Block.status = Block.Pending then r.Block.status <- Block.Failed
+
+let free t packed =
+  if packed < 0 then false
+  else begin
+    let entry = ref_entry packed and inc = ref_inc packed in
+    let ind = t.rt.Runtime.ind in
+    Runtime.with_entry_lock t.rt entry (fun () ->
+        let w = Indirection.inc_word ind entry in
+        if w land inc_mask <> inc then false
+        else begin
+          let p = Indirection.ptr ind entry in
+          let blk = Registry.get t.rt.Runtime.registry (ptr_block p) in
+          let slot = ptr_slot p in
+          if w land frozen_bit <> 0 then mark_reloc_failed blk slot;
+          (* Bump the incarnation (clearing protocol flags): all outstanding
+             references now read as null. In direct mode the slot's own
+             incarnation word is kept in lockstep (§6 keeps it in the object
+             header). *)
+          let new_inc = ((w land lnot flags_mask) + 1) land lnot flags_mask in
+          Indirection.set_inc_word ind entry new_inc;
+          (match t.mode with
+          | Indirect -> ()
+          | Direct ->
+            let sw = Bigarray.Array1.unsafe_get blk.Block.slot_inc slot in
+            Bigarray.Array1.unsafe_set blk.Block.slot_inc slot
+              (((sw land lnot flags_mask) + 1) land lnot flags_mask));
+          retire_slot t blk slot ~new_inc;
+          true
+        end)
+  end
+
+(* Perform one relocation under the entry stripe lock: copy the object
+   words, publish the target slot, switch the indirection pointer, tombstone
+   the source in direct mode. Idempotent through the status field. Readers
+   in the moving phase run exactly this to help the compaction thread
+   (case (c) of §5.1). *)
+let perform_relocation t entry (r : Block.relocation) src =
+  let ind = t.rt.Runtime.ind in
+  if r.Block.status = Block.Pending then begin
+    let tgt = r.Block.target in
+    let dst_slot = r.Block.to_slot in
+    (* The paper sets the lock bit for the copy's duration; under the stripe
+       lock it is redundant but kept for protocol observability. *)
+    let w0 = Indirection.inc_word ind entry in
+    Indirection.set_inc_word ind entry (w0 lor lock_bit);
+    Block.copy_slot ~src ~src_slot:r.Block.from_slot ~dst:tgt ~dst_slot;
+    Bigarray.Array1.unsafe_set tgt.Block.backptr dst_slot entry;
+    (* Carry the slot incarnation over so stored direct references keep
+       matching after the move. *)
+    Bigarray.Array1.unsafe_set tgt.Block.slot_inc dst_slot
+      (Bigarray.Array1.unsafe_get src.Block.slot_inc r.Block.from_slot land lnot flags_mask);
+    Block.set_dir_entry tgt dst_slot (dir_entry ~state:state_valid ~stamp:0);
+    ignore (Atomic.fetch_and_add tgt.Block.valid_count 1 : int);
+    Indirection.set_ptr ind entry (pack_ptr ~block:tgt.Block.id ~slot:dst_slot);
+    (* Unfreeze/unlock; in direct mode the source slot becomes a tombstone
+       with the forwarding flag set in the same store (§6). *)
+    let w = Indirection.inc_word ind entry in
+    Indirection.set_inc_word ind entry (w land lnot (frozen_bit lor lock_bit));
+    (match t.mode with
+    | Indirect -> ()
+    | Direct ->
+      let sw = Bigarray.Array1.unsafe_get src.Block.slot_inc r.Block.from_slot in
+      Bigarray.Array1.unsafe_set src.Block.slot_inc r.Block.from_slot
+        ((sw land lnot (frozen_bit lor lock_bit)) lor forward_bit));
+    r.Block.status <- Block.Moved
+  end
+
+(* §5.1's dereference_object frozen path: distinguish the freezing epoch
+   (case a), the waiting phase (case b: bail the object out) and the moving
+   phase (case c: help relocate). *)
+let resolve_frozen t entry =
+  let rt = t.rt in
+  let ind = rt.Runtime.ind in
+  let here () =
+    let p = Indirection.ptr ind entry in
+    Some (Registry.get rt.Runtime.registry (ptr_block p), ptr_slot p)
+  in
+  if Epoch.local_epoch rt.Runtime.epoch <> Atomic.get rt.Runtime.next_relocation_epoch then
+    here ()
+  else if not (Atomic.get rt.Runtime.in_moving_phase) then begin
+    Runtime.with_entry_lock rt entry (fun () ->
+        let w = Indirection.inc_word ind entry in
+        if w land frozen_bit <> 0 then begin
+          let p = Indirection.ptr ind entry in
+          let blk = Registry.get rt.Runtime.registry (ptr_block p) in
+          mark_reloc_failed blk (ptr_slot p);
+          Indirection.set_inc_word ind entry (w land lnot frozen_bit)
+        end);
+    here ()
+  end
+  else begin
+    Runtime.with_entry_lock rt entry (fun () ->
+        let w = Indirection.inc_word ind entry in
+        if w land frozen_bit <> 0 then begin
+          let p = Indirection.ptr ind entry in
+          let blk = Registry.get rt.Runtime.registry (ptr_block p) in
+          let bail () =
+            mark_reloc_failed blk (ptr_slot p);
+            Indirection.set_inc_word ind entry (w land lnot frozen_bit)
+          in
+          match Block.find_reloc blk ~slot:(ptr_slot p) with
+          | Some r -> begin
+            (* Help only once the group has actually entered its moving
+               state; otherwise bail the object out as in the waiting
+               phase, keeping pre-relocation group reads consistent. *)
+            match blk.Block.group with
+            | Some g when Atomic.get g.Block.g_state = Block.group_moving ->
+              perform_relocation t entry r blk
+            | Some _ | None -> bail ()
+          end
+          | None -> bail ()
+        end);
+    here ()
+  end
+
+let resolve t packed =
+  if packed < 0 then None
+  else begin
+    let p = Indirection.live_ptr t.rt.Runtime.ind (ref_entry packed) (ref_inc packed) in
+    if p >= 0 then Some (Registry.get_fast t.rt.Runtime.registry (ptr_block p), ptr_slot p)
+    else if p = -1 then None
+    else resolve_frozen t (ref_entry packed)
+  end
+
+(* Stored SMC-to-SMC direct pointer resolution (§6): fast path is a single
+   masked comparison against the slot's incarnation word; tombstones forward
+   through the back-pointer; frozen slots fall back to the entry protocol. *)
+let resolve_direct t packed =
+  if packed < 0 then None
+  else begin
+    let registry = t.rt.Runtime.registry in
+    let inc = direct_inc packed in
+    let rec follow block_id slot hops =
+      if hops > 8 then None
+      else begin
+        let blk = Registry.get_fast registry block_id in
+        let w = Bigarray.Array1.unsafe_get blk.Block.slot_inc slot in
+        if w land (flags_mask lor direct_inc_mask) = inc then Some (blk, slot)
+        else if w land direct_inc_mask <> inc then None
+        else if w land forward_bit <> 0 then begin
+          let entry = Bigarray.Array1.unsafe_get blk.Block.backptr slot in
+          if entry < 0 then None
+          else begin
+            let p = Indirection.ptr t.rt.Runtime.ind entry in
+            follow (ptr_block p) (ptr_slot p) (hops + 1)
+          end
+        end
+        else begin
+          let entry = Bigarray.Array1.unsafe_get blk.Block.backptr slot in
+          if entry < 0 then None else resolve_frozen t entry
+        end
+      end
+    in
+    follow (direct_block packed) (direct_slot packed) 0
+  end
+
+(* Allocation-free resolution: returns a packed (block, slot) location, or
+   -1 when the object is gone. This is what the generated unsafe query code
+   uses on its hot join paths. *)
+let resolve_loc t packed =
+  if packed < 0 then -1
+  else begin
+    let p = Indirection.live_ptr t.rt.Runtime.ind (ref_entry packed) (ref_inc packed) in
+    if p >= -1 then p
+    else begin
+      match resolve_frozen t (ref_entry packed) with
+      | Some (blk, slot) -> pack_ptr ~block:blk.Block.id ~slot
+      | None -> -1
+    end
+  end
+
+let resolve_direct_loc t packed =
+  if packed < 0 then -1
+  else begin
+    let blk = Registry.get_fast t.rt.Runtime.registry (direct_block packed) in
+    let slot = direct_slot packed in
+    let w = Bigarray.Array1.unsafe_get blk.Block.slot_inc slot in
+    if w land (flags_mask lor direct_inc_mask) = direct_inc packed then
+      pack_ptr ~block:blk.Block.id ~slot
+    else begin
+      match resolve_direct t packed with
+      | Some (b, s) -> pack_ptr ~block:b.Block.id ~slot:s
+      | None -> -1
+    end
+  end
+
+let block_of_loc t loc = Registry.get_fast t.rt.Runtime.registry (ptr_block loc)
+
+let direct_ref_of t packed =
+  match resolve t packed with
+  | None -> Constants.null_ref
+  | Some (blk, slot) ->
+    let inc = Bigarray.Array1.unsafe_get blk.Block.slot_inc slot land direct_inc_mask in
+    pack_direct ~block:blk.Block.id ~slot ~inc
+
+let indirect_ref_of_slot t blk slot =
+  let entry = Bigarray.Array1.unsafe_get blk.Block.backptr slot in
+  if entry < 0 then Constants.null_ref
+  else begin
+    let inc = Indirection.inc_word t.rt.Runtime.ind entry land inc_mask in
+    pack_ref ~entry ~inc
+  end
+
+let scan_block blk ~f =
+  let n = blk.Block.nslots in
+  for slot = 0 to n - 1 do
+    if Constants.dir_state (Bigarray.Array1.unsafe_get blk.Block.dir slot) = state_valid then
+      f blk slot
+  done
+
+(* Block-access protocol of §5.2: the first time an enumeration meets any
+   member of a compaction group it processes the whole group — either
+   pre-relocation under the group's query counter (waiting phase) or
+   post-relocation from the target block. Later members of a handled group
+   are skipped. An aborted group reverts to plain source scanning. *)
+let handle_group g ~processed ~scan =
+  if List.memq g !processed then ()
+  else begin
+    processed := g :: !processed;
+    let scan_sources () = Array.iter scan g.Block.sources in
+    let rec attempt () =
+      let state = Atomic.get g.Block.g_state in
+      if state = Block.group_done then scan g.Block.g_target
+      else if state = Block.group_moving then begin
+        let rec wait () =
+          let s = Atomic.get g.Block.g_state in
+          if s = Block.group_moving then begin
+            Domain.cpu_relax ();
+            wait ()
+          end
+          else s
+        in
+        if wait () = Block.group_done then scan g.Block.g_target else scan_sources ()
+      end
+      else if state = Block.group_pending then begin
+        ignore (Atomic.fetch_and_add g.Block.g_queries 1 : int);
+        if Atomic.get g.Block.g_state <> Block.group_pending then begin
+          ignore (Atomic.fetch_and_add g.Block.g_queries (-1) : int);
+          attempt ()
+        end
+        else
+          Fun.protect
+            ~finally:(fun () -> ignore (Atomic.fetch_and_add g.Block.g_queries (-1) : int))
+            scan_sources
+      end
+      else scan_sources () (* aborted *)
+    in
+    attempt ()
+  end
+
+(* [wrap] delimits each independently-consistent unit of the enumeration: a
+   single live block, or a whole compaction group (whose members must be
+   processed in the same thread-local epoch, §5.2). *)
+let iter_blocks_scanned ?(wrap = fun f -> f ()) t ~scan =
+  let { v_blocks = blocks; v_n = n } = t.view in
+  let processed = ref [] in
+  for i = 0 to n - 1 do
+    let blk = blocks.(i) in
+    match blk.Block.group with
+    | Some g ->
+      if not (List.memq g !processed) then wrap (fun () -> handle_group g ~processed ~scan)
+    | None -> if not blk.Block.dead then wrap (fun () -> scan blk)
+  done
+
+let iter_valid t ~f = iter_blocks_scanned t ~scan:(fun blk -> scan_block blk ~f)
+
+(* §4: the query compiler chooses the critical-section granularity — the
+   whole query (default; allows holding raw pointers in intermediates) or a
+   single memory block (shorter grace periods, so the memory manager can
+   advance epochs and reclaim concurrently with long enumerations). Each
+   block — or whole compaction group — is scanned in its own critical
+   section here. *)
+let iter_valid_per_block t ~f =
+  let epoch = t.rt.Runtime.epoch in
+  let wrap body =
+    Epoch.enter_critical epoch;
+    Fun.protect ~finally:(fun () -> Epoch.exit_critical epoch) body
+  in
+  iter_blocks_scanned ~wrap t ~scan:(fun blk -> scan_block blk ~f)
+
+(* Block-hoisted enumeration: [on_block] runs once per block and returns the
+   per-slot body, so generated-style query code can hoist the block's raw
+   data array, placement arithmetic and field offsets out of the loop —
+   direct pointer access into the block, as in the paper's §4 listing. *)
+let iter_valid_hoisted t ~on_block =
+  iter_blocks_scanned t ~scan:(fun blk ->
+      let body = on_block blk in
+      let dir = blk.Block.dir in
+      let n = blk.Block.nslots in
+      for slot = 0 to n - 1 do
+        if Constants.dir_state (Bigarray.Array1.unsafe_get dir slot) = state_valid then
+          body slot
+      done)
+
+let add_direct_referrer t ~from field =
+  with_lock t (fun () -> t.direct_referrers <- (from, field) :: t.direct_referrers)
+
+let fold_live_blocks t ~init ~f =
+  let { v_blocks = blocks; v_n = n } = t.view in
+  let acc = ref init in
+  for i = 0 to n - 1 do
+    let blk = blocks.(i) in
+    if not blk.Block.dead then acc := f !acc blk
+  done;
+  !acc
+
+let valid_count t =
+  fold_live_blocks t ~init:0 ~f:(fun acc blk -> acc + Atomic.get blk.Block.valid_count)
+
+let block_count t = fold_live_blocks t ~init:0 ~f:(fun acc _ -> acc + 1)
+
+let off_heap_words t =
+  fold_live_blocks t ~init:0 ~f:(fun acc blk -> acc + Block.off_heap_words blk)
+
+let stats_limbo t =
+  fold_live_blocks t ~init:0 ~f:(fun acc blk -> acc + Atomic.get blk.Block.limbo_count)
+
+let request_compaction t = Atomic.set t.compaction_requested true

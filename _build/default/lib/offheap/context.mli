@@ -1,0 +1,143 @@
+(** Memory contexts (§3.3, §3.5 of the paper).
+
+    A context owns the set of same-type blocks backing one collection. All
+    allocations for the collection go to the context's blocks, giving the
+    spatial locality that makes block-order enumeration fast. Allocation is
+    from thread-local blocks (one allocating thread per block at a time;
+    removals may be concurrent). Freed slots become limbo slots stamped with
+    the removal epoch; once a block's limbo fraction exceeds the reclamation
+    threshold it enters the reclamation queue with a ready-epoch of
+    [removal epoch + 2], and the allocator recycles it as a thread-local
+    block when that epoch is reached — trying to advance the global epoch
+    when reclaimable blocks are stuck waiting, exactly as §3.5 prescribes.
+
+    References handed to the application are always indirect
+    ({!Constants.pack_ref}: indirection entry + incarnation). In [Direct]
+    mode (§6) the per-slot incarnation plane is maintained in lockstep and
+    SMC-to-SMC ref fields store packed direct pointers
+    ({!Constants.pack_direct}) resolved against the slot's incarnation word,
+    with tombstone forwarding after compaction.
+
+    The context also implements the block-access side of compaction (§5.2):
+    enumeration processes all blocks of a compaction group consecutively,
+    either pre-relocation (holding the group's query counter as a read lock)
+    or post-relocation (reading the target block). *)
+
+type mode = Indirect | Direct
+
+type view = { v_blocks : Block.t array; v_n : int }
+
+type t = {
+  id : int;
+  rt : Runtime.t;
+  layout : Layout.t;
+  placement : Block.placement;
+  mode : mode;
+  slots_per_block : int;
+  reclaim_threshold : float;
+  lock : Mutex.t;  (** protects view publication and the reclamation queue *)
+  mutable view : view;
+      (** atomically-published snapshot of the block list; read it once and
+          iterate the pair — mutators never disturb a published view *)
+  mutable reclaim_queue : Block.t list;  (** oldest first *)
+  local_block : Block.t option array;  (** per thread slot *)
+  mutable direct_referrers : (t * Layout.field) list;
+      (** contexts holding direct references into this one (§6 fixup) *)
+  compaction_requested : bool Atomic.t;
+}
+
+val create :
+  Runtime.t ->
+  layout:Layout.t ->
+  ?placement:Block.placement ->
+  ?mode:mode ->
+  ?slots_per_block:int ->
+  ?reclaim_threshold:float ->
+  unit ->
+  t
+(** Defaults: [Row] placement, [Indirect] mode, 4096 slots per block,
+    0.05 reclamation threshold (the paper's pick from Figure 6). *)
+
+val alloc : t -> int
+(** Allocates a slot, wires its indirection entry and back-pointer, zeroes
+    the object words and returns a packed indirect reference. The caller
+    (the collection layer's [add]) initialises fields through it. *)
+
+val free : t -> int -> bool
+(** Frees the object behind a packed indirect reference: bumps the
+    incarnation(s) so all outstanding references read as null, marks the
+    slot limbo with the current epoch, and queues the block for reclamation
+    when it crosses the threshold. Returns [false] if the reference was
+    already dead. Safe concurrently with enumeration and allocation. *)
+
+val resolve : t -> int -> (Block.t * int) option
+(** Current (block, slot) behind a packed indirect reference, or [None] if
+    removed. Handles the frozen/relocation cases of §5.1 (bail-out in the
+    waiting phase, helping in the moving phase). Call inside a critical
+    section. *)
+
+val resolve_direct : t -> int -> (Block.t * int) option
+(** Same for a stored packed direct pointer (§6), including tombstone
+    forwarding. [t] is the referenced (target) context. *)
+
+val direct_ref_of : t -> int -> int
+(** Converts an indirect reference into the packed direct pointer stored in
+    SMC-to-SMC ref fields; {!Constants.null_ref} if the object is gone. *)
+
+val indirect_ref_of_slot : t -> Block.t -> int -> int
+(** Builds the application-level reference for a slot reached by block
+    enumeration (via the back-pointer, as the paper's generated query code
+    does when yielding [ObjRef]s). *)
+
+val iter_valid : t -> f:(Block.t -> int -> unit) -> unit
+(** Enumerates every valid slot block-by-block, honouring the compaction
+    group protocol. Call inside a critical section. Bag semantics: objects
+    added or removed concurrently may or may not be observed. *)
+
+val iter_valid_per_block : t -> f:(Block.t -> int -> unit) -> unit
+(** Like {!iter_valid} but entering a fresh critical section per block (per
+    compaction group where one exists) — §4's other critical-section
+    granularity, which keeps grace periods short during long enumerations.
+    Must be called {e outside} any critical section. *)
+
+val iter_valid_hoisted : t -> on_block:(Block.t -> int -> unit) -> unit
+(** Like {!iter_valid}, but [on_block] runs once per block and returns the
+    per-slot body — query code hoists raw block state out of the slot loop
+    (the paper's direct block access). *)
+
+val resolve_loc : t -> int -> int
+(** Allocation-free {!resolve}: packed (block, slot) per
+    {!Constants.pack_ptr}, or -1 when the object is gone. *)
+
+val resolve_direct_loc : t -> int -> int
+(** Allocation-free {!resolve_direct}. *)
+
+val block_of_loc : t -> int -> Block.t
+(** Block record for a location returned by {!resolve_loc}. *)
+
+val add_direct_referrer : t -> from:t -> Layout.field -> unit
+(** Declares that [from]'s field holds direct references into [t], so
+    compaction of [t] knows which contexts to scan for pointer fixup. *)
+
+val perform_relocation : t -> int -> Block.relocation -> Block.t -> unit
+(** Moves one object to its relocation target; idempotent; must hold the
+    entry's stripe lock. Exposed for the compaction driver. *)
+
+val mark_reloc_failed : Block.t -> int -> unit
+(** Marks a slot's pending relocation failed (bail-out path). *)
+
+val valid_count : t -> int
+val block_count : t -> int
+val off_heap_words : t -> int
+val stats_limbo : t -> int
+
+val request_compaction : t -> unit
+
+val fresh_block : t -> Block.t
+(** Creates and publishes a block (visible to enumerators immediately). *)
+
+val new_block_unpublished : t -> Block.t
+(** Creates a block registered globally but not yet visible to enumeration;
+    compaction targets are published only once their group exists. *)
+
+val publish_block : t -> Block.t -> unit

@@ -1,0 +1,109 @@
+type slot = {
+  epoch : int Atomic.t;
+  in_critical : bool Atomic.t;
+  mutable depth : int; (* nesting depth, domain-local *)
+}
+
+type t = {
+  global_epoch : int Atomic.t;
+  slots : slot array;
+  next_thread : int Atomic.t;
+  key : int option ref Domain.DLS.key;
+}
+
+let create ?(max_threads = 128) () =
+  {
+    global_epoch = Atomic.make 0;
+    slots =
+      Array.init max_threads (fun _ ->
+          { epoch = Atomic.make 0; in_critical = Atomic.make false; depth = 0 });
+    next_thread = Atomic.make 0;
+    key = Domain.DLS.new_key (fun () -> ref None);
+  }
+
+let global t = Atomic.get t.global_epoch
+
+let thread_id t =
+  let cell = Domain.DLS.get t.key in
+  match !cell with
+  | Some id -> id
+  | None ->
+    let id = Atomic.fetch_and_add t.next_thread 1 in
+    if id >= Array.length t.slots then failwith "Epoch: too many threads";
+    cell := Some id;
+    id
+
+let my_slot t = t.slots.(thread_id t)
+
+(* Atomic.set/get carry the fences the paper's enter/exit pseudocode inserts
+   explicitly around the session-context updates. *)
+let enter_critical t =
+  let s = my_slot t in
+  if s.depth = 0 then begin
+    Atomic.set s.epoch (Atomic.get t.global_epoch);
+    Atomic.set s.in_critical true
+  end;
+  s.depth <- s.depth + 1
+
+let exit_critical t =
+  let s = my_slot t in
+  if s.depth <= 0 then invalid_arg "Epoch.exit_critical: not in a critical section";
+  s.depth <- s.depth - 1;
+  if s.depth = 0 then Atomic.set s.in_critical false
+
+let in_critical t = (my_slot t).depth > 0
+
+let local_epoch t = Atomic.get (my_slot t).epoch
+
+let refresh_local t =
+  let s = my_slot t in
+  Atomic.set s.epoch (Atomic.get t.global_epoch)
+
+let all_reached t epoch =
+  let n = min (Atomic.get t.next_thread) (Array.length t.slots) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let s = t.slots.(i) in
+    if Atomic.get s.in_critical && Atomic.get s.epoch < epoch then ok := false
+  done;
+  !ok
+
+let try_advance t =
+  let e = Atomic.get t.global_epoch in
+  all_reached t e && Atomic.compare_and_set t.global_epoch e (e + 1)
+
+let advance_until t ~target ~max_spins =
+  let rec go spins =
+    if Atomic.get t.global_epoch >= target then true
+    else if spins >= max_spins then false
+    else begin
+      ignore (try_advance t : bool);
+      Domain.cpu_relax ();
+      go (spins + 1)
+    end
+  in
+  go 0
+
+let can_reclaim t ~stamp = Atomic.get t.global_epoch >= stamp + 2
+
+let all_reached_except t epoch except =
+  let n = min (Atomic.get t.next_thread) (Array.length t.slots) in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if i <> except then begin
+      let s = t.slots.(i) in
+      if Atomic.get s.in_critical && Atomic.get s.epoch < epoch then ok := false
+    end
+  done;
+  !ok
+
+let wait_all_reached t ?(except = -1) ~epoch ~max_spins () =
+  let rec go spins =
+    if all_reached_except t epoch except then true
+    else if spins >= max_spins then false
+    else begin
+      Domain.cpu_relax ();
+      go (spins + 1)
+    end
+  in
+  go 0

@@ -1,0 +1,60 @@
+(** Epoch-based memory reclamation (§3.4 of the paper).
+
+    The system maintains a global epoch (a continuous counter, unlike
+    Fraser's modulo-3 scheme — as the paper specifies) and a per-thread slot
+    holding the thread-local epoch and an in-critical flag. Threads access
+    off-heap objects only inside critical sections (grace periods); memory
+    freed in epoch [e] may be reclaimed once the global epoch reaches
+    [e + 2], because by then no thread can still be running a critical
+    section that started in epoch [e].
+
+    Epoch advancement is lazy: it is attempted from the allocator when
+    reclaimable blocks are waiting (§3.5), never on critical-section exit.
+
+    Critical sections nest; only the outermost enter/exit touch the shared
+    slot, which is how queries amortise fence costs over whole block scans
+    (§4). Threads are OCaml domains; each domain auto-registers a slot on
+    first use via domain-local state. *)
+
+type t
+
+val create : ?max_threads:int -> unit -> t
+(** [max_threads] bounds concurrently registered domains (default 128). *)
+
+val global : t -> int
+(** Current global epoch. *)
+
+val thread_id : t -> int
+(** Registers the calling domain if needed and returns its slot index. *)
+
+val enter_critical : t -> unit
+val exit_critical : t -> unit
+
+val in_critical : t -> bool
+(** Whether the calling domain currently holds a critical section. *)
+
+val local_epoch : t -> int
+(** The calling domain's thread-local epoch (last observed global epoch). *)
+
+val refresh_local : t -> unit
+(** Re-reads the global epoch into the local slot without leaving the
+    critical section. Used by the compaction thread to cross epochs while
+    keeping other threads from advancing past it. *)
+
+val try_advance : t -> bool
+(** Attempts to increment the global epoch; succeeds iff every in-critical
+    thread has observed the current global epoch. *)
+
+val advance_until : t -> target:int -> max_spins:int -> bool
+(** Repeatedly tries to advance until [global >= target]; gives up after
+    [max_spins] failed rounds. Used in tests and the compaction driver. *)
+
+val can_reclaim : t -> stamp:int -> bool
+(** Whether memory freed at epoch [stamp] is safe to reuse
+    ([global >= stamp + 2]). *)
+
+val wait_all_reached : t -> ?except:int -> epoch:int -> max_spins:int -> unit -> bool
+(** Spins until every in-critical thread's local epoch is at least [epoch];
+    [false] on timeout. Compaction uses this at phase boundaries (§5.1),
+    passing its own thread slot as [except] — the compaction thread
+    deliberately trails one epoch behind to keep control of advancement. *)

@@ -1,0 +1,64 @@
+type field_type =
+  | Int
+  | Dec
+  | Date
+  | Bool
+  | Float
+  | Str of int
+  | Ref of string
+
+type field = {
+  name : string;
+  ftype : field_type;
+  index : int;
+  word : int;
+  words : int;
+}
+
+type t = {
+  type_name : string;
+  fields : field array;
+  slot_words : int;
+}
+
+(* Strings pack 7 bytes per word: an OCaml int is 63 bits wide, so a full
+   8-byte payload would lose the top bit. *)
+let str_bytes_per_word = 7
+
+let words_of_type = function
+  | Int | Dec | Date | Bool | Float | Ref _ -> 1
+  | Str n ->
+    if n <= 0 then invalid_arg "Layout: string capacity must be positive";
+    (n + str_bytes_per_word - 1) / str_bytes_per_word
+
+let create ~name spec =
+  if spec = [] then invalid_arg "Layout.create: no fields";
+  let seen = Hashtbl.create 16 in
+  let offset = ref 0 in
+  let fields =
+    List.mapi
+      (fun index (fname, ftype) ->
+        if Hashtbl.mem seen fname then
+          invalid_arg ("Layout.create: duplicate field " ^ fname);
+        Hashtbl.add seen fname ();
+        let words = words_of_type ftype in
+        let field = { name = fname; ftype; index; word = !offset; words } in
+        offset := !offset + words;
+        field)
+      spec
+  in
+  { type_name = name; fields = Array.of_list fields; slot_words = !offset }
+
+let field_opt t fname =
+  Array.find_opt (fun f -> String.equal f.name fname) t.fields
+
+let field t fname =
+  match field_opt t fname with
+  | Some f -> f
+  | None -> raise Not_found
+
+let str_capacity f =
+  match f.ftype with
+  | Str n -> n
+  | Int | Dec | Date | Bool | Float | Ref _ ->
+    invalid_arg ("Layout.str_capacity: " ^ f.name ^ " is not a string field")

@@ -1,0 +1,69 @@
+(* A retired or unknown id resolves to the shared sentinel block, letting the
+   hot path use an unchecked array load with no option boxing. *)
+
+let sentinel_layout = Layout.create ~name:"__retired__" [ ("pad", Layout.Int) ]
+
+type t = {
+  sentinel : Block.t;
+  mutable blocks : Block.t array; (* grow-only snapshots *)
+  next : int Atomic.t;
+  lock : Mutex.t;
+}
+
+(* The sentinel spans the whole addressable slot range so resolving any
+   stale packed pointer stays in bounds; its slot incarnations carry the
+   forward flag with a null back-pointer, so every resolution attempt
+   cleanly reads as "object gone". *)
+let make_sentinel () =
+  let b =
+    Block.create ~id:0 ~layout:sentinel_layout ~placement:Block.Row
+      ~nslots:Constants.max_direct_slots
+  in
+  b.Block.dead <- true;
+  Bigarray.Array1.fill b.Block.slot_inc Constants.forward_bit;
+  b
+
+let create () =
+  let sentinel = make_sentinel () in
+  {
+    sentinel;
+    blocks = Array.make 1024 sentinel;
+    next = Atomic.make 0;
+    lock = Mutex.create ();
+  }
+
+let ensure t id =
+  if id >= Array.length t.blocks then begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        if id >= Array.length t.blocks then begin
+          let next = Array.make (max (2 * Array.length t.blocks) (id + 1)) t.sentinel in
+          Array.blit t.blocks 0 next 0 (Array.length t.blocks);
+          t.blocks <- next
+        end)
+  end
+
+let register t build =
+  let id = Atomic.fetch_and_add t.next 1 in
+  ensure t id;
+  let block = build ~id in
+  (* Publication: the array cell write is the linearisation point; readers
+     resolve ids only from references created after this store. *)
+  t.blocks.(id) <- block;
+  block
+
+let get_fast t id = Array.unsafe_get t.blocks id
+
+let get t id =
+  if id < 0 || id >= Array.length t.blocks then
+    invalid_arg (Printf.sprintf "Registry.get: unknown block %d" id);
+  let b = t.blocks.(id) in
+  if b == t.sentinel then
+    invalid_arg (Printf.sprintf "Registry.get: unknown block %d" id);
+  b
+
+let retire t id = if id < Array.length t.blocks then t.blocks.(id) <- t.sentinel
+
+let count t = Atomic.get t.next

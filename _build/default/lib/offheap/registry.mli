@@ -1,0 +1,28 @@
+(** Global block registry: maps block identifiers to blocks.
+
+    The paper derives a block's header address from an object pointer by
+    aligning blocks to their size; OCaml cannot cast addresses, so packed
+    pointers carry a block id resolved through this table (this is exactly
+    the representation the paper already uses for columnar layouts, §4.1).
+    The table is grow-only and lock-free to read. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> (id:int -> Block.t) -> Block.t
+(** Allocates the next block id, builds the block with it, publishes it. *)
+
+val get : t -> int -> Block.t
+(** Raises [Invalid_argument] for an unknown or retired id. *)
+
+val get_fast : t -> int -> Block.t
+(** Unchecked resolution for ids coming from validated references; retired
+    ids yield a shared dead sentinel block (whose slots are never valid). *)
+
+val retire : t -> int -> unit
+(** Drops the mapping so the block's memory can be released (after
+    compaction has emptied it and all direct pointers are fixed up). *)
+
+val count : t -> int
+(** Number of ids ever issued. *)

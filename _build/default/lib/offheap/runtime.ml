@@ -1,0 +1,31 @@
+type t = {
+  epoch : Epoch.t;
+  ind : Indirection.t;
+  registry : Registry.t;
+  locks : Smc_util.Striped_lock.t;
+  next_relocation_epoch : int Atomic.t;
+  in_moving_phase : bool Atomic.t;
+  next_context_id : int Atomic.t;
+  mutable inc_quarantine_limit : int;
+  quarantined_slots : int Atomic.t;
+}
+
+let create ?max_threads () =
+  {
+    epoch = Epoch.create ?max_threads ();
+    ind = Indirection.create ();
+    registry = Registry.create ();
+    locks = Smc_util.Striped_lock.create ~stripes:256 ();
+    next_relocation_epoch = Atomic.make (-1);
+    in_moving_phase = Atomic.make false;
+    next_context_id = Atomic.make 0;
+    inc_quarantine_limit = Constants.inc_mask;
+    quarantined_slots = Atomic.make 0;
+  }
+
+let tid t = Epoch.thread_id t.epoch
+
+let with_entry_lock t entry f = Smc_util.Striped_lock.with_lock t.locks entry f
+
+let with_slot_lock t ~block ~slot f =
+  Smc_util.Striped_lock.with_lock t.locks ((block lsl 20) lxor slot) f

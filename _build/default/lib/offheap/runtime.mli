@@ -1,0 +1,33 @@
+(** The shared runtime state of one memory manager instance: the epoch
+    manager, the indirection table, the block registry, the striped locks
+    serialising incarnation-word read-modify-writes, and the global
+    compaction-phase flags of §5.1 ([nextRelocationEpoch], [inMovingPhase]).
+
+    One [Runtime.t] corresponds to the paper's per-process runtime extension;
+    every memory context and collection hangs off one. *)
+
+type t = {
+  epoch : Epoch.t;
+  ind : Indirection.t;
+  registry : Registry.t;
+  locks : Smc_util.Striped_lock.t;
+  next_relocation_epoch : int Atomic.t;  (** -1 when no compaction pending *)
+  in_moving_phase : bool Atomic.t;
+  next_context_id : int Atomic.t;
+  mutable inc_quarantine_limit : int;
+      (** incarnation value beyond which a slot is quarantined instead of
+          reused (§3.1's overflow rule); defaults to the reference-visible
+          incarnation width, lowered in tests to exercise the path *)
+  quarantined_slots : int Atomic.t;
+}
+
+val create : ?max_threads:int -> unit -> t
+
+val tid : t -> int
+(** The calling domain's thread slot (registers on first use). *)
+
+val with_entry_lock : t -> int -> (unit -> 'a) -> 'a
+(** Serialises read-modify-write on indirection entry [entry]. *)
+
+val with_slot_lock : t -> block:int -> slot:int -> (unit -> 'a) -> 'a
+(** Serialises read-modify-write on a block slot's incarnation word. *)

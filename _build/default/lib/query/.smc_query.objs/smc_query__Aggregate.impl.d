@@ -1,0 +1,1 @@
+lib/query/aggregate.ml: Expr Plan Smc_decimal Value

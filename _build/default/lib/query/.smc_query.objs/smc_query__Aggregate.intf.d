@@ -1,0 +1,1 @@
+lib/query/aggregate.mli: Plan Value

@@ -1,0 +1,1 @@
+lib/query/codegen.ml: Buffer Expr List Plan Printf Source String

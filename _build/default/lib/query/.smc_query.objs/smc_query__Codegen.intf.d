@@ -1,0 +1,1 @@
+lib/query/codegen.mli: Plan

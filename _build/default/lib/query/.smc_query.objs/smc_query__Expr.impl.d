@@ -1,0 +1,1 @@
+lib/query/expr.ml: Array List Printf Smc_decimal Smc_util String Value

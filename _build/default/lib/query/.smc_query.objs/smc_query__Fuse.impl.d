@@ -1,0 +1,1 @@
+lib/query/fuse.ml: Aggregate Array Expr Hashtbl List Plan Source Value

@@ -1,0 +1,1 @@
+lib/query/fuse.mli: Plan Value

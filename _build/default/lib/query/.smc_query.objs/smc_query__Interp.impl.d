@@ -1,0 +1,1 @@
+lib/query/interp.ml: Aggregate Array Expr Hashtbl List Option Plan Source Value

@@ -1,0 +1,1 @@
+lib/query/plan.ml: Array Expr Hashtbl List Source

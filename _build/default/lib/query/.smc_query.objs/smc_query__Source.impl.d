@@ -1,0 +1,1 @@
+lib/query/source.ml: Array List Smc String Value

@@ -1,0 +1,1 @@
+lib/query/source.mli: Smc Smc_offheap Value

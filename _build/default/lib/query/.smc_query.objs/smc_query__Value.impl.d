@@ -1,0 +1,1 @@
+lib/query/value.ml: Bool Int Printf Smc_decimal Smc_util String

@@ -1,0 +1,1 @@
+lib/query/value.mli: Smc_decimal Smc_util

@@ -1,0 +1,42 @@
+type cell = { mutable count : int; mutable acc : Value.t }
+
+let promote_dec = function
+  | Value.Int x -> Value.Dec (Smc_decimal.Decimal.of_int x)
+  | v -> v
+
+let compile ~schema agg =
+  let fresh () = { count = 0; acc = Value.Null } in
+  match agg with
+  | Plan.Count ->
+    (fresh, (fun c _ -> c.count <- c.count + 1), fun c -> Value.Int c.count)
+  | Plan.Sum e ->
+    let f = Expr.compile ~schema e in
+    ( fresh,
+      (fun c row ->
+        let v = f row in
+        c.acc <- (if c.acc = Value.Null then v else Value.add c.acc v)),
+      fun c -> c.acc )
+  | Plan.Min e ->
+    let f = Expr.compile ~schema e in
+    ( fresh,
+      (fun c row ->
+        let v = f row in
+        if c.acc = Value.Null || Value.compare v c.acc < 0 then c.acc <- v),
+      fun c -> c.acc )
+  | Plan.Max e ->
+    let f = Expr.compile ~schema e in
+    ( fresh,
+      (fun c row ->
+        let v = f row in
+        if c.acc = Value.Null || Value.compare v c.acc > 0 then c.acc <- v),
+      fun c -> c.acc )
+  | Plan.Avg e ->
+    let f = Expr.compile ~schema e in
+    ( fresh,
+      (fun c row ->
+        let v = f row in
+        c.count <- c.count + 1;
+        c.acc <- (if c.acc = Value.Null then v else Value.add c.acc v)),
+      fun c ->
+        if c.count = 0 then Value.Null
+        else Value.div (promote_dec c.acc) (Value.Int c.count) )

@@ -1,0 +1,9 @@
+(** Shared aggregate-state machinery for the two plan evaluators. *)
+
+type cell
+
+val compile :
+  schema:string array ->
+  Plan.agg ->
+  (unit -> cell) * (cell -> Value.t array -> unit) * (cell -> Value.t)
+(** [(fresh, update, finish)] for one aggregate compiled against a schema. *)

@@ -1,0 +1,120 @@
+let indent n = String.make (2 * n) ' '
+
+(* Emit the loop nest top-down: every non-blocking operator contributes a
+   line inside its upstream loop body; blocking operators split the
+   function into phases, exactly like the fused pipeline executes. *)
+let to_ocaml_source plan =
+  let buf = Buffer.create 1024 in
+  let line depth fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (indent depth ^ s ^ "\n")) fmt in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  (* [emit plan depth k] writes code that binds each produced row and then
+     runs [k depth row_var] in the innermost position. *)
+  let rec emit plan depth k =
+    match plan with
+    | Plan.Scan src ->
+      let row = fresh "row" in
+      line depth "(* scan %s: enumerate valid slots in block order inside one" src.Source.name;
+      line depth "   critical section (enter_critical_section / exit) *)";
+      line depth "Collection.iter %s ~f:(fun blk slot ->" src.Source.name;
+      line (depth + 1) "let %s = (blk, slot) in" row;
+      k (depth + 1) row;
+      line depth ");"
+    | Plan.Where (pred, input) ->
+      emit input depth (fun d row ->
+          line d "if %s then begin" (Expr.to_string pred);
+          k (d + 1) row;
+          line d "end;")
+    | Plan.Select (cols, input) ->
+      emit input depth (fun d row ->
+          let out = fresh "proj" in
+          line d "let %s = (%s) in" out
+            (String.concat ", " (List.map (fun (_, e) -> Expr.to_string e) cols));
+          ignore row;
+          k d out)
+    | Plan.HashJoin { left; right; on } ->
+      let table = fresh "join_tbl" in
+      line depth "let %s = Hashtbl.create 1024 in" table;
+      emit right depth (fun d row ->
+          line d "Hashtbl.add %s (%s) %s;" table
+            (String.concat ", " (List.map snd on))
+            row);
+      emit left depth (fun d row ->
+          let m = fresh "matched" in
+          line d "List.iter (fun %s ->" m;
+          line (d + 1) "(* joined row: %s x %s *)" row m;
+          k (d + 1) (Printf.sprintf "(%s, %s)" row m);
+          line d ") (Hashtbl.find_all %s (%s));" table
+            (String.concat ", " (List.map fst on)))
+    | Plan.GroupBy { keys; aggs; input } ->
+      let table = fresh "groups" in
+      line depth "let %s = Hashtbl.create 256 in" table;
+      emit input depth (fun d row ->
+          ignore row;
+          line d "let key = (%s) in"
+            (String.concat ", " (List.map (fun (_, e) -> Expr.to_string e) keys));
+          line d "let cells = find_or_add %s key in" table;
+          List.iter
+            (fun (name, agg) ->
+              match agg with
+              | Plan.Count -> line d "cells.%s <- cells.%s + 1;" name name
+              | Plan.Sum e -> line d "cells.%s <- cells.%s + %s;" name name (Expr.to_string e)
+              | Plan.Min e -> line d "cells.%s <- min cells.%s %s;" name name (Expr.to_string e)
+              | Plan.Max e -> line d "cells.%s <- max cells.%s %s;" name name (Expr.to_string e)
+              | Plan.Avg e ->
+                line d "cells.%s_sum <- cells.%s_sum + %s; cells.%s_n <- cells.%s_n + 1;"
+                  name name (Expr.to_string e) name name)
+            aggs);
+      let g = fresh "group" in
+      line depth "Hashtbl.iter (fun key cells ->";
+      line (depth + 1) "let %s = (key, cells) in" g;
+      k (depth + 1) g;
+      line depth ") %s;" table
+    | Plan.OrderBy (specs, input) ->
+      let acc = fresh "sorted" in
+      line depth "let %s = ref [] in" acc;
+      emit input depth (fun d row -> line d "%s := %s :: !%s;" acc row acc);
+      line depth "List.iter (fun row ->"
+      ;
+      line (depth + 1) "(* sorted by %s *)"
+        (String.concat ", "
+           (List.map
+              (fun (e, dir) ->
+                Expr.to_string e ^ match dir with Plan.Asc -> " asc" | Plan.Desc -> " desc")
+              specs));
+      k (depth + 1) "row";
+      line depth ") (List.sort compare_rows !%s);" acc
+    | Plan.Distinct input ->
+      let seen = fresh "seen"  in
+      line depth "let %s = Hashtbl.create 256 in" seen;
+      emit input depth (fun d row ->
+          line d "if not (Hashtbl.mem %s %s) then begin" seen row;
+          line (d + 1) "Hashtbl.add %s %s ();" seen row;
+          k (d + 1) row;
+          line d "end;")
+    | Plan.Limit (n, input) ->
+      let cnt = fresh "taken" in
+      line depth "let %s = ref 0 in" cnt;
+      emit input depth (fun d row ->
+          line d "if !%s < %d then begin incr %s;" cnt n cnt;
+          k (d + 1) row;
+          line d "end;")
+  in
+  line 0 "(* generated query function *)";
+  line 0 "let query () =";
+  line 1 "enter_critical_section ();";
+  emit plan 1 (fun d row -> line d "yield %s;" row);
+  line 1 "exit_critical_section ()";
+  Buffer.contents buf
+
+let rec operator_count = function
+  | Plan.Scan _ -> 1
+  | Plan.Where (_, p) | Plan.Select (_, p) | Plan.OrderBy (_, p) | Plan.Limit (_, p)
+  | Plan.Distinct p ->
+    1 + operator_count p
+  | Plan.GroupBy { input; _ } -> 1 + operator_count input
+  | Plan.HashJoin { left; right; _ } -> 1 + operator_count left + operator_count right

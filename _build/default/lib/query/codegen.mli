@@ -1,0 +1,16 @@
+(** Query-plan → imperative source rendering.
+
+    The paper's system modifies the C# compiler to expand LINQ queries over
+    SMCs into generated imperative functions. A staged compiler is not
+    available in this container (MetaOCaml is out of scope), so execution
+    uses {!Fuse}'s closure pipelines — but this module emits the imperative
+    OCaml a staging compiler would produce for a plan, both as documentation
+    of the transformation (compare the paper's §4 listing) and for test
+    assertions about plan shape. *)
+
+val to_ocaml_source : Plan.t -> string
+(** Readable imperative OCaml (nested loops over memory blocks with inlined
+    predicates/projections, hash tables for joins and aggregation). *)
+
+val operator_count : Plan.t -> int
+(** Number of operators in the plan (for tests and plan statistics). *)

@@ -1,0 +1,47 @@
+(** Scalar expressions over named columns.
+
+    Expressions are compiled once against a schema (column names resolve to
+    row indices) into closures — the per-query specialisation step that
+    stands in for the paper's C# compiler expansion of LINQ lambdas. *)
+
+type t =
+  | Col of string
+  | Const of Value.t
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Neg of t
+  | Eq of t * t
+  | Ne of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Gt of t * t
+  | Ge of t * t
+  | And of t * t
+  | Or of t * t
+  | Not of t
+  | Between of t * t * t  (** inclusive *)
+  | Contains of t * string  (** SQL LIKE '%s%' *)
+  | StartsWith of t * string
+
+val int : int -> t
+val dec : string -> t
+(** Decimal constant from a literal like ["0.05"]. *)
+
+val str : string -> t
+val date : string -> t
+(** Date constant from ["YYYY-MM-DD"]. *)
+
+val bool : bool -> t
+
+val compile : schema:string array -> t -> Value.t array -> Value.t
+(** Raises [Invalid_argument] for unknown columns. *)
+
+val compile_pred : schema:string array -> t -> Value.t array -> bool
+
+val to_string : t -> string
+(** Readable rendering for {!Codegen}. *)
+
+val columns : t -> string list
+(** Column names referenced (with duplicates). *)

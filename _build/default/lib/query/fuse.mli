@@ -1,0 +1,12 @@
+(** Fused push-pipeline evaluation — the query-compilation analogue.
+
+    [Fuse] composes the whole plan into a single closure pipeline at
+    query-build time: each non-blocking operator becomes straight-line code
+    in its upstream's loop body (filters and projections fuse into the scan
+    loop), and blocking operators (join build, group-by, sort) materialise
+    once and push onward. This removes the per-row cursor indirection and
+    intermediate result objects of the Volcano/LINQ model, which is the
+    essence of the code the paper's query compiler generates [12, 13]. *)
+
+val run : Plan.t -> f:(Value.t array -> unit) -> unit
+val collect : Plan.t -> Value.t array list

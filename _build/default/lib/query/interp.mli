@@ -1,0 +1,10 @@
+(** Pull-based Volcano evaluation of query plans.
+
+    Every operator is a cursor closure returning one row per call — the
+    evaluation model of LINQ-to-objects whose per-row virtual calls and
+    intermediate objects the paper identifies as the main performance
+    problem (§1). This engine is the baseline for the LINQ-vs-compiled
+    comparison (§7 reports 40–400% slowdowns versus compiled code). *)
+
+val run : Plan.t -> f:(Value.t array -> unit) -> unit
+val collect : Plan.t -> Value.t array list

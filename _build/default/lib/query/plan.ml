@@ -1,0 +1,45 @@
+type dir = Asc | Desc
+
+type agg =
+  | Count
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t
+
+type t =
+  | Scan of Source.t
+  | Where of Expr.t * t
+  | Select of (string * Expr.t) list * t
+  | HashJoin of { left : t; right : t; on : (string * string) list }
+  | GroupBy of { keys : (string * Expr.t) list; aggs : (string * agg) list; input : t }
+  | OrderBy of (Expr.t * dir) list * t
+  | Limit of int * t
+  | Distinct of t
+
+let rec schema = function
+  | Scan src -> src.Source.schema
+  | Where (_, p) | OrderBy (_, p) | Limit (_, p) | Distinct p -> schema p
+  | Select (cols, _) -> Array.of_list (List.map fst cols)
+  | GroupBy { keys; aggs; _ } ->
+    Array.of_list (List.map fst keys @ List.map fst aggs)
+  | HashJoin { left; right; _ } ->
+    let ls = schema left and rs = schema right in
+    let combined = Array.append ls rs in
+    let seen = Hashtbl.create 16 in
+    Array.iter
+      (fun c ->
+        if Hashtbl.mem seen c then
+          invalid_arg ("Plan.schema: duplicate column in join output: " ^ c);
+        Hashtbl.add seen c ())
+      combined;
+    combined
+
+let scan src = Scan src
+let where e p = Where (e, p)
+let select cols p = Select (cols, p)
+let join ~on left right = HashJoin { left; right; on }
+let group_by ~keys ~aggs input = GroupBy { keys; aggs; input }
+let order_by specs p = OrderBy (specs, p)
+let limit n p = Limit (n, p)
+let distinct p = Distinct p

@@ -1,0 +1,42 @@
+(** Logical query plans — the language-integrated query AST.
+
+    The structure mirrors the LINQ operator set used by the paper's TPC-H
+    adaptation: scans over collections, predicate filters, projections,
+    equi hash joins, grouped aggregation, ordering, and limits. A plan can
+    be evaluated by {!Interp} (pull-based Volcano iterators — the
+    LINQ-to-objects comparison point) or {!Fuse} (a fused push pipeline —
+    the query-compilation analogue), and rendered as imperative source by
+    {!Codegen}. *)
+
+type dir = Asc | Desc
+
+type agg =
+  | Count
+  | Sum of Expr.t
+  | Min of Expr.t
+  | Max of Expr.t
+  | Avg of Expr.t  (** decimal average regardless of input tag *)
+
+type t =
+  | Scan of Source.t
+  | Where of Expr.t * t
+  | Select of (string * Expr.t) list * t
+  | HashJoin of { left : t; right : t; on : (string * string) list }
+      (** inner equi-join; result schema is left columns then right columns *)
+  | GroupBy of { keys : (string * Expr.t) list; aggs : (string * agg) list; input : t }
+  | OrderBy of (Expr.t * dir) list * t
+  | Limit of int * t
+  | Distinct of t  (** duplicate elimination over whole rows *)
+
+val schema : t -> string array
+(** Output column names. Raises [Invalid_argument] on name collisions in a
+    join's combined schema. *)
+
+val scan : Source.t -> t
+val where : Expr.t -> t -> t
+val select : (string * Expr.t) list -> t -> t
+val join : on:(string * string) list -> t -> t -> t
+val group_by : keys:(string * Expr.t) list -> aggs:(string * agg) list -> t -> t
+val order_by : (Expr.t * dir) list -> t -> t
+val limit : int -> t -> t
+val distinct : t -> t

@@ -1,0 +1,27 @@
+type t = {
+  name : string;
+  schema : string array;
+  scan : (Value.t array -> unit) -> unit;
+}
+
+let of_smc coll ~columns =
+  let schema = Array.of_list (List.map fst columns) in
+  let extractors = Array.of_list (List.map snd columns) in
+  let scan emit =
+    Smc.Collection.iter coll ~f:(fun blk slot ->
+        emit (Array.map (fun extract -> extract blk slot) extractors))
+  in
+  { name = coll.Smc.Collection.name; schema; scan }
+
+let of_array ~name ~schema rows =
+  { name; schema = Array.of_list schema; scan = (fun emit -> Array.iter emit rows) }
+
+let of_fun ~name ~schema scan = { name; schema = Array.of_list schema; scan }
+
+let column_index t col =
+  let rec go i =
+    if i >= Array.length t.schema then raise Not_found
+    else if String.equal t.schema.(i) col then i
+    else go (i + 1)
+  in
+  go 0

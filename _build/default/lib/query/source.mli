@@ -1,0 +1,25 @@
+(** Query sources: anything that can produce rows of tagged values.
+
+    A source wraps a scan over an SMC collection (inside a critical section,
+    in block order) or over any in-memory sequence — the query engine is
+    agnostic, like LINQ-to-objects. *)
+
+type t = {
+  name : string;
+  schema : string array;
+  scan : (Value.t array -> unit) -> unit;  (** push a full scan *)
+}
+
+val of_smc :
+  Smc.Collection.t ->
+  columns:(string * (Smc_offheap.Block.t -> int -> Value.t)) list ->
+  t
+(** Scans the collection inside one critical section, extracting the named
+    columns from each valid slot. *)
+
+val of_array : name:string -> schema:string list -> Value.t array array -> t
+
+val of_fun : name:string -> schema:string list -> ((Value.t array -> unit) -> unit) -> t
+
+val column_index : t -> string -> int
+(** Raises [Not_found]. *)

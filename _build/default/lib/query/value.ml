@@ -1,0 +1,73 @@
+module D = Smc_decimal.Decimal
+
+type t =
+  | Int of int
+  | Dec of D.t
+  | Str of string
+  | Date of Smc_util.Date.t
+  | Bool of bool
+  | Null
+
+let type_error op a b =
+  invalid_arg
+    (Printf.sprintf "Value.%s: incompatible operands (%s, %s)" op
+       (match a with
+       | Int _ -> "int" | Dec _ -> "dec" | Str _ -> "str"
+       | Date _ -> "date" | Bool _ -> "bool" | Null -> "null")
+       (match b with
+       | Int _ -> "int" | Dec _ -> "dec" | Str _ -> "str"
+       | Date _ -> "date" | Bool _ -> "bool" | Null -> "null"))
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> Int.compare x y
+  | Dec x, Dec y -> D.compare x y
+  | Int x, Dec y -> D.compare (D.of_int x) y
+  | Dec x, Int y -> D.compare x (D.of_int y)
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Int.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | (Int _ | Dec _ | Str _ | Date _ | Bool _), _ -> type_error "compare" a b
+
+let equal a b = compare a b = 0
+
+let arith name int_op dec_op a b =
+  match (a, b) with
+  | Int x, Int y -> Int (int_op x y)
+  | Dec x, Dec y -> Dec (dec_op x y)
+  | Int x, Dec y -> Dec (dec_op (D.of_int x) y)
+  | Dec x, Int y -> Dec (dec_op x (D.of_int y))
+  | _ -> type_error name a b
+
+let add = arith "add" ( + ) D.add
+let sub = arith "sub" ( - ) D.sub
+let mul = arith "mul" ( * ) D.mul
+
+let div a b =
+  match (a, b) with
+  | Int x, Int y -> Int (x / y)
+  | Dec x, Dec y -> Dec (D.div x y)
+  | Int x, Dec y -> Dec (D.div (D.of_int x) y)
+  | Dec x, Int y -> Dec (D.div x (D.of_int y))
+  | _ -> type_error "div" a b
+
+let neg = function
+  | Int x -> Int (-x)
+  | Dec x -> Dec (D.neg x)
+  | v -> type_error "neg" v v
+
+let to_bool = function
+  | Bool b -> b
+  | Null -> false
+  | v -> type_error "to_bool" v v
+
+let to_string = function
+  | Int x -> string_of_int x
+  | Dec x -> D.to_string x
+  | Str s -> s
+  | Date d -> Smc_util.Date.to_string d
+  | Bool b -> string_of_bool b
+  | Null -> "null"

@@ -1,0 +1,35 @@
+(** Runtime-tagged values for the generic query engine.
+
+    The generic engine exists to reproduce the paper's LINQ-to-objects
+    comparison point (dynamically dispatched operators over boxed
+    intermediate values); the fast path for TPC-H is hand-fused code over
+    raw field accessors, as in the paper's generated queries. *)
+
+type t =
+  | Int of int
+  | Dec of Smc_decimal.Decimal.t
+  | Str of string
+  | Date of Smc_util.Date.t
+  | Bool of bool
+  | Null
+
+val compare : t -> t -> int
+(** Total order within a tag; [Null] sorts first; cross-tag comparisons on
+    numeric tags coerce Dec/Int; anything else raises [Invalid_argument]. *)
+
+val equal : t -> t -> bool
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Numeric arithmetic: Int op Int is integer; any Dec operand promotes to
+    decimal arithmetic (scaled fixed-point). *)
+
+val div : t -> t -> t
+val neg : t -> t
+
+val to_bool : t -> bool
+(** Raises [Invalid_argument] unless [Bool] or [Null] (false). *)
+
+val to_string : t -> string
+(** Display form used by the harness output. *)

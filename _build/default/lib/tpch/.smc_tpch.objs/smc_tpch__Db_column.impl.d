@@ -1,0 +1,1 @@
+lib/tpch/db_column.ml: Array Char Row Smc_columnstore

@@ -1,0 +1,1 @@
+lib/tpch/db_column.mli: Row Smc_columnstore

@@ -1,0 +1,1 @@
+lib/tpch/db_managed.ml: Array Dbgen Row Smc_managed

@@ -1,0 +1,1 @@
+lib/tpch/db_managed.mli: Row Smc_managed

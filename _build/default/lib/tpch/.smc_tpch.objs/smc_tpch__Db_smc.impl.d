@@ -1,0 +1,1 @@
+lib/tpch/db_smc.ml: Array Block Context Layout Row Runtime Schema Smc Smc_offheap String

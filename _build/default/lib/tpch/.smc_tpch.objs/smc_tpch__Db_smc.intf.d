@@ -1,0 +1,1 @@
+lib/tpch/db_smc.mli: Row Smc Smc_offheap

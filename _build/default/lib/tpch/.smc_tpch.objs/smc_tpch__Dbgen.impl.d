@@ -1,0 +1,1 @@
+lib/tpch/dbgen.ml: Array Buffer Date List Printf Prng Row Smc_decimal Smc_util Spec

@@ -1,0 +1,1 @@
+lib/tpch/q_column.ml: Array Char Db_column Hashtbl List Results Smc_columnstore Smc_decimal Smc_util String

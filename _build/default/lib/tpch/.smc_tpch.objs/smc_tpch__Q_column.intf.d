@@ -1,0 +1,1 @@
+lib/tpch/q_column.mli: Db_column Results

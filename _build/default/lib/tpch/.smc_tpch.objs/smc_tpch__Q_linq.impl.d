@@ -1,0 +1,1 @@
+lib/tpch/q_linq.ml: Db_managed Hashtbl List Results Row Seq Smc_decimal Smc_util

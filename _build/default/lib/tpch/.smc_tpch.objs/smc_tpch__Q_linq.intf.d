@@ -1,0 +1,1 @@
+lib/tpch/q_linq.mli: Db_managed Results Seq Smc_decimal

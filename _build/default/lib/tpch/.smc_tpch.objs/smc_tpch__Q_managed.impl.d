@@ -1,0 +1,1 @@
+lib/tpch/q_managed.ml: Db_managed Hashtbl List Results Row Smc_decimal Smc_util String

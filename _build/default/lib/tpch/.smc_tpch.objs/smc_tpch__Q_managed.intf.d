@@ -1,0 +1,1 @@
+lib/tpch/q_managed.mli: Db_managed Results

@@ -1,0 +1,1 @@
+lib/tpch/q_smc.ml: Array Bigarray Char Db_smc Hashtbl List Results Smc Smc_decimal Smc_offheap Smc_util String

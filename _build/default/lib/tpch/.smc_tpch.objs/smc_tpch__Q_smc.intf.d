@@ -1,0 +1,1 @@
+lib/tpch/q_smc.mli: Db_smc Results

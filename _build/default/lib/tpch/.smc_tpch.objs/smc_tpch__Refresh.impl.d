@@ -1,0 +1,1 @@
+lib/tpch/refresh.ml: Array Atomic Bigarray Db_smc Dbgen Hashtbl Int64 List Prng Row Smc Smc_decimal Smc_managed Smc_offheap Smc_util Spec

@@ -1,0 +1,1 @@
+lib/tpch/refresh.mli: Db_smc Hashtbl Row Smc_util

@@ -1,0 +1,1 @@
+lib/tpch/results.ml: Char Int List Printf Smc_decimal Smc_util String

@@ -1,0 +1,1 @@
+lib/tpch/results.mli: Smc_decimal Smc_util

@@ -1,0 +1,1 @@
+lib/tpch/row.ml: Smc_decimal Smc_util

@@ -1,0 +1,1 @@
+lib/tpch/row.mli: Smc_decimal Smc_util

@@ -1,0 +1,1 @@
+lib/tpch/spec.ml: Array Printf Smc_decimal Smc_util

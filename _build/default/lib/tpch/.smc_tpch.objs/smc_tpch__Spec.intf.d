@@ -1,0 +1,1 @@
+lib/tpch/spec.mli: Smc_decimal Smc_util

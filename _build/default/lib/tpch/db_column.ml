@@ -1,0 +1,122 @@
+open Row
+module T = Smc_columnstore.Table
+
+type t = {
+  lineitem : T.t;
+  orders : T.t;
+  customer : T.t;
+  supplier : T.t;
+  part : T.t;
+  partsupp : T.t;
+  nation : T.t;
+  region : T.t;
+}
+
+
+let load (ds : dataset) =
+  let li = ds.lineitems in
+  let lineitem =
+    T.create ~name:"lineitem" ~sort_by:"l_shipdate"
+      ~columns:
+        [
+          ("l_orderkey", `Ints (Array.map (fun l -> l.l_order.o_orderkey) li));
+          ("l_partkey", `Ints (Array.map (fun l -> l.l_part.p_partkey) li));
+          ("l_suppkey", `Ints (Array.map (fun l -> l.l_supplier.s_suppkey) li));
+          ("l_quantity", `Ints (Array.map (fun l -> l.l_quantity) li));
+          ("l_extendedprice", `Ints (Array.map (fun l -> l.l_extendedprice) li));
+          ("l_discount", `Ints (Array.map (fun l -> l.l_discount) li));
+          ("l_tax", `Ints (Array.map (fun l -> l.l_tax) li));
+          ("l_returnflag", `Ints (Array.map (fun l -> Char.code l.l_returnflag) li));
+          ("l_linestatus", `Ints (Array.map (fun l -> Char.code l.l_linestatus) li));
+          ("l_shipdate", `Ints (Array.map (fun l -> l.l_shipdate) li));
+          ("l_commitdate", `Ints (Array.map (fun l -> l.l_commitdate) li));
+          ("l_receiptdate", `Ints (Array.map (fun l -> l.l_receiptdate) li));
+        ]
+      ()
+  in
+  let os = ds.orders in
+  let orders =
+    T.create ~name:"orders" ~sort_by:"o_orderdate"
+      ~columns:
+        [
+          ("o_orderkey", `Ints (Array.map (fun o -> o.o_orderkey) os));
+          ("o_custkey", `Ints (Array.map (fun o -> o.o_customer.c_custkey) os));
+          ("o_orderdate", `Ints (Array.map (fun o -> o.o_orderdate) os));
+          ("o_orderpriority", `Strs (Array.map (fun o -> o.o_orderpriority) os));
+          ("o_shippriority", `Ints (Array.map (fun o -> o.o_shippriority) os));
+        ]
+      ()
+  in
+  let cs = ds.customers in
+  let customer =
+    T.create ~name:"customer"
+      ~columns:
+        [
+          ("c_custkey", `Ints (Array.map (fun c -> c.c_custkey) cs));
+          ("c_nationkey", `Ints (Array.map (fun c -> c.c_nation.n_nationkey) cs));
+          ("c_mktsegment", `Strs (Array.map (fun c -> c.c_mktsegment) cs));
+        ]
+      ()
+  in
+  let ss = ds.suppliers in
+  let supplier =
+    T.create ~name:"supplier"
+      ~columns:
+        [
+          ("s_suppkey", `Ints (Array.map (fun s -> s.s_suppkey) ss));
+          ("s_nationkey", `Ints (Array.map (fun s -> s.s_nation.n_nationkey) ss));
+          ("s_name", `Strs (Array.map (fun s -> s.s_name) ss));
+          ("s_acctbal", `Ints (Array.map (fun s -> s.s_acctbal) ss));
+        ]
+      ()
+  in
+  let ps = ds.parts in
+  let part =
+    T.create ~name:"part"
+      ~columns:
+        [
+          ("p_partkey", `Ints (Array.map (fun p -> p.p_partkey) ps));
+          ("p_size", `Ints (Array.map (fun p -> p.p_size) ps));
+          ("p_type", `Strs (Array.map (fun p -> p.p_type) ps));
+          ("p_mfgr", `Strs (Array.map (fun p -> p.p_mfgr) ps));
+        ]
+      ()
+  in
+  let pss = ds.partsupps in
+  let partsupp =
+    T.create ~name:"partsupp"
+      ~columns:
+        [
+          ("ps_partkey", `Ints (Array.map (fun p -> p.ps_part.p_partkey) pss));
+          ("ps_suppkey", `Ints (Array.map (fun p -> p.ps_supplier.s_suppkey) pss));
+          ("ps_supplycost", `Ints (Array.map (fun p -> p.ps_supplycost) pss));
+        ]
+      ()
+  in
+  let ns = ds.nations in
+  let nation =
+    T.create ~name:"nation"
+      ~columns:
+        [
+          ("n_nationkey", `Ints (Array.map (fun n -> n.n_nationkey) ns));
+          ("n_regionkey", `Ints (Array.map (fun n -> n.n_region.r_regionkey) ns));
+          ("n_name", `Strs (Array.map (fun n -> n.n_name) ns));
+        ]
+      ()
+  in
+  let rs = ds.regions in
+  let region =
+    T.create ~name:"region"
+      ~columns:
+        [
+          ("r_regionkey", `Ints (Array.map (fun r -> r.r_regionkey) rs));
+          ("r_name", `Strs (Array.map (fun r -> r.r_name) rs));
+        ]
+      ()
+  in
+  { lineitem; orders; customer; supplier; part; partsupp; nation; region }
+
+let bytes_estimate t =
+  T.bytes_estimate t.lineitem + T.bytes_estimate t.orders + T.bytes_estimate t.customer
+  + T.bytes_estimate t.supplier + T.bytes_estimate t.part + T.bytes_estimate t.partsupp
+  + T.bytes_estimate t.nation + T.bytes_estimate t.region

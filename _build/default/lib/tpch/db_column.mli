@@ -1,0 +1,20 @@
+(** TPC-H stored in the compressed columnstore — the RDBMS baseline of
+    Figure 13. Lineitem is clustered on [shipdate] and orders on
+    [orderdate] (the paper's clustered indexes); joins are value-based on
+    integer keys, not references. *)
+
+type t = {
+  lineitem : Smc_columnstore.Table.t;
+  orders : Smc_columnstore.Table.t;
+  customer : Smc_columnstore.Table.t;
+  supplier : Smc_columnstore.Table.t;
+  part : Smc_columnstore.Table.t;
+  partsupp : Smc_columnstore.Table.t;
+  nation : Smc_columnstore.Table.t;
+  region : Smc_columnstore.Table.t;
+}
+
+val load : Row.dataset -> t
+
+val bytes_estimate : t -> int
+(** Total compressed size across tables. *)

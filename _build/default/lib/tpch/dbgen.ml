@@ -1,0 +1,189 @@
+open Smc_util
+module D = Smc_decimal.Decimal
+
+let scaled per_sf sf = max 1 (int_of_float (float_of_int per_sf *. sf))
+
+let words g n =
+  let buf = Buffer.create 32 in
+  for i = 0 to n - 1 do
+    if i > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf (Prng.pick g Spec.lexicon)
+  done;
+  Buffer.contents buf
+
+let phone g nationkey =
+  Printf.sprintf "%d-%03d-%03d-%04d" (10 + nationkey) (Prng.int_in g 100 999)
+    (Prng.int_in g 100 999) (Prng.int_in g 1000 9999)
+
+let money g lo_cents hi_cents = D.of_cents (Prng.int_in g lo_cents hi_cents)
+
+let generate ?(seed = 19920101L) ~sf () =
+  let g = Prng.create ~seed () in
+  let regions =
+    Array.mapi
+      (fun i (name, comment) -> { Row.r_regionkey = i; r_name = name; r_comment = comment })
+      Spec.regions
+  in
+  let nations =
+    Array.mapi
+      (fun i (name, rk) ->
+        {
+          Row.n_nationkey = i;
+          n_name = name;
+          n_region = regions.(rk);
+          n_comment = words g 3;
+        })
+      Spec.nations
+  in
+  let n_suppliers = scaled Spec.suppliers_per_sf sf in
+  let suppliers =
+    Array.init n_suppliers (fun i ->
+        let key = i + 1 in
+        let nation = nations.(Prng.int g (Array.length nations)) in
+        {
+          Row.s_suppkey = key;
+          s_name = Printf.sprintf "Supplier#%09d" key;
+          s_address = words g 2;
+          s_nation = nation;
+          s_phone = phone g nation.Row.n_nationkey;
+          s_acctbal = money g (-99999) 999999;
+          s_comment = words g 4;
+        })
+  in
+  let n_parts = scaled Spec.parts_per_sf sf in
+  let parts =
+    Array.init n_parts (fun i ->
+        let key = i + 1 in
+        {
+          Row.p_partkey = key;
+          p_name =
+            Printf.sprintf "%s %s %s" (Prng.pick g Spec.colors) (Prng.pick g Spec.colors)
+              (Prng.pick g Spec.colors);
+          p_mfgr = Printf.sprintf "Manufacturer#%d" (Prng.int_in g 1 5);
+          p_brand = Prng.pick g Spec.brands;
+          p_type = Prng.pick g Spec.types;
+          p_size = Prng.int_in g 1 50;
+          p_container = Prng.pick g Spec.containers;
+          p_retailprice = Spec.retail_price key;
+          p_comment = words g 2;
+        })
+  in
+  let partsupps =
+    Array.init (4 * n_parts) (fun i ->
+        let part = parts.(i / 4) in
+        (* The spec spreads the four suppliers of a part deterministically;
+           a seeded uniform choice preserves the join fan-out. *)
+        let supp = suppliers.(Prng.int g n_suppliers) in
+        {
+          Row.ps_part = part;
+          ps_supplier = supp;
+          ps_availqty = Prng.int_in g 1 9999;
+          ps_supplycost = money g 100 100000;
+          ps_comment = words g 4;
+        })
+  in
+  let n_customers = scaled Spec.customers_per_sf sf in
+  let customers =
+    Array.init n_customers (fun i ->
+        let key = i + 1 in
+        let nation = nations.(Prng.int g (Array.length nations)) in
+        {
+          Row.c_custkey = key;
+          c_name = Printf.sprintf "Customer#%09d" key;
+          c_address = words g 2;
+          c_nation = nation;
+          c_phone = phone g nation.Row.n_nationkey;
+          c_acctbal = money g (-99999) 999999;
+          c_mktsegment = Prng.pick g Spec.segments;
+          c_comment = words g 5;
+        })
+  in
+  let n_orders = scaled Spec.orders_per_sf sf in
+  let max_orderdate = Date.add_days Spec.end_date (-151) in
+  let date_span = max_orderdate - Spec.start_date in
+  let lineitems_acc = ref [] in
+  let n_lineitems = ref 0 in
+  let orders =
+    Array.init n_orders (fun i ->
+        let key = i + 1 in
+        let orderdate = Date.add_days Spec.start_date (Prng.int g (date_span + 1)) in
+        let customer = customers.(Prng.int g n_customers) in
+        let n_lines = Prng.int_in g 1 7 in
+        (* Build lineitems eagerly so order status can be derived from them. *)
+        let total = ref D.zero in
+        let statuses = ref [] in
+        let lines =
+          List.init n_lines (fun ln ->
+              let part = parts.(Prng.int g n_parts) in
+              let supplier = suppliers.(Prng.int g n_suppliers) in
+              let quantity = Prng.int_in g 1 50 in
+              let extendedprice = D.mul (D.of_int quantity) part.Row.p_retailprice in
+              let shipdate = Date.add_days orderdate (Prng.int_in g 1 121) in
+              let commitdate = Date.add_days orderdate (Prng.int_in g 30 90) in
+              let receiptdate = Date.add_days shipdate (Prng.int_in g 1 30) in
+              let returnflag =
+                if receiptdate <= Spec.current_date then (if Prng.bool g then 'R' else 'A')
+                else 'N'
+              in
+              let linestatus = if shipdate > Spec.current_date then 'O' else 'F' in
+              statuses := linestatus :: !statuses;
+              total := D.add !total extendedprice;
+              fun order ->
+                {
+                  Row.l_order = order;
+                  l_part = part;
+                  l_supplier = supplier;
+                  l_linenumber = ln + 1;
+                  l_quantity = D.of_int quantity;
+                  l_extendedprice = extendedprice;
+                  l_discount = D.of_cents (Prng.int_in g 0 10);
+                  l_tax = D.of_cents (Prng.int_in g 0 8);
+                  l_returnflag = returnflag;
+                  l_linestatus = linestatus;
+                  l_shipdate = shipdate;
+                  l_commitdate = commitdate;
+                  l_receiptdate = receiptdate;
+                  l_shipinstruct = Prng.pick g Spec.instructs;
+                  l_shipmode = Prng.pick g Spec.modes;
+                  l_comment = words g 3;
+                })
+        in
+        let orderstatus =
+          if List.for_all (fun s -> s = 'F') !statuses then 'F'
+          else if List.for_all (fun s -> s = 'O') !statuses then 'O'
+          else 'P'
+        in
+        let order =
+          {
+            Row.o_orderkey = key;
+            o_customer = customer;
+            o_orderstatus = orderstatus;
+            o_totalprice = !total;
+            o_orderdate = orderdate;
+            o_orderpriority = Prng.pick g Spec.priorities;
+            o_clerk = Printf.sprintf "Clerk#%09d" (Prng.int_in g 1 (max 1 (n_orders / 1000)));
+            o_shippriority = 0;
+            o_comment = words g 4;
+          }
+        in
+        List.iter
+          (fun mk ->
+            lineitems_acc := mk order :: !lineitems_acc;
+            incr n_lineitems)
+          lines;
+        order)
+  in
+  let lineitems = Array.of_list (List.rev !lineitems_acc) in
+  {
+    Row.sf;
+    regions;
+    nations;
+    suppliers;
+    parts;
+    partsupps;
+    customers;
+    orders;
+    lineitems;
+  }
+
+let lineitem_key (li : Row.lineitem) = (li.Row.l_order.Row.o_orderkey * 8) + li.Row.l_linenumber

@@ -1,0 +1,14 @@
+(** Deterministic TPC-H data generator.
+
+    Produces a {!Row.dataset} with the official cardinality ratios
+    (orders = 1.5M·SF, lineitems ≈ 4·orders, customers = 150k·SF,
+    parts = 200k·SF, suppliers = 10k·SF, partsupp = 4·parts, 25 nations,
+    5 regions), official value domains and date arithmetic, seeded so every
+    run over the same (sf, seed) is identical. *)
+
+val generate : ?seed:int64 -> sf:float -> unit -> Row.dataset
+(** [sf] may be fractional; minimum table cardinalities are 1. *)
+
+val lineitem_key : Row.lineitem -> int
+(** Unique integer identity for a lineitem (orderkey * 8 + linenumber),
+    used as the key for dictionary-based storage. *)

@@ -1,0 +1,276 @@
+module T = Smc_columnstore.Table
+module D = Smc_decimal.Decimal
+
+let date_min = Smc_util.Date.of_ymd 1990 1 1
+let date_max = Smc_util.Date.of_ymd 2000 1 1
+
+let ends_with ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+let q1 (db : Db_column.t) =
+  let cutoff =
+    Smc_util.Date.add_days (Smc_util.Date.of_ymd 1998 12 1) (-Results.q1_delta_days)
+  in
+  let t = db.Db_column.lineitem in
+  let qty_c = T.column t "l_quantity"
+  and price_c = T.column t "l_extendedprice"
+  and disc_c = T.column t "l_discount"
+  and tax_c = T.column t "l_tax"
+  and rf_c = T.column t "l_returnflag"
+  and ls_c = T.column t "l_linestatus" in
+  let n = 512 in
+  let qty = Array.make n 0
+  and base = Array.make n 0
+  and disc_price = Array.make n 0
+  and charge = Array.make n 0
+  and disc = Array.make n 0
+  and count = Array.make n 0 in
+  T.iter_range t ~col:"l_shipdate" ~lo:date_min ~hi:cutoff ~f:(fun row ->
+      let g =
+        ((Smc_columnstore.Column.get_int rf_c row land 0x7F) lsl 1)
+        lor (Smc_columnstore.Column.get_int ls_c row land 1)
+      in
+      let price = Smc_columnstore.Column.get_int price_c row in
+      let d = Smc_columnstore.Column.get_int disc_c row in
+      let dp = D.mul price (D.sub D.one d) in
+      qty.(g) <- qty.(g) + Smc_columnstore.Column.get_int qty_c row;
+      base.(g) <- base.(g) + price;
+      disc_price.(g) <- disc_price.(g) + dp;
+      charge.(g) <- charge.(g) + D.mul dp (D.add D.one (Smc_columnstore.Column.get_int tax_c row));
+      disc.(g) <- disc.(g) + d;
+      count.(g) <- count.(g) + 1);
+  let rows = ref [] in
+  for g = n - 1 downto 0 do
+    if count.(g) > 0 then
+      rows :=
+        {
+          Results.q1_returnflag = Char.chr (g lsr 1);
+          q1_linestatus = (if g land 1 = 1 then 'O' else 'F');
+          sum_qty = qty.(g);
+          sum_base_price = base.(g);
+          sum_disc_price = disc_price.(g);
+          sum_charge = charge.(g);
+          avg_qty = D.avg ~sum:qty.(g) ~count:count.(g);
+          avg_price = D.avg ~sum:base.(g) ~count:count.(g);
+          avg_disc = D.avg ~sum:disc.(g) ~count:count.(g);
+          count_order = count.(g);
+        }
+        :: !rows
+  done;
+  Results.sort_q1 !rows
+
+let q2 (db : Db_column.t) =
+  (* Eligible regions/nations/suppliers/parts resolved via value joins. *)
+  let region_key = ref (-1) in
+  let rt = db.Db_column.region in
+  T.iter_all rt ~f:(fun row ->
+      if T.get_string rt "r_name" row = Results.q2_region then
+        region_key := T.get_int rt "r_regionkey" row);
+  let nt = db.Db_column.nation in
+  let nation_in_region = Hashtbl.create 32 in
+  T.iter_all nt ~f:(fun row ->
+      if T.get_int nt "n_regionkey" row = !region_key then
+        Hashtbl.replace nation_in_region (T.get_int nt "n_nationkey" row)
+          (T.get_string nt "n_name" row));
+  let st = db.Db_column.supplier in
+  let eligible_supp = Hashtbl.create 1024 in
+  T.iter_all st ~f:(fun row ->
+      let nk = T.get_int st "s_nationkey" row in
+      match Hashtbl.find_opt nation_in_region nk with
+      | Some nname ->
+        Hashtbl.replace eligible_supp
+          (T.get_int st "s_suppkey" row)
+          (T.get_string st "s_name" row, nname, T.get_int st "s_acctbal" row)
+      | None -> ());
+  let pt = db.Db_column.part in
+  let eligible_part = Hashtbl.create 1024 in
+  T.iter_all pt ~f:(fun row ->
+      if
+        T.get_int pt "p_size" row = Results.q2_size
+        && ends_with ~suffix:Results.q2_type_suffix (T.get_string pt "p_type" row)
+      then
+        Hashtbl.replace eligible_part
+          (T.get_int pt "p_partkey" row)
+          (T.get_string pt "p_mfgr" row));
+  let pst = db.Db_column.partsupp in
+  let min_cost = Hashtbl.create 256 in
+  T.iter_all pst ~f:(fun row ->
+      let pk = T.get_int pst "ps_partkey" row in
+      if Hashtbl.mem eligible_part pk && Hashtbl.mem eligible_supp (T.get_int pst "ps_suppkey" row)
+      then begin
+        let cost = T.get_int pst "ps_supplycost" row in
+        match Hashtbl.find_opt min_cost pk with
+        | Some c when D.compare c cost <= 0 -> ()
+        | _ -> Hashtbl.replace min_cost pk cost
+      end);
+  let rows = ref [] in
+  T.iter_all pst ~f:(fun row ->
+      let pk = T.get_int pst "ps_partkey" row in
+      match (Hashtbl.find_opt eligible_part pk, Hashtbl.find_opt min_cost pk) with
+      | Some mfgr, Some c when D.equal c (T.get_int pst "ps_supplycost" row) -> (
+        match Hashtbl.find_opt eligible_supp (T.get_int pst "ps_suppkey" row) with
+        | Some (sname, nname, acctbal) ->
+          rows :=
+            {
+              Results.q2_acctbal = acctbal;
+              q2_s_name = sname;
+              q2_n_name = nname;
+              q2_partkey = pk;
+              q2_mfgr = mfgr;
+            }
+            :: !rows
+        | None -> ())
+      | _ -> ());
+  List.filteri (fun i _ -> i < 100) (Results.sort_q2 !rows)
+
+let q3 (db : Db_column.t) =
+  let ct = db.Db_column.customer in
+  let building = Hashtbl.create 1024 in
+  T.iter_all ct ~f:(fun row ->
+      if T.get_string ct "c_mktsegment" row = Results.q3_segment then
+        Hashtbl.replace building (T.get_int ct "c_custkey" row) ());
+  let ot = db.Db_column.orders in
+  let eligible_orders = Hashtbl.create 4096 in
+  (* Clustered seek: orders sorted by orderdate. *)
+  T.iter_range ot ~col:"o_orderdate" ~lo:date_min ~hi:(Results.q3_date - 1) ~f:(fun row ->
+      if Hashtbl.mem building (T.get_int ot "o_custkey" row) then
+        Hashtbl.replace eligible_orders
+          (T.get_int ot "o_orderkey" row)
+          (T.get_int ot "o_orderdate" row, T.get_int ot "o_shippriority" row));
+  let lt = db.Db_column.lineitem in
+  let ok_c = T.column lt "l_orderkey"
+  and price_c = T.column lt "l_extendedprice"
+  and disc_c = T.column lt "l_discount" in
+  let revenue = Hashtbl.create 4096 in
+  T.iter_range lt ~col:"l_shipdate" ~lo:(Results.q3_date + 1) ~hi:date_max ~f:(fun row ->
+      let ok = Smc_columnstore.Column.get_int ok_c row in
+      if Hashtbl.mem eligible_orders ok then begin
+        let amount =
+          D.mul
+            (Smc_columnstore.Column.get_int price_c row)
+            (D.sub D.one (Smc_columnstore.Column.get_int disc_c row))
+        in
+        match Hashtbl.find_opt revenue ok with
+        | Some r -> r := D.add !r amount
+        | None -> Hashtbl.add revenue ok (ref amount)
+      end);
+  let rows =
+    Hashtbl.fold
+      (fun ok r rows ->
+        let odate, oprio = Hashtbl.find eligible_orders ok in
+        {
+          Results.q3_orderkey = ok;
+          q3_revenue = !r;
+          q3_orderdate = odate;
+          q3_shippriority = oprio;
+        }
+        :: rows)
+      revenue []
+  in
+  List.filteri (fun i _ -> i < 10) (Results.sort_q3 rows)
+
+let q4 (db : Db_column.t) =
+  let lo = Results.q4_date in
+  let hi = Smc_util.Date.add_months lo 3 in
+  let ot = db.Db_column.orders in
+  let candidates = Hashtbl.create 4096 in
+  T.iter_range ot ~col:"o_orderdate" ~lo ~hi:(hi - 1) ~f:(fun row ->
+      Hashtbl.replace candidates
+        (T.get_int ot "o_orderkey" row)
+        (T.get_string ot "o_orderpriority" row));
+  let lt = db.Db_column.lineitem in
+  let ok_c = T.column lt "l_orderkey"
+  and commit_c = T.column lt "l_commitdate"
+  and receipt_c = T.column lt "l_receiptdate" in
+  let seen = Hashtbl.create 4096 in
+  let counts = Hashtbl.create 8 in
+  T.iter_all lt ~f:(fun row ->
+      if
+        Smc_columnstore.Column.get_int commit_c row
+        < Smc_columnstore.Column.get_int receipt_c row
+      then begin
+        let ok = Smc_columnstore.Column.get_int ok_c row in
+        match Hashtbl.find_opt candidates ok with
+        | Some priority when not (Hashtbl.mem seen ok) ->
+          Hashtbl.add seen ok ();
+          (match Hashtbl.find_opt counts priority with
+          | Some r -> incr r
+          | None -> Hashtbl.add counts priority (ref 1))
+        | _ -> ()
+      end);
+  Results.sort_q4
+    (Hashtbl.fold
+       (fun p r rows -> { Results.q4_priority = p; q4_count = !r } :: rows)
+       counts [])
+
+let q5 (db : Db_column.t) =
+  let lo = Results.q5_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  let region_key = ref (-1) in
+  let rt = db.Db_column.region in
+  T.iter_all rt ~f:(fun row ->
+      if T.get_string rt "r_name" row = Results.q5_region then
+        region_key := T.get_int rt "r_regionkey" row);
+  let nt = db.Db_column.nation in
+  let nation_name = Hashtbl.create 32 in
+  T.iter_all nt ~f:(fun row ->
+      if T.get_int nt "n_regionkey" row = !region_key then
+        Hashtbl.replace nation_name (T.get_int nt "n_nationkey" row)
+          (T.get_string nt "n_name" row));
+  let st = db.Db_column.supplier in
+  let supp_nation = Hashtbl.create 1024 in
+  T.iter_all st ~f:(fun row ->
+      Hashtbl.replace supp_nation (T.get_int st "s_suppkey" row)
+        (T.get_int st "s_nationkey" row));
+  let ct = db.Db_column.customer in
+  let cust_nation = Hashtbl.create 4096 in
+  T.iter_all ct ~f:(fun row ->
+      Hashtbl.replace cust_nation (T.get_int ct "c_custkey" row)
+        (T.get_int ct "c_nationkey" row));
+  let ot = db.Db_column.orders in
+  let order_cust = Hashtbl.create 4096 in
+  T.iter_range ot ~col:"o_orderdate" ~lo ~hi:(hi - 1) ~f:(fun row ->
+      Hashtbl.replace order_cust (T.get_int ot "o_orderkey" row) (T.get_int ot "o_custkey" row));
+  let lt = db.Db_column.lineitem in
+  let ok_c = T.column lt "l_orderkey"
+  and sk_c = T.column lt "l_suppkey"
+  and price_c = T.column lt "l_extendedprice"
+  and disc_c = T.column lt "l_discount" in
+  let revenue = Hashtbl.create 32 in
+  T.iter_all lt ~f:(fun row ->
+      match Hashtbl.find_opt order_cust (Smc_columnstore.Column.get_int ok_c row) with
+      | None -> ()
+      | Some custkey -> (
+        let snation = Hashtbl.find supp_nation (Smc_columnstore.Column.get_int sk_c row) in
+        match Hashtbl.find_opt nation_name snation with
+        | Some nname when Hashtbl.find cust_nation custkey = snation -> (
+          let amount =
+            D.mul
+              (Smc_columnstore.Column.get_int price_c row)
+              (D.sub D.one (Smc_columnstore.Column.get_int disc_c row))
+          in
+          match Hashtbl.find_opt revenue nname with
+          | Some r -> r := D.add !r amount
+          | None -> Hashtbl.add revenue nname (ref amount))
+        | _ -> ()));
+  Results.sort_q5
+    (Hashtbl.fold
+       (fun n r rows -> { Results.q5_nation = n; q5_revenue = !r } :: rows)
+       revenue [])
+
+let q6 (db : Db_column.t) =
+  let lo = Results.q6_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  let lt = db.Db_column.lineitem in
+  let qty_c = T.column lt "l_quantity"
+  and price_c = T.column lt "l_extendedprice"
+  and disc_c = T.column lt "l_discount" in
+  let acc = D.Acc.make () in
+  T.iter_range lt ~col:"l_shipdate" ~lo ~hi:(hi - 1) ~f:(fun row ->
+      let d = Smc_columnstore.Column.get_int disc_c row in
+      if
+        d >= Results.q6_disc_lo && d <= Results.q6_disc_hi
+        && Smc_columnstore.Column.get_int qty_c row < Results.q6_qty
+      then D.Acc.add_mul acc (Smc_columnstore.Column.get_int price_c row) d);
+  D.Acc.get acc

@@ -1,0 +1,11 @@
+(** TPC-H Q1–Q6 over the columnstore baseline: compressed columnar scans
+    with segment elimination, clustered-index range seeks on
+    lineitem.shipdate / orders.orderdate, and value-based hash joins — the
+    execution style of the paper's SQL Server comparison (Figure 13). *)
+
+val q1 : Db_column.t -> Results.q1
+val q2 : Db_column.t -> Results.q2
+val q3 : Db_column.t -> Results.q3
+val q4 : Db_column.t -> Results.q4
+val q5 : Db_column.t -> Results.q5
+val q6 : Db_column.t -> Results.q6

@@ -1,0 +1,114 @@
+open Row
+module D = Smc_decimal.Decimal
+
+module Operators = struct
+  let where = Seq.filter
+  let select = Seq.map
+
+  let group_by key seq =
+    let groups : ('k, 'a list ref) Hashtbl.t = Hashtbl.create 64 in
+    let order = ref [] in
+    Seq.iter
+      (fun x ->
+        let k = key x in
+        match Hashtbl.find_opt groups k with
+        | Some cell -> cell := x :: !cell
+        | None ->
+          Hashtbl.add groups k (ref [ x ]);
+          order := k :: !order)
+      seq;
+    List.to_seq
+      (List.rev_map (fun k -> (k, List.rev !(Hashtbl.find groups k))) !order)
+
+  let order_by_desc key seq =
+    let xs = List.of_seq seq in
+    List.to_seq (List.sort (fun a b -> compare (key b) (key a)) xs)
+
+  let take = Seq.take
+
+  let sum_by f seq = Seq.fold_left (fun acc x -> D.add acc (f x)) D.zero seq
+
+  let count seq = Seq.fold_left (fun acc _ -> acc + 1) 0 seq
+end
+
+open Operators
+
+(* Enumerate a managed store lazily, as foreach over IEnumerable does. The
+   underlying stores iterate by push; LINQ-to-objects pulls, so the source
+   adapter materialises the enumeration order once per query — the cost an
+   IEnumerable avoids but whose per-element interface calls it pays instead;
+   both models charge per element. *)
+let lineitems_seq (db : Db_managed.t) =
+  let buf = ref [] in
+  db.Db_managed.iter_lineitems (fun li -> buf := li :: !buf);
+  List.to_seq (List.rev !buf)
+
+let q1 (db : Db_managed.t) =
+  let cutoff =
+    Smc_util.Date.add_days (Smc_util.Date.of_ymd 1998 12 1) (-Results.q1_delta_days)
+  in
+  lineitems_seq db
+  |> where (fun li -> li.l_shipdate <= cutoff)
+  |> group_by (fun li -> (li.l_returnflag, li.l_linestatus))
+  |> select (fun ((rf, ls), lis) ->
+         let lis = List.to_seq lis in
+         let count = count lis in
+         let sum_qty = sum_by (fun li -> li.l_quantity) lis in
+         let sum_base = sum_by (fun li -> li.l_extendedprice) lis in
+         let sum_disc_price =
+           sum_by (fun li -> D.mul li.l_extendedprice (D.sub D.one li.l_discount)) lis
+         in
+         let sum_charge =
+           sum_by
+             (fun li ->
+               D.mul
+                 (D.mul li.l_extendedprice (D.sub D.one li.l_discount))
+                 (D.add D.one li.l_tax))
+             lis
+         in
+         let sum_disc = sum_by (fun li -> li.l_discount) lis in
+         {
+           Results.q1_returnflag = rf;
+           q1_linestatus = ls;
+           sum_qty;
+           sum_base_price = sum_base;
+           sum_disc_price;
+           sum_charge;
+           avg_qty = D.avg ~sum:sum_qty ~count;
+           avg_price = D.avg ~sum:sum_base ~count;
+           avg_disc = D.avg ~sum:sum_disc ~count;
+           count_order = count;
+         })
+  |> List.of_seq |> Results.sort_q1
+
+let q3 (db : Db_managed.t) =
+  lineitems_seq db
+  |> where (fun li -> li.l_shipdate > Results.q3_date)
+  |> where (fun li -> li.l_order.o_orderdate < Results.q3_date)
+  |> where (fun li -> li.l_order.o_customer.c_mktsegment = Results.q3_segment)
+  |> group_by (fun li -> li.l_order.o_orderkey)
+  |> select (fun (orderkey, lis) ->
+         let o = (List.hd lis).l_order in
+         {
+           Results.q3_orderkey = orderkey;
+           q3_revenue =
+             sum_by
+               (fun li -> D.mul li.l_extendedprice (D.sub D.one li.l_discount))
+               (List.to_seq lis);
+           q3_orderdate = o.o_orderdate;
+           q3_shippriority = o.o_shippriority;
+         })
+  |> List.of_seq |> Results.sort_q3
+  |> List.filteri (fun i _ -> i < 10)
+
+let q6 (db : Db_managed.t) =
+  let lo = Results.q6_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  lineitems_seq db
+  |> where (fun li -> li.l_shipdate >= lo && li.l_shipdate < hi)
+  |> where (fun li ->
+         D.compare li.l_discount Results.q6_disc_lo >= 0
+         && D.compare li.l_discount Results.q6_disc_hi <= 0)
+  |> where (fun li -> D.compare li.l_quantity Results.q6_qty < 0)
+  |> select (fun li -> D.mul li.l_extendedprice li.l_discount)
+  |> Seq.fold_left D.add D.zero

@@ -1,0 +1,25 @@
+(** TPC-H queries written in LINQ-to-objects style over managed collections:
+    lazy [Seq] pipelines with one closure application per element per
+    operator and intermediate objects between stages — the evaluation model
+    whose inefficiencies §1 of the paper describes, and the baseline behind
+    its "using LINQ instead of compiled code costs 40–400% more"
+    observation. Results are identical to {!Q_managed}'s (asserted by the
+    test suite); only the evaluation model differs. *)
+
+val q1 : Db_managed.t -> Results.q1
+val q3 : Db_managed.t -> Results.q3
+val q6 : Db_managed.t -> Results.q6
+
+(** The LINQ-style operators themselves, exposed for reuse/examples. *)
+module Operators : sig
+  val where : ('a -> bool) -> 'a Seq.t -> 'a Seq.t
+  val select : ('a -> 'b) -> 'a Seq.t -> 'b Seq.t
+
+  val group_by : ('a -> 'k) -> 'a Seq.t -> ('k * 'a list) Seq.t
+  (** Materialises, like LINQ's GroupBy. *)
+
+  val order_by_desc : ('a -> 'b) -> 'a Seq.t -> 'a Seq.t
+  val take : int -> 'a Seq.t -> 'a Seq.t
+  val sum_by : ('a -> Smc_decimal.Decimal.t) -> 'a Seq.t -> Smc_decimal.Decimal.t
+  val count : 'a Seq.t -> int
+end

@@ -1,0 +1,336 @@
+open Row
+module D = Smc_decimal.Decimal
+
+let ends_with ~suffix s =
+  let n = String.length suffix and m = String.length s in
+  m >= n && String.sub s (m - n) n = suffix
+
+(* Q1: pricing summary report. *)
+type q1_acc = {
+  mutable a_qty : D.t;
+  mutable a_base : D.t;
+  mutable a_disc_price : D.t;
+  mutable a_charge : D.t;
+  mutable a_disc : D.t;
+  mutable a_count : int;
+}
+
+let q1 (db : Db_managed.t) =
+  let cutoff = Smc_util.Date.add_days (Smc_util.Date.of_ymd 1998 12 1) (-Results.q1_delta_days) in
+  let groups : (char * char, q1_acc) Hashtbl.t = Hashtbl.create 8 in
+  db.Db_managed.iter_lineitems (fun li ->
+      if li.l_shipdate <= cutoff then begin
+        let key = (li.l_returnflag, li.l_linestatus) in
+        let acc =
+          match Hashtbl.find_opt groups key with
+          | Some acc -> acc
+          | None ->
+            let acc =
+              {
+                a_qty = D.zero;
+                a_base = D.zero;
+                a_disc_price = D.zero;
+                a_charge = D.zero;
+                a_disc = D.zero;
+                a_count = 0;
+              }
+            in
+            Hashtbl.add groups key acc;
+            acc
+        in
+        let disc_price = D.mul li.l_extendedprice (D.sub D.one li.l_discount) in
+        acc.a_qty <- D.add acc.a_qty li.l_quantity;
+        acc.a_base <- D.add acc.a_base li.l_extendedprice;
+        acc.a_disc_price <- D.add acc.a_disc_price disc_price;
+        acc.a_charge <- D.add acc.a_charge (D.mul disc_price (D.add D.one li.l_tax));
+        acc.a_disc <- D.add acc.a_disc li.l_discount;
+        acc.a_count <- acc.a_count + 1
+      end);
+  Results.sort_q1
+    (Hashtbl.fold
+       (fun (rf, ls) acc rows ->
+         {
+           Results.q1_returnflag = rf;
+           q1_linestatus = ls;
+           sum_qty = acc.a_qty;
+           sum_base_price = acc.a_base;
+           sum_disc_price = acc.a_disc_price;
+           sum_charge = acc.a_charge;
+           avg_qty = D.avg ~sum:acc.a_qty ~count:acc.a_count;
+           avg_price = D.avg ~sum:acc.a_base ~count:acc.a_count;
+           avg_disc = D.avg ~sum:acc.a_disc ~count:acc.a_count;
+           count_order = acc.a_count;
+         }
+         :: rows)
+       groups [])
+
+(* Q2: minimum-cost supplier. *)
+let q2 (db : Db_managed.t) =
+  let eligible (ps : partsupp) =
+    ps.ps_part.p_size = Results.q2_size
+    && ends_with ~suffix:Results.q2_type_suffix ps.ps_part.p_type
+    && ps.ps_supplier.s_nation.n_region.r_name = Results.q2_region
+  in
+  let min_cost : (int, D.t) Hashtbl.t = Hashtbl.create 64 in
+  db.Db_managed.iter_partsupps (fun ps ->
+      if eligible ps then begin
+        let k = ps.ps_part.p_partkey in
+        match Hashtbl.find_opt min_cost k with
+        | Some c when D.compare c ps.ps_supplycost <= 0 -> ()
+        | _ -> Hashtbl.replace min_cost k ps.ps_supplycost
+      end);
+  let rows = ref [] in
+  db.Db_managed.iter_partsupps (fun ps ->
+      if eligible ps then begin
+        match Hashtbl.find_opt min_cost ps.ps_part.p_partkey with
+        | Some c when D.equal c ps.ps_supplycost ->
+          rows :=
+            {
+              Results.q2_acctbal = ps.ps_supplier.s_acctbal;
+              q2_s_name = ps.ps_supplier.s_name;
+              q2_n_name = ps.ps_supplier.s_nation.n_name;
+              q2_partkey = ps.ps_part.p_partkey;
+              q2_mfgr = ps.ps_part.p_mfgr;
+            }
+            :: !rows
+        | _ -> ()
+      end);
+  let sorted = Results.sort_q2 !rows in
+  List.filteri (fun i _ -> i < 100) sorted
+
+(* Q3: shipping priority. *)
+type q3_acc = { o : order; mutable revenue : D.t }
+
+let q3 (db : Db_managed.t) =
+  let groups : (int, q3_acc) Hashtbl.t = Hashtbl.create 1024 in
+  db.Db_managed.iter_lineitems (fun li ->
+      if li.l_shipdate > Results.q3_date then begin
+        let o = li.l_order in
+        if o.o_orderdate < Results.q3_date && o.o_customer.c_mktsegment = Results.q3_segment
+        then begin
+          let acc =
+            match Hashtbl.find_opt groups o.o_orderkey with
+            | Some acc -> acc
+            | None ->
+              let acc = { o; revenue = D.zero } in
+              Hashtbl.add groups o.o_orderkey acc;
+              acc
+          in
+          acc.revenue <-
+            D.add acc.revenue (D.mul li.l_extendedprice (D.sub D.one li.l_discount))
+        end
+      end);
+  let rows =
+    Hashtbl.fold
+      (fun _ acc rows ->
+        {
+          Results.q3_orderkey = acc.o.o_orderkey;
+          q3_revenue = acc.revenue;
+          q3_orderdate = acc.o.o_orderdate;
+          q3_shippriority = acc.o.o_shippriority;
+        }
+        :: rows)
+      groups []
+  in
+  List.filteri (fun i _ -> i < 10) (Results.sort_q3 rows)
+
+(* Q4: order priority checking. *)
+let q4 (db : Db_managed.t) =
+  let lo = Results.q4_date in
+  let hi = Smc_util.Date.add_months lo 3 in
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let counts : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
+  db.Db_managed.iter_lineitems (fun li ->
+      if li.l_commitdate < li.l_receiptdate then begin
+        let o = li.l_order in
+        if o.o_orderdate >= lo && o.o_orderdate < hi && not (Hashtbl.mem seen o.o_orderkey)
+        then begin
+          Hashtbl.add seen o.o_orderkey ();
+          match Hashtbl.find_opt counts o.o_orderpriority with
+          | Some r -> incr r
+          | None -> Hashtbl.add counts o.o_orderpriority (ref 1)
+        end
+      end);
+  Results.sort_q4
+    (Hashtbl.fold
+       (fun p r rows -> { Results.q4_priority = p; q4_count = !r } :: rows)
+       counts [])
+
+(* Q5: local supplier volume. *)
+let q5 (db : Db_managed.t) =
+  let lo = Results.q5_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  let revenue : (string, D.t ref) Hashtbl.t = Hashtbl.create 32 in
+  db.Db_managed.iter_lineitems (fun li ->
+      let o = li.l_order in
+      if o.o_orderdate >= lo && o.o_orderdate < hi then begin
+        let snation = li.l_supplier.s_nation in
+        if
+          snation.n_region.r_name = Results.q5_region
+          && o.o_customer.c_nation == snation
+        then begin
+          let amount = D.mul li.l_extendedprice (D.sub D.one li.l_discount) in
+          match Hashtbl.find_opt revenue snation.n_name with
+          | Some r -> r := D.add !r amount
+          | None -> Hashtbl.add revenue snation.n_name (ref amount)
+        end
+      end);
+  Results.sort_q5
+    (Hashtbl.fold
+       (fun n r rows -> { Results.q5_nation = n; q5_revenue = !r } :: rows)
+       revenue [])
+
+(* Q7: volume shipping between two nations. *)
+let q7 (db : Db_managed.t) =
+  let n1 = Results.q7_nation1 and n2 = Results.q7_nation2 in
+  let revenue : (string * string * int, D.t ref) Hashtbl.t = Hashtbl.create 16 in
+  db.Db_managed.iter_lineitems (fun li ->
+      if li.l_shipdate >= Results.q7_date_lo && li.l_shipdate <= Results.q7_date_hi then begin
+        let supp_nation = li.l_supplier.s_nation.n_name in
+        let cust_nation = li.l_order.o_customer.c_nation.n_name in
+        if
+          (supp_nation = n1 && cust_nation = n2) || (supp_nation = n2 && cust_nation = n1)
+        then begin
+          let year, _, _ = Smc_util.Date.to_ymd li.l_shipdate in
+          let amount = D.mul li.l_extendedprice (D.sub D.one li.l_discount) in
+          let key = (supp_nation, cust_nation, year) in
+          match Hashtbl.find_opt revenue key with
+          | Some r -> r := D.add !r amount
+          | None -> Hashtbl.add revenue key (ref amount)
+        end
+      end);
+  Results.sort_q7
+    (Hashtbl.fold
+       (fun (sn, cn, year) r rows ->
+         { Results.q7_supp_nation = sn; q7_cust_nation = cn; q7_year = year; q7_revenue = !r }
+         :: rows)
+       revenue [])
+
+(* Q10: returned item reporting. *)
+type q10_acc = { q10_c : customer; mutable q10_rev : D.t }
+
+let q10 (db : Db_managed.t) =
+  let lo = Results.q10_date in
+  let hi = Smc_util.Date.add_months lo 3 in
+  let groups : (int, q10_acc) Hashtbl.t = Hashtbl.create 1024 in
+  db.Db_managed.iter_lineitems (fun li ->
+      if li.l_returnflag = 'R' then begin
+        let o = li.l_order in
+        if o.o_orderdate >= lo && o.o_orderdate < hi then begin
+          let c = o.o_customer in
+          let acc =
+            match Hashtbl.find_opt groups c.c_custkey with
+            | Some acc -> acc
+            | None ->
+              let acc = { q10_c = c; q10_rev = D.zero } in
+              Hashtbl.add groups c.c_custkey acc;
+              acc
+          in
+          acc.q10_rev <- D.add acc.q10_rev (D.mul li.l_extendedprice (D.sub D.one li.l_discount))
+        end
+      end);
+  let rows =
+    Hashtbl.fold
+      (fun _ acc rows ->
+        {
+          Results.q10_custkey = acc.q10_c.c_custkey;
+          q10_name = acc.q10_c.c_name;
+          q10_revenue = acc.q10_rev;
+          q10_acctbal = acc.q10_c.c_acctbal;
+          q10_nation = acc.q10_c.c_nation.n_name;
+        }
+        :: rows)
+      groups []
+  in
+  List.filteri (fun i _ -> i < 20) (Results.sort_q10 rows)
+
+(* Q12: shipping modes and order priority. *)
+let q12 (db : Db_managed.t) =
+  let mode1, mode2 = Results.q12_modes in
+  let lo = Results.q12_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  let high : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let low : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let bump tbl k = match Hashtbl.find_opt tbl k with
+    | Some r -> incr r
+    | None -> Hashtbl.add tbl k (ref 1)
+  in
+  db.Db_managed.iter_lineitems (fun li ->
+      if
+        (li.l_shipmode = mode1 || li.l_shipmode = mode2)
+        && li.l_commitdate < li.l_receiptdate
+        && li.l_shipdate < li.l_commitdate
+        && li.l_receiptdate >= lo && li.l_receiptdate < hi
+      then begin
+        let p = li.l_order.o_orderpriority in
+        if p = "1-URGENT" || p = "2-HIGH" then bump high li.l_shipmode
+        else bump low li.l_shipmode
+      end);
+  let modes = List.sort_uniq compare
+      (Hashtbl.fold (fun k _ acc -> k :: acc) high (Hashtbl.fold (fun k _ acc -> k :: acc) low []))
+  in
+  Results.sort_q12
+    (List.map
+       (fun m ->
+         {
+           Results.q12_shipmode = m;
+           q12_high = (match Hashtbl.find_opt high m with Some r -> !r | None -> 0);
+           q12_low = (match Hashtbl.find_opt low m with Some r -> !r | None -> 0);
+         })
+       modes)
+
+(* Q14: promotion effect. *)
+let q14 (db : Db_managed.t) =
+  let lo = Results.q14_date in
+  let hi = Smc_util.Date.add_months lo 1 in
+  let promo = ref D.zero and total = ref D.zero in
+  db.Db_managed.iter_lineitems (fun li ->
+      if li.l_shipdate >= lo && li.l_shipdate < hi then begin
+        let amount = D.mul li.l_extendedprice (D.sub D.one li.l_discount) in
+        total := D.add !total amount;
+        if String.length li.l_part.p_type >= 5 && String.sub li.l_part.p_type 0 5 = "PROMO"
+        then promo := D.add !promo amount
+      end);
+  if !total = D.zero then D.zero else D.div (D.mul (D.of_int 100) !promo) !total
+
+(* Q19: discounted revenue (three brand/container/quantity disjuncts). *)
+let q19_match (li : lineitem) =
+  let p = li.l_part in
+  let qty = li.l_quantity in
+  let between v a b = D.compare v (D.of_int a) >= 0 && D.compare v (D.of_int b) <= 0 in
+  let air = li.l_shipmode = "AIR" || li.l_shipmode = "REG AIR" in
+  let in_person = li.l_shipinstruct = "DELIVER IN PERSON" in
+  air && in_person
+  && ((p.p_brand = "Brand#12"
+       && (p.p_container = "SM CASE" || p.p_container = "SM BOX" || p.p_container = "SM PACK"
+         || p.p_container = "SM PKG")
+       && between qty 1 11 && p.p_size >= 1 && p.p_size <= 5)
+     || (p.p_brand = "Brand#23"
+        && (p.p_container = "MED BAG" || p.p_container = "MED BOX" || p.p_container = "MED PKG"
+          || p.p_container = "MED PACK")
+        && between qty 10 20 && p.p_size >= 1 && p.p_size <= 10)
+     || (p.p_brand = "Brand#34"
+        && (p.p_container = "LG CASE" || p.p_container = "LG BOX" || p.p_container = "LG PACK"
+          || p.p_container = "LG PKG")
+        && between qty 20 30 && p.p_size >= 1 && p.p_size <= 15))
+
+let q19 (db : Db_managed.t) =
+  let total = ref D.zero in
+  db.Db_managed.iter_lineitems (fun li ->
+      if q19_match li then
+        total := D.add !total (D.mul li.l_extendedprice (D.sub D.one li.l_discount)));
+  !total
+
+(* Q6: forecasting revenue change. *)
+let q6 (db : Db_managed.t) =
+  let lo = Results.q6_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  let total = ref D.zero in
+  db.Db_managed.iter_lineitems (fun li ->
+      if
+        li.l_shipdate >= lo && li.l_shipdate < hi
+        && D.compare li.l_discount Results.q6_disc_lo >= 0
+        && D.compare li.l_discount Results.q6_disc_hi <= 0
+        && D.compare li.l_quantity Results.q6_qty < 0
+      then total := D.add !total (D.mul li.l_extendedprice li.l_discount));
+  !total

@@ -1,0 +1,21 @@
+(** TPC-H Q1–Q6 as compiled imperative code over managed objects — the
+    hand-specialised equivalent of [13]'s generated C# with reference-based
+    joins, which Figure 11 uses for its List and ConcurrentDictionary
+    baselines. Joins chase record references; aggregation uses hash tables
+    keyed by group values. *)
+
+val q1 : Db_managed.t -> Results.q1
+val q2 : Db_managed.t -> Results.q2
+val q3 : Db_managed.t -> Results.q3
+val q4 : Db_managed.t -> Results.q4
+val q5 : Db_managed.t -> Results.q5
+val q6 : Db_managed.t -> Results.q6
+
+(** Extension queries beyond the paper's Q1–Q6 evaluation set: the other
+    enumeration-heavy TPC-H queries expressible over the object schema. *)
+
+val q7 : Db_managed.t -> Results.q7
+val q10 : Db_managed.t -> Results.q10
+val q12 : Db_managed.t -> Results.q12
+val q14 : Db_managed.t -> Results.q14
+val q19 : Db_managed.t -> Results.q19

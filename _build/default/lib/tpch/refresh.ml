@@ -1,0 +1,161 @@
+module C = Smc.Collection
+module F = Smc.Field
+module V = Smc_managed.Vector
+module CD = Smc_managed.Concurrent_dictionary
+module D = Smc_decimal.Decimal
+open Smc_util
+
+type ops = {
+  kind : string;
+  insert_batch : count:int -> unit;
+  remove_batch : keys:(int, unit) Hashtbl.t -> int;
+  size : unit -> int;
+  random_orderkey : Prng.t -> int;
+}
+
+let fresh_lineitem_values g =
+  let quantity = Prng.int_in g 1 50 in
+  ( quantity,
+    D.of_cents (Prng.int_in g 100000 10000000),
+    D.of_cents (Prng.int_in g 0 10),
+    D.of_cents (Prng.int_in g 0 8) )
+
+let smc_ops (db : Db_smc.t) (ds : Row.dataset) =
+  let lf = db.Db_smc.lf in
+  let n_orders = Array.length db.Db_smc.order_refs in
+  let insert_batch ~count =
+    let g = Prng.create ~seed:(Int64.of_int count) () in
+    for _ = 1 to count do
+      let oidx = Prng.int g n_orders in
+      let quantity, price, disc, tax = fresh_lineitem_values g in
+      ignore
+        (C.add db.Db_smc.lineitems ~init:(fun blk slot ->
+             F.set_ref lf.Db_smc.l_order ~target:db.Db_smc.orders blk slot
+               db.Db_smc.order_refs.(oidx);
+             F.set_int lf.Db_smc.l_linenumber blk slot 0;
+             F.set_dec lf.Db_smc.l_quantity blk slot (D.of_int quantity);
+             F.set_dec lf.Db_smc.l_extendedprice blk slot price;
+             F.set_dec lf.Db_smc.l_discount blk slot disc;
+             F.set_dec lf.Db_smc.l_tax blk slot tax;
+             F.set_string lf.Db_smc.l_returnflag blk slot "N";
+             F.set_string lf.Db_smc.l_linestatus blk slot "O";
+             F.set_date lf.Db_smc.l_shipdate blk slot Spec.current_date;
+             F.set_date lf.Db_smc.l_commitdate blk slot Spec.current_date;
+             F.set_date lf.Db_smc.l_receiptdate blk slot Spec.current_date)
+          : Smc.Ref.t)
+    done
+  in
+  let remove_batch ~keys =
+    (* Single enumeration with allocation-free reference navigation, as the
+       compiled removal stream would be generated. *)
+    let removed = ref 0 in
+    let orders = db.Db_smc.orders in
+    let f_key = db.Db_smc.orf.Db_smc.o_orderkey in
+    let o_key = f_key.Smc_offheap.Layout.word in
+    let o_sw = orders.C.layout.Smc_offheap.Layout.slot_words in
+    let row_major = orders.C.ctx.Smc_offheap.Context.placement = Smc_offheap.Block.Row in
+    C.with_read db.Db_smc.lineitems (fun () ->
+        C.iter db.Db_smc.lineitems ~f:(fun blk slot ->
+            let loc = F.follow_loc lf.Db_smc.l_order ~target:orders blk slot in
+            if loc >= 0 then begin
+              let ob = C.loc_block orders loc and os = C.loc_slot loc in
+              let orderkey =
+                if row_major then
+                  Bigarray.Array1.unsafe_get ob.Smc_offheap.Block.data ((os * o_sw) + o_key)
+                else F.get_int f_key ob os
+              in
+              if Hashtbl.mem keys orderkey then begin
+                let r = C.ref_of_slot db.Db_smc.lineitems blk slot in
+                if C.remove db.Db_smc.lineitems r then incr removed
+              end
+            end));
+    !removed
+  in
+  {
+    kind = "smc";
+    insert_batch;
+    remove_batch;
+    size = (fun () -> C.count db.Db_smc.lineitems);
+    random_orderkey = (fun g -> ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)).Row.o_orderkey);
+  }
+
+let fresh_lineitem_row g (ds : Row.dataset) =
+  let order = ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)) in
+  let part = ds.Row.parts.(Prng.int g (Array.length ds.Row.parts)) in
+  let supplier = ds.Row.suppliers.(Prng.int g (Array.length ds.Row.suppliers)) in
+  let quantity, price, disc, tax = fresh_lineitem_values g in
+  {
+    Row.l_order = order;
+    l_part = part;
+    l_supplier = supplier;
+    l_linenumber = 0;
+    l_quantity = D.of_int quantity;
+    l_extendedprice = price;
+    l_discount = disc;
+    l_tax = tax;
+    l_returnflag = 'N';
+    l_linestatus = 'O';
+    l_shipdate = Spec.current_date;
+    l_commitdate = Spec.current_date;
+    l_receiptdate = Spec.current_date;
+    l_shipinstruct = "NONE";
+    l_shipmode = "MAIL";
+    l_comment = "refresh";
+  }
+
+let vector_ops (ds : Row.dataset) =
+  let v = V.create ~capacity:(Array.length ds.Row.lineitems) () in
+  Array.iter (fun li -> V.add v li) ds.Row.lineitems;
+  let insert_batch ~count =
+    let g = Prng.create ~seed:(Int64.of_int count) () in
+    for _ = 1 to count do
+      V.add v (fresh_lineitem_row g ds)
+    done
+  in
+  let remove_batch ~keys =
+    V.remove_bulk v ~pred:(fun (li : Row.lineitem) ->
+        Hashtbl.mem keys li.Row.l_order.Row.o_orderkey)
+  in
+  {
+    kind = "list";
+    insert_batch;
+    remove_batch;
+    size = (fun () -> V.length v);
+    random_orderkey = (fun g -> ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)).Row.o_orderkey);
+  }
+
+let dict_ops (ds : Row.dataset) =
+  let d = CD.create ~capacity:(Array.length ds.Row.lineitems) () in
+  Array.iter (fun li -> CD.add d ~key:(Dbgen.lineitem_key li) li) ds.Row.lineitems;
+  let next_key = Atomic.make (1 lsl 40) in
+  let insert_batch ~count =
+    let g = Prng.create ~seed:(Int64.of_int count) () in
+    for _ = 1 to count do
+      CD.add d ~key:(Atomic.fetch_and_add next_key 1) (fresh_lineitem_row g ds)
+    done
+  in
+  let remove_batch ~keys =
+    (* Single enumeration collecting the matching dictionary keys, then
+       targeted removals — the ConcurrentDictionary idiom. *)
+    let to_remove = ref [] in
+    CD.iter d ~f:(fun k (li : Row.lineitem) ->
+        if Hashtbl.mem keys li.Row.l_order.Row.o_orderkey then to_remove := k :: !to_remove);
+    List.fold_left (fun acc k -> if CD.remove d ~key:k then acc + 1 else acc) 0 !to_remove
+  in
+  {
+    kind = "dict";
+    insert_batch;
+    remove_batch;
+    size = (fun () -> CD.length d);
+    random_orderkey = (fun g -> ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)).Row.o_orderkey);
+  }
+
+let run_stream_pair ops ~prng ~batch =
+  ops.insert_batch ~count:batch;
+  let keys = Hashtbl.create batch in
+  (* Order keys cluster ~4 lineitems each; selecting batch/4 keys removes
+     roughly [batch] objects, matching the insert volume. *)
+  for _ = 1 to max 1 (batch / 4) do
+    Hashtbl.replace keys (ops.random_orderkey prng) ()
+  done;
+  ignore (ops.remove_batch ~keys : int)

@@ -1,0 +1,36 @@
+(** TPC-H refresh streams (§7, Figure 8).
+
+    Two stream kinds run continuously with equal frequency: an insert stream
+    adds fresh lineitem objects (0.1% of the initial population per stream),
+    and a remove stream enumerates the lineitem collection once and removes
+    the 0.1% of objects whose orderkey is in a provided hash set. The [ops]
+    record abstracts the backing collection so the same driver measures
+    SMCs, vectors and concurrent dictionaries. *)
+
+type ops = {
+  kind : string;
+  insert_batch : count:int -> unit;
+  remove_batch : keys:(int, unit) Hashtbl.t -> int;
+      (** single enumeration; returns number removed *)
+  size : unit -> int;
+  random_orderkey : Smc_util.Prng.t -> int;
+      (** an orderkey from the initial population, for building remove sets *)
+}
+
+val smc_ops : Db_smc.t -> Row.dataset -> ops
+(** Thread-safe. *)
+
+val vector_ops : Row.dataset -> ops
+(** Backed by {!Smc_managed.Vector}; NOT thread-safe — callers serialise
+    (the benchmark wraps it in a mutex, as using [List<T>] from multiple
+    threads would require). *)
+
+val dict_ops : Row.dataset -> ops
+(** Backed by {!Smc_managed.Concurrent_dictionary}; thread-safe. *)
+
+val fresh_lineitem_row : Smc_util.Prng.t -> Row.dataset -> Row.lineitem
+(** A synthetic insert-stream lineitem referencing random existing rows. *)
+
+val run_stream_pair : ops -> prng:Smc_util.Prng.t -> batch:int -> unit
+(** One insert stream followed by one remove stream of [batch] objects
+    each — the unit of work Figure 8 counts per minute. *)

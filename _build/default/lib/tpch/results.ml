@@ -1,0 +1,173 @@
+module D = Smc_decimal.Decimal
+
+type q1_row = {
+  q1_returnflag : char;
+  q1_linestatus : char;
+  sum_qty : D.t;
+  sum_base_price : D.t;
+  sum_disc_price : D.t;
+  sum_charge : D.t;
+  avg_qty : D.t;
+  avg_price : D.t;
+  avg_disc : D.t;
+  count_order : int;
+}
+
+type q2_row = {
+  q2_acctbal : D.t;
+  q2_s_name : string;
+  q2_n_name : string;
+  q2_partkey : int;
+  q2_mfgr : string;
+}
+
+type q3_row = {
+  q3_orderkey : int;
+  q3_revenue : D.t;
+  q3_orderdate : Smc_util.Date.t;
+  q3_shippriority : int;
+}
+
+type q4_row = { q4_priority : string; q4_count : int }
+
+type q5_row = { q5_nation : string; q5_revenue : D.t }
+
+type q7_row = {
+  q7_supp_nation : string;
+  q7_cust_nation : string;
+  q7_year : int;
+  q7_revenue : D.t;
+}
+
+type q10_row = {
+  q10_custkey : int;
+  q10_name : string;
+  q10_revenue : D.t;
+  q10_acctbal : D.t;
+  q10_nation : string;
+}
+
+type q12_row = { q12_shipmode : string; q12_high : int; q12_low : int }
+
+type q1 = q1_row list
+type q2 = q2_row list
+type q3 = q3_row list
+type q4 = q4_row list
+type q5 = q5_row list
+type q6 = D.t
+type q7 = q7_row list
+type q10 = q10_row list
+type q12 = q12_row list
+type q14 = D.t
+type q19 = D.t
+
+let sort_q1 rows =
+  List.sort
+    (fun a b ->
+      match Char.compare a.q1_returnflag b.q1_returnflag with
+      | 0 -> Char.compare a.q1_linestatus b.q1_linestatus
+      | c -> c)
+    rows
+
+let sort_q2 rows =
+  List.sort
+    (fun a b ->
+      match D.compare b.q2_acctbal a.q2_acctbal with
+      | 0 -> (
+        match String.compare a.q2_n_name b.q2_n_name with
+        | 0 -> (
+          match String.compare a.q2_s_name b.q2_s_name with
+          | 0 -> Int.compare a.q2_partkey b.q2_partkey
+          | c -> c)
+        | c -> c)
+      | c -> c)
+    rows
+
+let sort_q3 rows =
+  List.sort
+    (fun a b ->
+      match D.compare b.q3_revenue a.q3_revenue with
+      | 0 -> Int.compare a.q3_orderdate b.q3_orderdate
+      | c -> c)
+    rows
+
+let sort_q4 rows = List.sort (fun a b -> String.compare a.q4_priority b.q4_priority) rows
+
+let sort_q5 rows = List.sort (fun a b -> D.compare b.q5_revenue a.q5_revenue) rows
+
+let sort_q7 rows =
+  List.sort
+    (fun a b ->
+      match String.compare a.q7_supp_nation b.q7_supp_nation with
+      | 0 -> (
+        match String.compare a.q7_cust_nation b.q7_cust_nation with
+        | 0 -> Int.compare a.q7_year b.q7_year
+        | c -> c)
+      | c -> c)
+    rows
+
+let sort_q10 rows =
+  List.sort
+    (fun a b ->
+      match D.compare b.q10_revenue a.q10_revenue with
+      | 0 -> Int.compare a.q10_custkey b.q10_custkey
+      | c -> c)
+    rows
+
+let sort_q12 rows =
+  List.sort (fun a b -> String.compare a.q12_shipmode b.q12_shipmode) rows
+
+let equal_q7 = List.equal (fun (a : q7_row) b -> a = b)
+let equal_q10 = List.equal (fun (a : q10_row) b -> a = b)
+let equal_q12 = List.equal (fun (a : q12_row) b -> a = b)
+
+let equal_q1 = List.equal (fun (a : q1_row) b -> a = b)
+let equal_q2 = List.equal (fun (a : q2_row) b -> a = b)
+let equal_q3 = List.equal (fun (a : q3_row) b -> a = b)
+let equal_q4 = List.equal (fun (a : q4_row) b -> a = b)
+let equal_q5 = List.equal (fun (a : q5_row) b -> a = b)
+
+let pp_q1 rows =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%c|%c|%s|%s|%s|%s|%s|%s|%s|%d" r.q1_returnflag r.q1_linestatus
+           (D.to_string r.sum_qty) (D.to_string r.sum_base_price)
+           (D.to_string r.sum_disc_price) (D.to_string r.sum_charge)
+           (D.to_string r.avg_qty) (D.to_string r.avg_price) (D.to_string r.avg_disc)
+           r.count_order)
+       rows)
+
+let pp_q3 rows =
+  String.concat "\n"
+    (List.map
+       (fun r ->
+         Printf.sprintf "%d|%s|%s|%d" r.q3_orderkey (D.to_string r.q3_revenue)
+           (Smc_util.Date.to_string r.q3_orderdate) r.q3_shippriority)
+       rows)
+
+let pp_q5 rows =
+  String.concat "\n"
+    (List.map (fun r -> Printf.sprintf "%s|%s" r.q5_nation (D.to_string r.q5_revenue)) rows)
+
+let q1_delta_days = 90
+let q2_size = 15
+let q2_type_suffix = "BRASS"
+let q2_region = "EUROPE"
+let q3_segment = "BUILDING"
+let q3_date = Smc_util.Date.of_ymd 1995 3 15
+let q4_date = Smc_util.Date.of_ymd 1993 7 1
+let q5_region = "ASIA"
+let q5_date = Smc_util.Date.of_ymd 1994 1 1
+let q6_date = Smc_util.Date.of_ymd 1994 1 1
+let q6_disc_lo = D.of_cents 5
+let q6_disc_hi = D.of_cents 7
+let q6_qty = D.of_int 24
+let q7_nation1 = "FRANCE"
+let q7_nation2 = "GERMANY"
+let q7_date_lo = Smc_util.Date.of_ymd 1995 1 1
+let q7_date_hi = Smc_util.Date.of_ymd 1996 12 31
+let q10_date = Smc_util.Date.of_ymd 1993 10 1
+let q12_modes = ("MAIL", "SHIP")
+let q12_date = Smc_util.Date.of_ymd 1994 1 1
+let q14_date = Smc_util.Date.of_ymd 1995 9 1

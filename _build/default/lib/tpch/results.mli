@@ -1,0 +1,150 @@
+(** Result row types for TPC-H Q1–Q6.
+
+    Every engine (managed records, SMC safe/unsafe/direct/columnar,
+    columnstore, and the generic plan evaluators) produces these same
+    types, so the test suite can assert bit-exact agreement across engines
+    — the strongest correctness check the reproduction has. *)
+
+module D := Smc_decimal.Decimal
+
+type q1_row = {
+  q1_returnflag : char;
+  q1_linestatus : char;
+  sum_qty : D.t;
+  sum_base_price : D.t;
+  sum_disc_price : D.t;
+  sum_charge : D.t;
+  avg_qty : D.t;
+  avg_price : D.t;
+  avg_disc : D.t;
+  count_order : int;
+}
+
+type q2_row = {
+  q2_acctbal : D.t;
+  q2_s_name : string;
+  q2_n_name : string;
+  q2_partkey : int;
+  q2_mfgr : string;
+}
+
+type q3_row = {
+  q3_orderkey : int;
+  q3_revenue : D.t;
+  q3_orderdate : Smc_util.Date.t;
+  q3_shippriority : int;
+}
+
+type q4_row = { q4_priority : string; q4_count : int }
+
+type q5_row = { q5_nation : string; q5_revenue : D.t }
+
+type q7_row = {
+  q7_supp_nation : string;
+  q7_cust_nation : string;
+  q7_year : int;
+  q7_revenue : D.t;
+}
+
+type q10_row = {
+  q10_custkey : int;
+  q10_name : string;
+  q10_revenue : D.t;
+  q10_acctbal : D.t;
+  q10_nation : string;
+}
+
+type q12_row = { q12_shipmode : string; q12_high : int; q12_low : int }
+
+type q1 = q1_row list
+type q2 = q2_row list
+type q3 = q3_row list
+type q4 = q4_row list
+type q5 = q5_row list
+type q6 = D.t
+type q7 = q7_row list
+type q10 = q10_row list
+type q12 = q12_row list
+
+type q14 = D.t
+(** promo revenue percentage, decimal-scaled *)
+
+type q19 = D.t
+
+val sort_q1 : q1 -> q1
+(** Order by returnflag, linestatus (the query's ORDER BY). *)
+
+val sort_q2 : q2 -> q2
+(** Order by acctbal desc, n_name, s_name, partkey; callers apply LIMIT. *)
+
+val sort_q3 : q3 -> q3
+(** Order by revenue desc, orderdate asc. *)
+
+val sort_q4 : q4 -> q4
+val sort_q5 : q5 -> q5
+
+val sort_q7 : q7 -> q7
+(** Order by supp_nation, cust_nation, year. *)
+
+val sort_q10 : q10 -> q10
+(** Order by revenue desc; callers apply LIMIT 20. *)
+
+val sort_q12 : q12 -> q12
+(** Order by shipmode. *)
+
+val equal_q1 : q1 -> q1 -> bool
+val equal_q2 : q2 -> q2 -> bool
+val equal_q3 : q3 -> q3 -> bool
+val equal_q4 : q4 -> q4 -> bool
+val equal_q5 : q5 -> q5 -> bool
+val equal_q7 : q7 -> q7 -> bool
+val equal_q10 : q10 -> q10 -> bool
+val equal_q12 : q12 -> q12 -> bool
+
+val pp_q1 : q1 -> string
+val pp_q3 : q3 -> string
+val pp_q5 : q5 -> string
+
+(** Query parameters (the spec's validation values). *)
+
+val q1_delta_days : int  (** 90: shipdate <= 1998-12-01 - 90 days *)
+
+val q2_size : int  (** 15 *)
+
+val q2_type_suffix : string  (** "BRASS" *)
+
+val q2_region : string  (** "EUROPE" *)
+
+val q3_segment : string  (** "BUILDING" *)
+
+val q3_date : Smc_util.Date.t  (** 1995-03-15 *)
+
+val q4_date : Smc_util.Date.t  (** 1993-07-01, range is +3 months *)
+
+val q5_region : string  (** "ASIA" *)
+
+val q5_date : Smc_util.Date.t  (** 1994-01-01, range is +1 year *)
+
+val q6_date : Smc_util.Date.t  (** 1994-01-01, range is +1 year *)
+
+val q6_disc_lo : D.t  (** 0.05 *)
+
+val q6_disc_hi : D.t  (** 0.07 *)
+
+val q6_qty : D.t  (** 24 *)
+
+val q7_nation1 : string  (** "FRANCE" *)
+
+val q7_nation2 : string  (** "GERMANY" *)
+
+val q7_date_lo : Smc_util.Date.t  (** 1995-01-01 *)
+
+val q7_date_hi : Smc_util.Date.t  (** 1996-12-31, inclusive *)
+
+val q10_date : Smc_util.Date.t  (** 1993-10-01, range is +3 months *)
+
+val q12_modes : string * string  (** ("MAIL", "SHIP") *)
+
+val q12_date : Smc_util.Date.t  (** 1994-01-01, receiptdate range is +1 year *)
+
+val q14_date : Smc_util.Date.t  (** 1995-09-01, range is +1 month *)

@@ -1,0 +1,101 @@
+(** The object-oriented TPC-H schema as plain OCaml records — the managed
+    representation. Every primary-foreign-key relation is a direct record
+    reference, matching the paper's adaptation ("tpc-h tables map to
+    collections and each record to an object composed of primitive types and
+    references to other records"). These records are what the managed
+    baselines ([Vector], [Concurrent_dictionary], [Concurrent_bag]) store,
+    and what the generator produces; the SMC and columnstore loaders derive
+    their representations from them. *)
+
+type region = { r_regionkey : int; r_name : string; r_comment : string }
+
+type nation = {
+  n_nationkey : int;
+  n_name : string;
+  n_region : region;
+  n_comment : string;
+}
+
+type supplier = {
+  s_suppkey : int;
+  s_name : string;
+  s_address : string;
+  s_nation : nation;
+  s_phone : string;
+  s_acctbal : Smc_decimal.Decimal.t;
+  s_comment : string;
+}
+
+type part = {
+  p_partkey : int;
+  p_name : string;
+  p_mfgr : string;
+  p_brand : string;
+  p_type : string;
+  p_size : int;
+  p_container : string;
+  p_retailprice : Smc_decimal.Decimal.t;
+  p_comment : string;
+}
+
+type partsupp = {
+  ps_part : part;
+  ps_supplier : supplier;
+  ps_availqty : int;
+  ps_supplycost : Smc_decimal.Decimal.t;
+  ps_comment : string;
+}
+
+type customer = {
+  c_custkey : int;
+  c_name : string;
+  c_address : string;
+  c_nation : nation;
+  c_phone : string;
+  c_acctbal : Smc_decimal.Decimal.t;
+  c_mktsegment : string;
+  c_comment : string;
+}
+
+type order = {
+  o_orderkey : int;
+  o_customer : customer;
+  o_orderstatus : char;
+  o_totalprice : Smc_decimal.Decimal.t;
+  o_orderdate : Smc_util.Date.t;
+  o_orderpriority : string;
+  o_clerk : string;
+  o_shippriority : int;
+  o_comment : string;
+}
+
+type lineitem = {
+  l_order : order;
+  l_part : part;
+  l_supplier : supplier;
+  l_linenumber : int;
+  l_quantity : Smc_decimal.Decimal.t;
+  l_extendedprice : Smc_decimal.Decimal.t;
+  l_discount : Smc_decimal.Decimal.t;
+  l_tax : Smc_decimal.Decimal.t;
+  l_returnflag : char;
+  l_linestatus : char;
+  l_shipdate : Smc_util.Date.t;
+  l_commitdate : Smc_util.Date.t;
+  l_receiptdate : Smc_util.Date.t;
+  l_shipinstruct : string;
+  l_shipmode : string;
+  l_comment : string;
+}
+
+type dataset = {
+  sf : float;
+  regions : region array;
+  nations : nation array;
+  suppliers : supplier array;
+  parts : part array;
+  partsupps : partsupp array;
+  customers : customer array;
+  orders : order array;
+  lineitems : lineitem array;
+}

@@ -1,0 +1,98 @@
+open Smc_offheap.Layout
+
+let region =
+  create ~name:"region"
+    [ ("r_regionkey", Int); ("r_name", Str 25); ("r_comment", Str 40) ]
+
+let nation =
+  create ~name:"nation"
+    [
+      ("n_nationkey", Int);
+      ("n_name", Str 25);
+      ("n_region", Ref "region");
+      ("n_comment", Str 40);
+    ]
+
+let supplier =
+  create ~name:"supplier"
+    [
+      ("s_suppkey", Int);
+      ("s_name", Str 25);
+      ("s_address", Str 30);
+      ("s_nation", Ref "nation");
+      ("s_phone", Str 15);
+      ("s_acctbal", Dec);
+      ("s_comment", Str 40);
+    ]
+
+let part =
+  create ~name:"part"
+    [
+      ("p_partkey", Int);
+      ("p_name", Str 40);
+      ("p_mfgr", Str 25);
+      ("p_brand", Str 10);
+      ("p_type", Str 25);
+      ("p_size", Int);
+      ("p_container", Str 10);
+      ("p_retailprice", Dec);
+      ("p_comment", Str 20);
+    ]
+
+let partsupp =
+  create ~name:"partsupp"
+    [
+      ("ps_part", Ref "part");
+      ("ps_supplier", Ref "supplier");
+      ("ps_availqty", Int);
+      ("ps_supplycost", Dec);
+      ("ps_comment", Str 40);
+    ]
+
+let customer =
+  create ~name:"customer"
+    [
+      ("c_custkey", Int);
+      ("c_name", Str 25);
+      ("c_address", Str 30);
+      ("c_nation", Ref "nation");
+      ("c_phone", Str 15);
+      ("c_acctbal", Dec);
+      ("c_mktsegment", Str 10);
+      ("c_comment", Str 40);
+    ]
+
+let order =
+  create ~name:"order"
+    [
+      ("o_orderkey", Int);
+      ("o_customer", Ref "customer");
+      ("o_orderstatus", Str 1);
+      ("o_totalprice", Dec);
+      ("o_orderdate", Date);
+      ("o_orderpriority", Str 15);
+      ("o_clerk", Str 15);
+      ("o_shippriority", Int);
+      ("o_comment", Str 40);
+    ]
+
+let lineitem =
+  create ~name:"lineitem"
+    [
+      ("l_order", Ref "order");
+      ("l_part", Ref "part");
+      ("l_supplier", Ref "supplier");
+      ("l_linenumber", Int);
+      ("l_quantity", Dec);
+      ("l_extendedprice", Dec);
+      ("l_discount", Dec);
+      ("l_tax", Dec);
+      ("l_returnflag", Str 1);
+      ("l_linestatus", Str 1);
+      ("l_shipdate", Date);
+      ("l_commitdate", Date);
+      ("l_receiptdate", Date);
+      ("l_shipinstruct", Str 25);
+      ("l_shipmode", Str 10);
+      ("l_comment", Str 27);
+    ]

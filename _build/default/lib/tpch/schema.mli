@@ -1,0 +1,15 @@
+(** SMC layouts for the TPC-H tables (tabular classes, §2).
+
+    Strings are inline fixed-capacity fields (their lifetime matches the
+    object's); every key relation is a [Ref] field; money/rates are [Dec];
+    dates are [Date]. Field capacities cover the generator's value
+    domains. *)
+
+val region : Smc_offheap.Layout.t
+val nation : Smc_offheap.Layout.t
+val supplier : Smc_offheap.Layout.t
+val part : Smc_offheap.Layout.t
+val partsupp : Smc_offheap.Layout.t
+val customer : Smc_offheap.Layout.t
+val order : Smc_offheap.Layout.t
+val lineitem : Smc_offheap.Layout.t

@@ -1,0 +1,82 @@
+let regions =
+  [|
+    ("AFRICA", "special pinto beans");
+    ("AMERICA", "even deposits wake");
+    ("ASIA", "silent requests cajole");
+    ("EUROPE", "furiously express accounts");
+    ("MIDDLE EAST", "slyly ruthless requests");
+  |]
+
+let nations =
+  [|
+    ("ALGERIA", 0); ("ARGENTINA", 1); ("BRAZIL", 1); ("CANADA", 1); ("EGYPT", 4);
+    ("ETHIOPIA", 0); ("FRANCE", 3); ("GERMANY", 3); ("INDIA", 2); ("INDONESIA", 2);
+    ("IRAN", 4); ("IRAQ", 4); ("JAPAN", 2); ("JORDAN", 4); ("KENYA", 0);
+    ("MOROCCO", 0); ("MOZAMBIQUE", 0); ("PERU", 1); ("CHINA", 2); ("ROMANIA", 3);
+    ("SAUDI ARABIA", 4); ("VIETNAM", 2); ("RUSSIA", 3); ("UNITED KINGDOM", 3);
+    ("UNITED STATES", 1);
+  |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+
+let instructs = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+
+let containers =
+  [|
+    "SM CASE"; "SM BOX"; "SM PACK"; "SM PKG"; "MED BAG"; "MED BOX"; "MED PKG";
+    "MED PACK"; "LG CASE"; "LG BOX"; "LG PACK"; "LG PKG"; "JUMBO JAR"; "WRAP DRUM";
+  |]
+
+(* type = syllable1 syllable2 syllable3, as in the spec *)
+let type_syl1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syl2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syl3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let types =
+  Array.init
+    (Array.length type_syl1 * Array.length type_syl2 * Array.length type_syl3)
+    (fun i ->
+      let a = i / (Array.length type_syl2 * Array.length type_syl3) in
+      let b = i / Array.length type_syl3 mod Array.length type_syl2 in
+      let c = i mod Array.length type_syl3 in
+      Printf.sprintf "%s %s %s" type_syl1.(a) type_syl2.(b) type_syl3.(c))
+
+let colors =
+  [|
+    "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black"; "blanched";
+    "blue"; "blush"; "brown"; "burlywood"; "burnished"; "chartreuse"; "chiffon";
+    "chocolate"; "coral"; "cornflower"; "cream"; "cyan"; "dark"; "deep"; "dim";
+    "dodger"; "drab"; "firebrick"; "floral"; "forest"; "frosted"; "gainsboro";
+    "ghost"; "goldenrod"; "green"; "grey"; "honeydew"; "hot"; "indian"; "ivory";
+    "khaki"; "lace"; "lavender"; "lawn"; "lemon"; "light"; "lime"; "linen";
+  |]
+
+let brands = Array.init 25 (fun i -> Printf.sprintf "Brand#%d%d" ((i / 5) + 1) ((i mod 5) + 1))
+
+let lexicon =
+  [|
+    "furiously"; "quickly"; "slyly"; "carefully"; "blithely"; "express"; "regular";
+    "special"; "pending"; "final"; "ironic"; "even"; "bold"; "silent"; "unusual";
+    "accounts"; "packages"; "deposits"; "requests"; "instructions"; "foxes";
+    "pinto"; "beans"; "theodolites"; "platelets"; "dependencies"; "excuses";
+    "ideas"; "asymptotes"; "dolphins"; "sleep"; "wake"; "cajole"; "nag"; "haggle";
+    "dazzle"; "integrate"; "boost"; "engage"; "detect"; "among"; "above"; "against";
+  |]
+
+let orders_per_sf = 1_500_000
+let customers_per_sf = 150_000
+let parts_per_sf = 200_000
+let suppliers_per_sf = 10_000
+
+let start_date = Smc_util.Date.of_ymd 1992 1 1
+let end_date = Smc_util.Date.of_ymd 1998 12 31
+let current_date = Smc_util.Date.of_ymd 1995 6 17
+
+let retail_price partkey =
+  (* (90000 + ((partkey/10) mod 20001) + 100 * (partkey mod 1000)) / 100 *)
+  Smc_decimal.Decimal.of_cents
+    (90000 + (partkey / 10 mod 20001) + (100 * (partkey mod 1000)))

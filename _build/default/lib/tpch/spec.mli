@@ -1,0 +1,37 @@
+(** TPC-H value domains: the constant pools the generator draws from.
+
+    Cardinality ratios, date ranges and categorical domains follow the TPC-H
+    specification so query selectivities and join fan-outs match the
+    official workload; text is drawn from a small lexicon rather than the
+    spec's grammar (irrelevant to the queries, which never parse comments). *)
+
+val regions : (string * string) array
+(** (name, comment) — the five official regions in key order. *)
+
+val nations : (string * int) array
+(** (name, region key) — the 25 official nations in key order. *)
+
+val segments : string array
+val priorities : string array
+val instructs : string array
+val modes : string array
+val containers : string array
+val types : string array
+val colors : string array
+val brands : string array
+val lexicon : string array
+
+val orders_per_sf : int  (** 1_500_000 *)
+
+val customers_per_sf : int
+val parts_per_sf : int
+val suppliers_per_sf : int
+
+val start_date : Smc_util.Date.t  (** 1992-01-01 *)
+
+val end_date : Smc_util.Date.t  (** 1998-12-31 *)
+
+val current_date : Smc_util.Date.t  (** 1995-06-17, used for returnflag/linestatus *)
+
+val retail_price : int -> Smc_decimal.Decimal.t
+(** Official partkey → retail price formula. *)

@@ -1,0 +1,1 @@
+lib/util/date.ml: Printf String

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (splitmix64) used everywhere randomness is
+    needed — data generation, workload shuffles, property tests — so that
+    every experiment in the repository is reproducible from a seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] makes a fresh generator. The default seed is fixed so
+    that unseeded uses are still deterministic. *)
+
+val copy : t -> t
+(** Independent copy with identical state. *)
+
+val split : t -> t
+(** [split g] derives a new generator whose stream is independent of [g]'s
+    future output. Advances [g]. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

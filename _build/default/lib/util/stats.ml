@@ -1,0 +1,43 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let ys = sorted xs in
+    if n = 1 then ys.(0)
+    else begin
+      let rank = p /. 100.0 *. float_of_int (n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = Stdlib.min (lo + 1) (n - 1) in
+      let frac = rank -. float_of_int lo in
+      ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+let min xs = Array.fold_left Stdlib.min infinity xs
+let max xs = Array.fold_left Stdlib.max neg_infinity xs
+
+let summarize xs =
+  if Array.length xs = 0 then "no samples"
+  else
+    Printf.sprintf "mean=%.3f median=%.3f min=%.3f max=%.3f stddev=%.3f"
+      (mean xs) (median xs) (min xs) (max xs) (stddev xs)

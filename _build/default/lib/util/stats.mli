@@ -1,0 +1,20 @@
+(** Descriptive statistics over float samples, used by the benchmark
+    harness to summarise repeated measurements. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation; 0 when fewer than two samples. *)
+
+val median : float array -> float
+(** Median (the input is not modified); 0 on an empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val summarize : float array -> string
+(** One-line human-readable summary: mean, median, min, max, stddev. *)

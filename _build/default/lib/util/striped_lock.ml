@@ -1,0 +1,31 @@
+type t = { locks : bool Atomic.t array; mask : int }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(stripes = 64) () =
+  let n = next_pow2 (max 1 stripes) in
+  { locks = Array.init n (fun _ -> Atomic.make false); mask = n - 1 }
+
+let stripes t = Array.length t.locks
+
+(* Fibonacci hashing spreads adjacent keys across stripes. *)
+let stripe_of t key = (key * 0x2545F4914F6CDD1D) lsr 11 land t.mask
+
+let rec acquire lock =
+  if not (Atomic.compare_and_set lock false true) then begin
+    while Atomic.get lock do Domain.cpu_relax () done;
+    acquire lock
+  end
+
+let with_lock t key f =
+  let lock = t.locks.(stripe_of t key) in
+  acquire lock;
+  match f () with
+  | result ->
+    Atomic.set lock false;
+    result
+  | exception e ->
+    Atomic.set lock false;
+    raise e

@@ -1,0 +1,19 @@
+(** Striped spin-locks.
+
+    The paper performs CAS directly on incarnation words stored in native
+    memory. OCaml 5.1 exposes no atomic read-modify-write on array elements,
+    so read-modify-write transitions (freeze / lock / forward bit flips,
+    incarnation bumps) go through a fixed pool of spin-locks indexed by a hash
+    of the protected address. Plain reads stay lock-free: the OCaml memory
+    model guarantees memory safety for racy array reads. *)
+
+type t
+
+val create : ?stripes:int -> unit -> t
+(** [stripes] defaults to 64 and is rounded up to a power of two. *)
+
+val with_lock : t -> int -> (unit -> 'a) -> 'a
+(** [with_lock t key f] runs [f] holding the stripe for [key]. Not reentrant:
+    do not nest acquisitions of the same stripe. *)
+
+val stripes : t -> int

@@ -1,0 +1,48 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg
+      (Printf.sprintf "Table.add_row: %d cells for %d columns in %S"
+         (List.length cells) (List.length t.columns) t.title);
+  t.rows <- cells :: t.rows
+
+let add_rowf t fmt =
+  Printf.ksprintf
+    (fun s -> add_row t (List.map String.trim (String.split_on_char '|' s)))
+    fmt
+
+let cell_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else if Float.abs x >= 100.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.3f" x
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render row =
+    Buffer.add_string buf (String.concat "  " (List.mapi pad row));
+    Buffer.add_char buf '\n'
+  in
+  render t.columns;
+  Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (ncols - 1)) widths) '-');
+  Buffer.add_char buf '\n';
+  List.iter render rows;
+  Buffer.contents buf
+
+let print t = print_string (to_string t); flush stdout

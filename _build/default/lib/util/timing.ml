@@ -1,0 +1,17 @@
+let now_ns () =
+  Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let time_it f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let t1 = Unix.gettimeofday () in
+  (result, (t1 -. t0) *. 1000.0)
+
+let time_ms f = snd (time_it f)
+
+let repeat ?(warmup = 1) n f =
+  for _ = 1 to warmup do f () done;
+  Array.init n (fun _ -> time_ms f)
+
+let throughput_per_sec ~ops ~ms =
+  if ms <= 0.0 then 0.0 else float_of_int ops /. (ms /. 1000.0)

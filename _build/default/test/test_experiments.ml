@@ -1,0 +1,122 @@
+(* Smoke tests for the experiment drivers: each figure's driver runs at a
+   tiny scale, produces structurally sound data, and satisfies the
+   invariants its normalisation implies. These keep the benchmark harness
+   honest without timing anything. *)
+
+module E = Smc_experiments
+
+let check = Alcotest.check
+
+let test_fig6_normalisation () =
+  let points = E.Fig6.run ~n:5_000 ~thresholds:[ 5; 50; 100 ] () in
+  check Alcotest.int "one point per threshold" 3 (List.length points);
+  List.iter
+    (fun (p : E.Fig6.point) ->
+      if p.E.Fig6.alloc_remove_norm <= 0.0 || p.E.Fig6.alloc_remove_norm > 1.0001 then
+        Alcotest.failf "alloc norm out of range: %f" p.E.Fig6.alloc_remove_norm;
+      if p.E.Fig6.query_norm <= 0.0 || p.E.Fig6.query_norm > 1.0001 then
+        Alcotest.failf "query norm out of range: %f" p.E.Fig6.query_norm;
+      if p.E.Fig6.memory_norm <= 0.0 || p.E.Fig6.memory_norm > 1.0001 then
+        Alcotest.failf "memory norm out of range: %f" p.E.Fig6.memory_norm)
+    points;
+  (* Each normalised curve touches its maximum. *)
+  let max_of f = List.fold_left (fun acc p -> Float.max acc (f p)) 0.0 points in
+  check (Alcotest.float 0.001) "memory curve normalised" 1.0
+    (max_of (fun p -> p.E.Fig6.memory_norm));
+  ignore (E.Fig6.table points : Smc_util.Table.t)
+
+let test_fig7_variants () =
+  let points = E.Fig7.run ~per_thread:5_000 ~thread_counts:[ 1; 2 ] () in
+  check Alcotest.int "7 variants x 2 thread counts" 14 (List.length points);
+  List.iter
+    (fun (p : E.Fig7.point) ->
+      if p.E.Fig7.mallocs_per_sec <= 0.0 then
+        Alcotest.failf "%s: nonpositive throughput" p.E.Fig7.variant)
+    points;
+  ignore (E.Fig7.table points : Smc_util.Table.t)
+
+let test_fig8_runs () =
+  let points = E.Fig8.run ~sf:0.002 ~pairs_per_thread:1 ~thread_counts:[ 1 ] () in
+  check Alcotest.int "3 variants" 3 (List.length points);
+  List.iter
+    (fun (p : E.Fig8.point) ->
+      if p.E.Fig8.streams_per_min <= 0.0 then Alcotest.fail "nonpositive stream rate")
+    points;
+  ignore (E.Fig8.table points : Smc_util.Table.t)
+
+let test_fig9_runs () =
+  let points = E.Fig9.run ~sizes:[ 5_000 ] ~duration_s:0.2 () in
+  check Alcotest.int "4 variants x 1 size" 4 (List.length points);
+  List.iter
+    (fun (p : E.Fig9.point) ->
+      if p.E.Fig9.max_timeout_ms < 0.0 then Alcotest.fail "negative overshoot")
+    points;
+  ignore (E.Fig9.table points : Smc_util.Table.t)
+
+let test_fig10_runs () =
+  let points = E.Fig10.run ~sf:0.002 ~wear_pairs:2 () in
+  check Alcotest.int "5 variants x fresh/worn" 10 (List.length points);
+  List.iter
+    (fun (p : E.Fig10.point) ->
+      if p.E.Fig10.enumeration_ms < 0.0 || p.E.Fig10.nested_ms < 0.0 then
+        Alcotest.fail "negative time")
+    points;
+  ignore (E.Fig10.table points : Smc_util.Table.t)
+
+let test_fig11_baseline_is_100 () =
+  let points = E.Fig11.run ~sf:0.002 () in
+  check Alcotest.int "4 engines x 6 queries" 24 (List.length points);
+  List.iter
+    (fun (p : E.Fig11.point) ->
+      if p.E.Fig11.engine = "List" then
+        check (Alcotest.float 0.01) "baseline = 100" 100.0 p.E.Fig11.relative_pct)
+    points;
+  ignore (E.Fig11.table points : Smc_util.Table.t)
+
+let test_fig12_runs () =
+  let points = E.Fig12.run ~sf:0.002 () in
+  check Alcotest.int "3 engines x 6 queries" 18 (List.length points);
+  ignore (E.Fig12.table points : Smc_util.Table.t)
+
+let test_fig13_runs () =
+  let points = E.Fig13.run ~sf:0.002 () in
+  check Alcotest.int "3 engines x 6 queries" 18 (List.length points);
+  ignore (E.Fig13.table points : Smc_util.Table.t)
+
+let test_linq_runs () =
+  let points = E.Linq_vs_compiled.run ~sf:0.002 () in
+  check Alcotest.int "5 + 5 + 2 engine rows" 12 (List.length points);
+  List.iter
+    (fun (p : E.Linq_vs_compiled.point) ->
+      if p.E.Linq_vs_compiled.ms < 0.0 then Alcotest.fail "negative time")
+    points;
+  ignore (E.Linq_vs_compiled.table points : Smc_util.Table.t)
+
+let test_workload_churn_consistency () =
+  let _rt, coll = E.Workload.lineitem_collection ~slots_per_block:64 () in
+  let g = Smc_util.Prng.create ~seed:1L () in
+  let refs = Array.init 500 (fun _ -> E.Workload.add_lineitem coll g) in
+  E.Workload.churn coll ~refs ~prng:g ~fraction:0.3 ~rounds:3;
+  (* churn replaces removed refs in place, so population is stable *)
+  check Alcotest.int "population stable" 500 (Smc.Collection.count coll);
+  let sum = E.Workload.scan_sum coll in
+  if sum <= 0 then Alcotest.fail "scan_sum should be positive"
+
+let () =
+  Alcotest.run "smc_experiments"
+    [
+      ( "drivers",
+        [
+          Alcotest.test_case "fig6 normalisation" `Slow test_fig6_normalisation;
+          Alcotest.test_case "fig7 variants" `Slow test_fig7_variants;
+          Alcotest.test_case "fig8 runs" `Slow test_fig8_runs;
+          Alcotest.test_case "fig9 runs" `Slow test_fig9_runs;
+          Alcotest.test_case "fig10 runs" `Slow test_fig10_runs;
+          Alcotest.test_case "fig11 baseline" `Slow test_fig11_baseline_is_100;
+          Alcotest.test_case "fig12 runs" `Slow test_fig12_runs;
+          Alcotest.test_case "fig13 runs" `Slow test_fig13_runs;
+          Alcotest.test_case "linq runs" `Slow test_linq_runs;
+        ] );
+      ( "workload",
+        [ Alcotest.test_case "churn consistency" `Quick test_workload_churn_consistency ] );
+    ]

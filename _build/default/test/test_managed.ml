@@ -1,0 +1,148 @@
+(* Tests for the managed baseline collections. *)
+
+open Smc_managed
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Vector *)
+
+let test_vector_add_get () =
+  let v = Vector.create () in
+  for i = 0 to 99 do
+    Vector.add v (i * 2)
+  done;
+  check Alcotest.int "length" 100 (Vector.length v);
+  check Alcotest.int "get" 84 (Vector.get v 42);
+  Vector.set v 42 (-1);
+  check Alcotest.int "set" (-1) (Vector.get v 42)
+
+let test_vector_bounds () =
+  let v = Vector.create () in
+  Vector.add v 1;
+  Alcotest.check_raises "get out of bounds" (Invalid_argument "Vector: index out of bounds")
+    (fun () -> ignore (Vector.get v 1));
+  Alcotest.check_raises "negative" (Invalid_argument "Vector: index out of bounds") (fun () ->
+      ignore (Vector.get v (-1)))
+
+let test_vector_remove_bulk () =
+  let v = Vector.of_array (Array.init 100 Fun.id) in
+  let removed = Vector.remove_bulk v ~pred:(fun x -> x mod 3 = 0) in
+  check Alcotest.int "removed count" 34 removed;
+  check Alcotest.int "length" 66 (Vector.length v);
+  Vector.iter v ~f:(fun x -> if x mod 3 = 0 then Alcotest.fail "survivor matches pred");
+  (* Order preserved. *)
+  check Alcotest.int "first" 1 (Vector.get v 0);
+  check Alcotest.int "second" 2 (Vector.get v 1)
+
+let test_vector_remove_at () =
+  let v = Vector.of_array [| 10; 20; 30; 40 |] in
+  Vector.remove_at v 1;
+  check (Alcotest.array Alcotest.int) "shifted" [| 10; 30; 40 |] (Vector.to_array v)
+
+let test_vector_clear_and_fold () =
+  let v = Vector.of_array (Array.init 10 Fun.id) in
+  check Alcotest.int "fold sum" 45 (Vector.fold v ~init:0 ~f:( + ));
+  Vector.clear v;
+  check Alcotest.int "cleared" 0 (Vector.length v)
+
+let prop_vector_models_list =
+  qtest "vector: behaves like a list under add/remove_bulk"
+    QCheck.(pair (list small_int) (int_range 0 10))
+    (fun (xs, k) ->
+      let v = Vector.create () in
+      List.iter (Vector.add v) xs;
+      let expected = List.filter (fun x -> x mod (k + 2) <> 0) xs in
+      ignore (Vector.remove_bulk v ~pred:(fun x -> x mod (k + 2) = 0) : int);
+      Array.to_list (Vector.to_array v) = expected)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent_dictionary *)
+
+let test_dict_basics () =
+  let d = Concurrent_dictionary.create () in
+  Concurrent_dictionary.add d ~key:1 "one";
+  Concurrent_dictionary.add d ~key:2 "two";
+  check Alcotest.int "length" 2 (Concurrent_dictionary.length d);
+  check (Alcotest.option Alcotest.string) "find" (Some "one")
+    (Concurrent_dictionary.find d ~key:1);
+  check Alcotest.bool "mem" true (Concurrent_dictionary.mem d ~key:2);
+  check Alcotest.bool "remove" true (Concurrent_dictionary.remove d ~key:1);
+  check Alcotest.bool "remove again" false (Concurrent_dictionary.remove d ~key:1);
+  check (Alcotest.option Alcotest.string) "gone" None (Concurrent_dictionary.find d ~key:1)
+
+let test_dict_replace () =
+  let d = Concurrent_dictionary.create () in
+  Concurrent_dictionary.add d ~key:7 "a";
+  Concurrent_dictionary.add d ~key:7 "b";
+  check Alcotest.int "no duplicate" 1 (Concurrent_dictionary.length d);
+  check (Alcotest.option Alcotest.string) "replaced" (Some "b")
+    (Concurrent_dictionary.find d ~key:7)
+
+let test_dict_concurrent () =
+  let d = Concurrent_dictionary.create () in
+  let n_domains = 4 and per = 2_000 in
+  let domains =
+    List.init n_domains (fun i ->
+        Domain.spawn (fun () ->
+            for j = 0 to per - 1 do
+              Concurrent_dictionary.add d ~key:((i * per) + j) j
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "all inserted" (n_domains * per) (Concurrent_dictionary.length d);
+  let sum = Concurrent_dictionary.fold d ~init:0 ~f:(fun acc _ v -> acc + v) in
+  check Alcotest.int "values intact" (n_domains * (per * (per - 1) / 2)) sum
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent_bag *)
+
+let test_bag_basics () =
+  let b = Concurrent_bag.create () in
+  for i = 1 to 100 do
+    Concurrent_bag.add b i
+  done;
+  check Alcotest.int "length" 100 (Concurrent_bag.length b);
+  check Alcotest.int "fold" 5050 (Concurrent_bag.fold b ~init:0 ~f:( + ))
+
+let test_bag_multidomain () =
+  let b = Concurrent_bag.create () in
+  let n_domains = 4 and per = 5_000 in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for j = 1 to per do
+              Concurrent_bag.add b j
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "all present" (n_domains * per) (Concurrent_bag.length b);
+  check Alcotest.int "sum" (n_domains * (per * (per + 1) / 2))
+    (Concurrent_bag.fold b ~init:0 ~f:( + ))
+
+let () =
+  Alcotest.run "smc_managed"
+    [
+      ( "vector",
+        [
+          Alcotest.test_case "add/get/set" `Quick test_vector_add_get;
+          Alcotest.test_case "bounds" `Quick test_vector_bounds;
+          Alcotest.test_case "remove_bulk" `Quick test_vector_remove_bulk;
+          Alcotest.test_case "remove_at" `Quick test_vector_remove_at;
+          Alcotest.test_case "clear and fold" `Quick test_vector_clear_and_fold;
+          prop_vector_models_list;
+        ] );
+      ( "concurrent_dictionary",
+        [
+          Alcotest.test_case "basics" `Quick test_dict_basics;
+          Alcotest.test_case "replace" `Quick test_dict_replace;
+          Alcotest.test_case "concurrent adds" `Quick test_dict_concurrent;
+        ] );
+      ( "concurrent_bag",
+        [
+          Alcotest.test_case "basics" `Quick test_bag_basics;
+          Alcotest.test_case "multi-domain adds" `Quick test_bag_multidomain;
+        ] );
+    ]

@@ -1,0 +1,276 @@
+(* Unit and property tests for smc_util and smc_decimal. *)
+
+open Smc_util
+
+let check = Alcotest.check
+let qtest ?(count = 500) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* ------------------------------------------------------------------ *)
+(* Prng *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42L () in
+  let b = Prng.create ~seed:42L () in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create ~seed:7L () in
+  let b = Prng.split a in
+  check Alcotest.bool "split differs from parent"
+    (Prng.next_int64 a <> Prng.next_int64 b)
+    true
+
+let test_prng_bounds () =
+  let g = Prng.create () in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_int_in () =
+  let g = Prng.create () in
+  for _ = 1 to 10_000 do
+    let v = Prng.int_in g (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "out of range: %d" v
+  done
+
+let test_prng_shuffle_permutation () =
+  let g = Prng.create ~seed:3L () in
+  let arr = Array.init 100 Fun.id in
+  Prng.shuffle g arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "still a permutation" (Array.init 100 Fun.id) sorted
+
+let test_prng_float_range () =
+  let g = Prng.create () in
+  for _ = 1 to 10_000 do
+    let v = Prng.float g 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "out of range: %f" v
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Date *)
+
+let test_date_roundtrip_known () =
+  List.iter
+    (fun (y, m, d) ->
+      let t = Date.of_ymd y m d in
+      check (Alcotest.triple Alcotest.int Alcotest.int Alcotest.int) "ymd roundtrip" (y, m, d)
+        (Date.to_ymd t))
+    [ (1970, 1, 1); (1992, 1, 1); (1998, 12, 31); (2000, 2, 29); (1996, 2, 29); (2024, 7, 4) ]
+
+let test_date_epoch () =
+  check Alcotest.int "1970-01-01 is day 0" 0 (Date.of_ymd 1970 1 1);
+  check Alcotest.int "1970-01-02 is day 1" 1 (Date.of_ymd 1970 1 2)
+
+let test_date_string () =
+  check Alcotest.string "format" "1995-03-15" (Date.to_string (Date.of_string "1995-03-15"))
+
+let test_date_add_months () =
+  let t = Date.of_string "1995-01-31" in
+  check Alcotest.string "clamps day" "1995-02-28" (Date.to_string (Date.add_months t 1));
+  check Alcotest.string "adds across year" "1996-01-31" (Date.to_string (Date.add_months t 12))
+
+let test_date_invalid () =
+  Alcotest.check_raises "bad month" (Invalid_argument "Date.of_ymd: month") (fun () ->
+      ignore (Date.of_ymd 1995 13 1));
+  Alcotest.check_raises "bad day" (Invalid_argument "Date.of_ymd: day") (fun () ->
+      ignore (Date.of_ymd 1995 2 30))
+
+let prop_date_roundtrip =
+  qtest "date: of_ymd/to_ymd roundtrip for all days 1990-2005"
+    QCheck.(int_range 7305 13148)
+    (fun t ->
+      let y, m, d = Date.to_ymd t in
+      Date.of_ymd y m d = t)
+
+let prop_date_add_days_monotone =
+  qtest "date: add_days is additive"
+    QCheck.(pair (int_range 0 20000) (int_range (-500) 500))
+    (fun (t, n) -> Date.add_days (Date.add_days t n) (-n) = t)
+
+(* ------------------------------------------------------------------ *)
+(* Stats *)
+
+let test_stats_mean_median () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean xs);
+  check (Alcotest.float 1e-9) "median" 2.5 (Stats.median xs);
+  check (Alcotest.float 1e-9) "median odd" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |])
+
+let test_stats_stddev () =
+  check (Alcotest.float 1e-9) "stddev" (sqrt 2.5) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  check (Alcotest.float 1e-9) "single sample" 0.0 (Stats.stddev [| 42.0 |])
+
+let test_stats_percentile () =
+  let xs = Array.init 101 float_of_int in
+  check (Alcotest.float 1e-9) "p0" 0.0 (Stats.percentile xs 0.0);
+  check (Alcotest.float 1e-9) "p50" 50.0 (Stats.percentile xs 50.0);
+  check (Alcotest.float 1e-9) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_empty () =
+  check (Alcotest.float 1e-9) "empty mean" 0.0 (Stats.mean [||]);
+  check (Alcotest.float 1e-9) "empty median" 0.0 (Stats.median [||])
+
+(* ------------------------------------------------------------------ *)
+(* Table *)
+
+let string_contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_rowf t "%d | %s" 3 "four";
+  let s = Table.to_string t in
+  check Alcotest.bool "contains title" true (string_contains ~needle:"demo" s);
+  check Alcotest.bool "contains row" true (string_contains ~needle:"four" s)
+
+let test_table_arity_check () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.add_row: 1 cells for 2 columns in \"demo\"") (fun () ->
+      Table.add_row t [ "x" ])
+
+(* ------------------------------------------------------------------ *)
+(* Striped locks *)
+
+let test_striped_lock_mutual_exclusion () =
+  let locks = Striped_lock.create ~stripes:4 () in
+  let counter = ref 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              Striped_lock.with_lock locks 42 (fun () -> incr counter)
+            done))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "no lost updates" 40_000 !counter
+
+let test_striped_lock_releases_on_exception () =
+  let locks = Striped_lock.create () in
+  (try Striped_lock.with_lock locks 1 (fun () -> failwith "boom") with Failure _ -> ());
+  (* If the stripe were still held this would deadlock. *)
+  check Alcotest.int "reacquires" 7 (Striped_lock.with_lock locks 1 (fun () -> 7))
+
+(* ------------------------------------------------------------------ *)
+(* Decimal *)
+
+module D = Smc_decimal.Decimal
+
+let test_decimal_basics () =
+  check Alcotest.int "1 + 2 = 3" (D.of_int 3) (D.add (D.of_int 1) (D.of_int 2));
+  check Alcotest.string "to_string whole" "5.00" (D.to_string (D.of_int 5));
+  check Alcotest.string "to_string cents" "5.25" (D.to_string (D.of_cents 525));
+  check Alcotest.string "negative" "-5.25" (D.to_string (D.neg (D.of_cents 525)))
+
+let test_decimal_mul () =
+  (* 1.50 * 2.50 = 3.75 *)
+  check Alcotest.string "mul" "3.75" (D.to_string (D.mul (D.of_cents 150) (D.of_cents 250)));
+  (* price * (1 - discount): 100.00 * 0.94 = 94.00 *)
+  check Alcotest.string "discount" "94.00"
+    (D.to_string (D.mul (D.of_int 100) (D.sub D.one (D.of_cents 6))))
+
+let test_decimal_div () =
+  check Alcotest.string "div" "2.50" (D.to_string (D.div (D.of_int 5) (D.of_int 2)));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (D.div D.one D.zero))
+
+let test_decimal_string_roundtrip () =
+  List.iter
+    (fun s -> check Alcotest.string "roundtrip" s (D.to_string (D.of_string s)))
+    [ "0.00"; "1.00"; "123.45"; "-7.10"; "0.0001"; "99999.99" ]
+
+let test_decimal_avg () =
+  check Alcotest.int "avg" (D.of_cents 250) (D.avg ~sum:(D.of_int 10) ~count:4);
+  check Alcotest.int "avg empty" D.zero (D.avg ~sum:(D.of_int 10) ~count:0)
+
+let test_decimal_acc () =
+  let acc = D.Acc.make () in
+  D.Acc.add acc (D.of_int 2);
+  D.Acc.add_mul acc (D.of_int 3) (D.of_cents 150);
+  check Alcotest.string "acc total" "6.50" (D.to_string (D.Acc.get acc));
+  D.Acc.reset acc;
+  check Alcotest.int "reset" 0 (D.Acc.get acc)
+
+let prop_decimal_add_comm =
+  qtest "decimal: addition commutes"
+    QCheck.(pair (int_range (-1000000) 1000000) (int_range (-1000000) 1000000))
+    (fun (a, b) -> D.add a b = D.add b a)
+
+let prop_decimal_mul_one =
+  qtest "decimal: x * 1 = x"
+    QCheck.(int_range (-100000000) 100000000)
+    (fun x -> D.mul x D.one = x)
+
+let prop_decimal_string_roundtrip =
+  qtest "decimal: string roundtrip"
+    QCheck.(int_range (-1000000000) 1000000000)
+    (fun x -> D.of_string (D.to_string x) = x)
+
+let prop_decimal_mul_sign =
+  qtest "decimal: mul sign behaviour"
+    QCheck.(pair (int_range 1 10000000) (int_range 1 10000000))
+    (fun (a, b) -> D.mul (D.neg a) b = D.neg (D.mul a b))
+
+let () =
+  Alcotest.run "smc_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_prng_int_in;
+          Alcotest.test_case "shuffle is permutation" `Quick test_prng_shuffle_permutation;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+        ] );
+      ( "date",
+        [
+          Alcotest.test_case "roundtrip known dates" `Quick test_date_roundtrip_known;
+          Alcotest.test_case "epoch origin" `Quick test_date_epoch;
+          Alcotest.test_case "string format" `Quick test_date_string;
+          Alcotest.test_case "add_months clamps" `Quick test_date_add_months;
+          Alcotest.test_case "invalid dates rejected" `Quick test_date_invalid;
+          prop_date_roundtrip;
+          prop_date_add_days_monotone;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/median" `Quick test_stats_mean_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "empty arrays" `Quick test_stats_empty;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "arity check" `Quick test_table_arity_check;
+        ] );
+      ( "striped_lock",
+        [
+          Alcotest.test_case "mutual exclusion" `Quick test_striped_lock_mutual_exclusion;
+          Alcotest.test_case "releases on exception" `Quick
+            test_striped_lock_releases_on_exception;
+        ] );
+      ( "decimal",
+        [
+          Alcotest.test_case "basics" `Quick test_decimal_basics;
+          Alcotest.test_case "mul" `Quick test_decimal_mul;
+          Alcotest.test_case "div" `Quick test_decimal_div;
+          Alcotest.test_case "string roundtrip" `Quick test_decimal_string_roundtrip;
+          Alcotest.test_case "avg" `Quick test_decimal_avg;
+          Alcotest.test_case "accumulator" `Quick test_decimal_acc;
+          prop_decimal_add_comm;
+          prop_decimal_mul_one;
+          prop_decimal_string_roundtrip;
+          prop_decimal_mul_sign;
+        ] );
+    ]
