@@ -1,0 +1,49 @@
+(** Whole-runtime invariant sweeps.
+
+    An audit walks every registered block and every passed context and
+    asserts that the independently-maintained pieces of manager state still
+    agree:
+
+    - slot-directory states vs. the per-block valid/limbo counters;
+    - back-pointers vs. indirection entries (mutual agreement, injectivity,
+      no reachable entry sitting in a free store, no duplicate free);
+    - epoch safety: limbo removal stamps never ahead of the global epoch,
+      reclamation-queue ready-epochs never beyond global + grace period,
+      local epochs never ahead of global;
+    - quarantine bounds: live incarnations strictly below the (mode-clamped)
+      quarantine limit, directory quarantine counts consistent with the
+      runtime counter;
+    - incarnation monotonicity across successive audits (entry words and
+      direct-mode slot words, keyed by never-reused block ids);
+    - inventory: view/queue/local-block/queued-flag agreement, no live
+      registered block missing from every audited view, compaction-phase
+      flags at rest.
+
+    Audits are valid only at quiescent points: no other domain mutating the
+    runtime and the calling domain outside any critical section. Pass every
+    context of the runtime to [check_runtime] — a live block in none of them
+    is reported as a leak. *)
+
+open Smc_offheap
+
+type violation = string
+
+exception Audit_failure of violation list
+
+type t
+(** Stateful auditor: remembers incarnation words, the global epoch and
+    counters across sweeps to assert monotonicity. *)
+
+val create : Runtime.t -> t
+
+val check_runtime : t -> contexts:Context.t list -> violation list
+(** Full sweep; [[]] means every invariant holds. *)
+
+val check_exn : t -> contexts:Context.t list -> unit
+(** Like {!check_runtime} but raises {!Audit_failure} on violations. *)
+
+val check_once : Runtime.t -> contexts:Context.t list -> violation list
+(** One-shot sweep without cross-audit monotonicity state. *)
+
+val report : violation list -> string
+(** Human-readable one-per-line rendering. *)

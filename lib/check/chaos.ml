@@ -1,0 +1,53 @@
+(* Fault injection for the off-heap runtime.
+
+   Three hook points, all compiled into the production code as optional
+   closures that default to [None]:
+
+   - the epoch advance gate ([Epoch.set_advance_gate]): starving advancement
+     forces allocation onto fresh blocks while reclaimable ones wait, and
+     drives compaction into its epoch-wait abort paths;
+   - the allocation hook ([Runtime.on_alloc]): fired at the start of every
+     allocation attempt, including retries — the one point where raising is
+     always safe, modelling an allocation failure;
+   - the compaction-phase hook ([Runtime.on_compaction_phase]): fired at the
+     §5.1 phase boundaries, letting a test inject frees, lookups or epoch
+     churn exactly between freeze / wait / move / complete.
+
+   Installers are bracketed: the hook is removed on exit even if the wrapped
+   thunk raises, so a failed stress iteration cannot poison the next one. *)
+
+open Smc_offheap
+
+exception Injected_failure of string
+
+let with_epoch_gate rt ~gate f =
+  Epoch.set_advance_gate rt.Runtime.epoch (Some gate);
+  Fun.protect ~finally:(fun () -> Epoch.set_advance_gate rt.Runtime.epoch None) f
+
+let with_flaky_epoch rt ~prng ~fail_one_in f =
+  if fail_one_in <= 0 then invalid_arg "Chaos.with_flaky_epoch";
+  with_epoch_gate rt ~gate:(fun () -> Smc_util.Prng.int prng fail_one_in <> 0) f
+
+let with_stuck_epoch rt f = with_epoch_gate rt ~gate:(fun () -> false) f
+
+let with_alloc_hook rt ~hook f =
+  rt.Runtime.on_alloc <- Some hook;
+  Fun.protect ~finally:(fun () -> rt.Runtime.on_alloc <- None) f
+
+let with_alloc_failures rt ~prng ~fail_one_in f =
+  if fail_one_in <= 0 then invalid_arg "Chaos.with_alloc_failures";
+  let injected = ref 0 in
+  let r =
+    with_alloc_hook rt
+      ~hook:(fun () ->
+        if Smc_util.Prng.int prng fail_one_in = 0 then begin
+          incr injected;
+          raise (Injected_failure "alloc")
+        end)
+      f
+  in
+  (r, !injected)
+
+let with_compaction_hook rt ~hook f =
+  rt.Runtime.on_compaction_phase <- Some hook;
+  Fun.protect ~finally:(fun () -> rt.Runtime.on_compaction_phase <- None) f

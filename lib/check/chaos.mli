@@ -1,0 +1,36 @@
+(** Fault injection for the off-heap runtime.
+
+    Bracketed installers for the three failure hooks compiled into the
+    manager: the epoch advance gate, the per-allocation-attempt hook, and
+    the compaction phase-boundary hook. Each installer removes its hook on
+    exit even when the wrapped thunk raises. *)
+
+open Smc_offheap
+
+exception Injected_failure of string
+(** Raised by the failure-injecting hooks; stress drivers treat it as a
+    failed operation and carry on. *)
+
+val with_epoch_gate : Runtime.t -> gate:(unit -> bool) -> (unit -> 'a) -> 'a
+(** While the thunk runs, [Epoch.try_advance] fails whenever [gate ()] is
+    false. *)
+
+val with_flaky_epoch :
+  Runtime.t -> prng:Smc_util.Prng.t -> fail_one_in:int -> (unit -> 'a) -> 'a
+(** Epoch advancement fails with probability [1/fail_one_in]. *)
+
+val with_stuck_epoch : Runtime.t -> (unit -> 'a) -> 'a
+(** Epoch advancement never succeeds while the thunk runs. *)
+
+val with_alloc_hook : Runtime.t -> hook:(unit -> unit) -> (unit -> 'a) -> 'a
+(** [hook] fires at the start of every allocation attempt (retries
+    included). Raising from it aborts the allocation safely. *)
+
+val with_alloc_failures :
+  Runtime.t -> prng:Smc_util.Prng.t -> fail_one_in:int -> (unit -> 'a) -> 'a * int
+(** Allocation attempts raise {!Injected_failure} with probability
+    [1/fail_one_in]. Returns the thunk's result and the injection count. *)
+
+val with_compaction_hook :
+  Runtime.t -> hook:(Runtime.compaction_phase -> unit) -> (unit -> 'a) -> 'a
+(** [hook] fires on the compacting thread at every §5.1 phase boundary. *)

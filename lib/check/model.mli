@@ -1,0 +1,77 @@
+(** Model-based stress testing.
+
+    Runs a deterministic (seeded) random operation sequence against a real
+    memory context and a plain OCaml-heap reference model in lock-step,
+    checking single-operation postconditions as it goes, and a full
+    invariant audit ({!Audit.check_runtime}) plus a whole-collection diff at
+    every batch boundary. Single-domain; the multi-domain stress driver
+    builds its own phased harness on the same context API. *)
+
+open Smc_offheap
+
+type config = {
+  placement : Block.placement;
+  mode : Context.mode;
+  slots_per_block : int;
+  reclaim_threshold : float;
+  quarantine_limit : int option;  (** override [Runtime.inc_quarantine_limit] *)
+}
+
+val default_config : config
+(** Row placement, indirect mode, 256 slots per block, 0.2 reclamation
+    threshold (aggressive, to exercise recycling), no quarantine override. *)
+
+val config_name : config -> string
+(** e.g. ["row/indirect"] — for test labelling. *)
+
+type stats = {
+  mutable adds : int;
+  mutable removes : int;
+  mutable updates : int;
+  mutable lookups : int;
+  mutable stale_lookups : int;
+  mutable queries : int;
+  mutable advances : int;
+  mutable compactions : int;
+  mutable compactions_aborted : int;
+  mutable objects_moved : int;
+  mutable failed_allocs : int;  (** allocations killed by {!Chaos} *)
+}
+
+type t
+
+val create : ?config:config -> seed:int64 -> unit -> t
+(** Fresh runtime + context + auditor + model, all derived from [seed]. *)
+
+val run : t -> ops:int -> batch_size:int -> unit
+(** Applies [ops] random operations in batches, auditing and diffing after
+    each batch. Violations accumulate; they never raise. *)
+
+val apply_one : t -> unit
+(** One random operation (exposed for custom drivers). *)
+
+val op_add : t -> unit
+val op_remove : t -> unit
+(** Individual operations, exposed so chaos hooks can inject them at
+    compaction phase boundaries. [op_add] treats {!Chaos.Injected_failure}
+    from the allocator as a failed allocation and leaves the model
+    unchanged. *)
+
+val op_lookup : t -> unit
+val op_compact : t -> unit
+
+val check_agreement : t -> unit
+(** Whole-collection diff: enumeration must yield exactly the model's live
+    multiset. *)
+
+val audit_now : t -> unit
+(** Run the invariant audit immediately, folding violations into the model's
+    list. *)
+
+val violations : t -> string list
+(** All recorded violations, oldest first; empty means the run was clean. *)
+
+val stats : t -> stats
+val live_count : t -> int
+val context : t -> Context.t
+val runtime : t -> Runtime.t

@@ -302,6 +302,7 @@ let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000
   let n_candidates = List.length candidates in
   if n_candidates = 0 then { empty_report with candidates = 0 }
   else begin
+    Runtime.fire_compaction_hook rt Runtime.Phase_selected;
     let group_size = max 1 (int_of_float (1.0 /. occupancy_threshold)) in
     let groups = form_groups ctx candidates group_size in
     if groups = [] then { empty_report with candidates = n_candidates }
@@ -311,6 +312,7 @@ let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000
       let e0 = Epoch.local_epoch em in
       Atomic.set rt.Runtime.next_relocation_epoch (e0 + 2);
       List.iter (freeze_group ctx) groups;
+      Runtime.fire_compaction_hook rt Runtime.Phase_frozen;
       let abort () =
         Atomic.set rt.Runtime.in_moving_phase false;
         Atomic.set rt.Runtime.next_relocation_epoch (-1);
@@ -328,6 +330,7 @@ let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000
       (* Step into the freezing epoch e0+1, then the relocation epoch e0+2,
          waiting for all in-critical threads at each boundary. Our own local
          epoch trails by one so no other thread can advance past us. *)
+      Runtime.fire_compaction_hook rt Runtime.Phase_waiting;
       if
         not
           (Epoch.wait_all_reached em ~except:tid ~epoch:e0 ~max_spins:max_wait_spins ()
@@ -344,6 +347,7 @@ let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000
         else begin
           (* Moving phase. *)
           Atomic.set rt.Runtime.in_moving_phase true;
+          Runtime.fire_compaction_hook rt Runtime.Phase_moving;
           let moved = ref 0 and skipped = ref 0 and retired = ref 0 in
           let completed = ref [] in
           List.iter
@@ -376,6 +380,7 @@ let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000
           Epoch.refresh_local em;
           Epoch.exit_critical em;
           ignore (Epoch.try_advance em : bool);
+          Runtime.fire_compaction_hook rt Runtime.Phase_completed;
           (* Pointer fixup and tombstone retirement (§6). *)
           let fixed =
             if ctx.direct_referrers = [] then 0

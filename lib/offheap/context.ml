@@ -163,6 +163,7 @@ let scan_for_slot t tid blk =
   go n blk.Block.scan_pos
 
 let rec alloc t =
+  Runtime.fire_alloc_hook t.rt;
   let tid = Runtime.tid t.rt in
   let blk =
     match t.local_block.(tid) with
@@ -187,12 +188,32 @@ let rec alloc t =
     let inc = Indirection.inc_word ind entry land inc_mask in
     pack_ref ~entry ~inc
 
+(* The reference-visible incarnation width is 31 bits for indirect
+   references but only 27 for direct ones, so a direct-mode context must
+   quarantine slots at the narrower bound — otherwise a slot reused 2^27
+   times hands out direct references that alias incarnation 0. *)
+let effective_quarantine_limit t =
+  match t.mode with
+  | Indirect -> t.rt.Runtime.inc_quarantine_limit
+  | Direct -> min t.rt.Runtime.inc_quarantine_limit Constants.direct_inc_mask
+
 (* Mark the slot limbo, stamped with the current global epoch — or
    quarantine it permanently when its incarnation is about to exhaust the
    reference-visible width (§3.1's overflow rule). *)
 let retire_slot t blk slot ~new_inc =
   ignore (Atomic.fetch_and_add blk.Block.valid_count (-1) : int);
-  if new_inc land inc_mask >= t.rt.Runtime.inc_quarantine_limit then begin
+  (* Direct references validate against the slot's own incarnation word, and
+     entries migrate between slots — so in direct mode the slot incarnation
+     (already bumped by [free]) is bounded independently of the entry's. *)
+  let overflow =
+    new_inc land inc_mask >= effective_quarantine_limit t
+    || (match t.mode with
+       | Indirect -> false
+       | Direct ->
+         let sw = Bigarray.Array1.unsafe_get blk.Block.slot_inc slot in
+         sw land inc_mask >= effective_quarantine_limit t)
+  in
+  if overflow then begin
     Block.set_dir_entry blk slot (dir_entry ~state:state_quarantined ~stamp:0);
     ignore (Atomic.fetch_and_add t.rt.Runtime.quarantined_slots 1 : int)
   end

@@ -126,6 +126,11 @@ val perform_relocation : t -> int -> Block.relocation -> Block.t -> unit
 val mark_reloc_failed : Block.t -> int -> unit
 (** Marks a slot's pending relocation failed (bail-out path). *)
 
+val effective_quarantine_limit : t -> int
+(** The incarnation bound at which this context quarantines slots: the
+    runtime's configured limit, additionally clamped to the 27-bit
+    direct-reference incarnation width in [Direct] mode. *)
+
 val valid_count : t -> int
 val block_count : t -> int
 val off_heap_words : t -> int

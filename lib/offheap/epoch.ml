@@ -9,6 +9,10 @@ type t = {
   slots : slot array;
   next_thread : int Atomic.t;
   key : int option ref Domain.DLS.key;
+  mutable advance_gate : (unit -> bool) option;
+      (* Fault-injection hook: when set, [try_advance] consults the gate and
+         fails the advance whenever it returns false. Lets the stress harness
+         starve epoch progress to exercise abort/limbo paths. *)
 }
 
 let create ?(max_threads = 128) () =
@@ -19,6 +23,7 @@ let create ?(max_threads = 128) () =
           { epoch = Atomic.make 0; in_critical = Atomic.make false; depth = 0 });
     next_thread = Atomic.make 0;
     key = Domain.DLS.new_key (fun () -> ref None);
+    advance_gate = None;
   }
 
 let global t = Atomic.get t.global_epoch
@@ -69,8 +74,19 @@ let all_reached t epoch =
   !ok
 
 let try_advance t =
+  let gated = match t.advance_gate with None -> true | Some g -> g () in
+  gated
+  &&
   let e = Atomic.get t.global_epoch in
   all_reached t e && Atomic.compare_and_set t.global_epoch e (e + 1)
+
+let registered_threads t = min (Atomic.get t.next_thread) (Array.length t.slots)
+
+let set_advance_gate t gate = t.advance_gate <- gate
+
+let slot_snapshot t i =
+  let s = t.slots.(i) in
+  (Atomic.get s.epoch, Atomic.get s.in_critical)
 
 let advance_until t ~target ~max_spins =
   let rec go spins =

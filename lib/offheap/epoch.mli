@@ -58,3 +58,14 @@ val wait_all_reached : t -> ?except:int -> epoch:int -> max_spins:int -> unit ->
     [false] on timeout. Compaction uses this at phase boundaries (§5.1),
     passing its own thread slot as [except] — the compaction thread
     deliberately trails one epoch behind to keep control of advancement. *)
+
+val registered_threads : t -> int
+(** Number of thread slots claimed so far (audit accessor). *)
+
+val slot_snapshot : t -> int -> int * bool
+(** Audit accessor: (local epoch, in-critical flag) of thread slot [i]. *)
+
+val set_advance_gate : t -> (unit -> bool) option -> unit
+(** Fault-injection hook: while a gate is installed, {!try_advance} fails
+    whenever the gate returns [false]. [None] removes the gate. Used by the
+    chaos harness to starve epoch progress; never set in production. *)

@@ -130,3 +130,26 @@ let set_ptr t idx v =
 let capacity t = Atomic.get t.bump
 
 let words t = 2 * Array.length t.chunks * (1 lsl t.chunk_bits)
+
+(* Audit accessors: enumerate every recycled-but-unallocated entry (global
+   free stack plus the per-thread caches) so an invariant sweep can prove
+   that no free entry is still reachable from a slot back-pointer. Only
+   meaningful at a quiescent point. *)
+let iter_free t ~f =
+  Mutex.lock t.free_lock;
+  for i = 0 to t.free_count - 1 do
+    f t.free_list.(i)
+  done;
+  Mutex.unlock t.free_lock;
+  Array.iter
+    (fun cache ->
+      for i = 0 to cache.count - 1 do
+        f cache.items.(i)
+      done)
+    t.caches
+
+let free_total t =
+  Mutex.lock t.free_lock;
+  let n = t.free_count in
+  Mutex.unlock t.free_lock;
+  Array.fold_left (fun acc cache -> acc + cache.count) n t.caches

@@ -48,3 +48,12 @@ val capacity : t -> int
 
 val words : t -> int
 (** Off-heap words consumed by the table. *)
+
+val iter_free : t -> f:(int -> unit) -> unit
+(** Audit accessor: every recycled-but-unallocated entry (global free stack
+    plus per-thread caches). Only meaningful at a quiescent point — an
+    invariant sweep uses it to prove no free entry is still reachable from a
+    slot back-pointer. *)
+
+val free_total : t -> int
+(** Audit accessor: number of entries currently sitting in free stores. *)

@@ -67,3 +67,13 @@ let get t id =
 let retire t id = if id < Array.length t.blocks then t.blocks.(id) <- t.sentinel
 
 let count t = Atomic.get t.next
+
+(* Audit accessor: every registered, non-retired block (dead tombstones
+   included — callers filter on [Block.dead] when they only want live
+   ones). *)
+let iter_registered t ~f =
+  let n = min (Atomic.get t.next) (Array.length t.blocks) in
+  for id = 0 to n - 1 do
+    let b = t.blocks.(id) in
+    if b != t.sentinel then f b
+  done

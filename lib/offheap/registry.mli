@@ -26,3 +26,8 @@ val retire : t -> int -> unit
 
 val count : t -> int
 (** Number of ids ever issued. *)
+
+val iter_registered : t -> f:(Block.t -> unit) -> unit
+(** Audit accessor: every registered, non-retired block — dead tombstones
+    included; callers filter on [Block.dead] when they only want live
+    ones. *)

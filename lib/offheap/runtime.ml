@@ -1,3 +1,12 @@
+(* Compaction-pass boundaries at which the chaos harness may inject work
+   (frees, epoch churn, queries) to exercise the bail-out/retry paths. *)
+type compaction_phase =
+  | Phase_selected (* candidates reserved, groups about to form *)
+  | Phase_frozen (* all group members carry the frozen bit *)
+  | Phase_waiting (* stepping the global epoch towards relocation *)
+  | Phase_moving (* relocation sweep in progress *)
+  | Phase_completed (* groups done, sources dead, before pointer fixup *)
+
 type t = {
   epoch : Epoch.t;
   ind : Indirection.t;
@@ -8,6 +17,12 @@ type t = {
   next_context_id : int Atomic.t;
   mutable inc_quarantine_limit : int;
   quarantined_slots : int Atomic.t;
+  mutable on_alloc : (unit -> unit) option;
+      (* Fault-injection hook, fired at the start of every allocation
+         attempt (including retries after a block release). *)
+  mutable on_compaction_phase : (compaction_phase -> unit) option;
+      (* Fault-injection hook, fired by Compaction.run at phase
+         boundaries. *)
 }
 
 let create ?max_threads () =
@@ -21,7 +36,14 @@ let create ?max_threads () =
     next_context_id = Atomic.make 0;
     inc_quarantine_limit = Constants.inc_mask;
     quarantined_slots = Atomic.make 0;
+    on_alloc = None;
+    on_compaction_phase = None;
   }
+
+let fire_alloc_hook t = match t.on_alloc with None -> () | Some f -> f ()
+
+let fire_compaction_hook t phase =
+  match t.on_compaction_phase with None -> () | Some f -> f phase
 
 let tid t = Epoch.thread_id t.epoch
 

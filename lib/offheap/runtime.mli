@@ -6,6 +6,15 @@
     One [Runtime.t] corresponds to the paper's per-process runtime extension;
     every memory context and collection hangs off one. *)
 
+type compaction_phase =
+  | Phase_selected  (** candidates reserved, groups about to form *)
+  | Phase_frozen  (** all group members carry the frozen bit *)
+  | Phase_waiting  (** stepping the global epoch towards relocation *)
+  | Phase_moving  (** relocation sweep in progress *)
+  | Phase_completed  (** groups done, sources dead, before pointer fixup *)
+      (** Compaction-pass boundaries at which the chaos harness may inject
+          work (frees, epoch churn, queries) to exercise bail-out paths. *)
+
 type t = {
   epoch : Epoch.t;
   ind : Indirection.t;
@@ -19,9 +28,18 @@ type t = {
           reused (§3.1's overflow rule); defaults to the reference-visible
           incarnation width, lowered in tests to exercise the path *)
   quarantined_slots : int Atomic.t;
+  mutable on_alloc : (unit -> unit) option;
+      (** fault-injection hook, fired at the start of every allocation
+          attempt (including retries); [None] in production *)
+  mutable on_compaction_phase : (compaction_phase -> unit) option;
+      (** fault-injection hook, fired by [Compaction.run] at phase
+          boundaries; [None] in production *)
 }
 
 val create : ?max_threads:int -> unit -> t
+
+val fire_alloc_hook : t -> unit
+val fire_compaction_hook : t -> compaction_phase -> unit
 
 val tid : t -> int
 (** The calling domain's thread slot (registers on first use). *)

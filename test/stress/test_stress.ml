@@ -1,0 +1,361 @@
+(* Stress suite for the off-heap memory manager.
+
+   Driven by two environment variables (see docs/testing.md):
+
+   - SMC_STRESS_ITERS: operation budget; defaults to 3000 so the default
+     `dune runtest` stays fast. `dune build @stress` runs the same binary
+     with 60000 (the full-budget configuration).
+   - SMC_STRESS_SEED: the Prng seed; every failure message echoes it, and
+     re-exporting it reproduces the failing run exactly.
+
+   Three groups:
+   - model: seeded single-domain model-based runs over all four
+     placement/mode configurations, plus quarantine-churn runs with a tiny
+     incarnation limit; the model audits the whole runtime after every
+     batch (Audit.check_runtime) and diffs the full collection against a
+     plain OCaml-heap reference.
+   - chaos: the same model runs with fault injection — flaky and fully
+     stuck epoch advancement, failing allocations, and frees/lookups/epoch
+     churn injected at compaction phase boundaries.
+   - domains: 2 writers + 1 reader + 1 compactor racing on real
+     Domain.spawn, in rounds; after every round (a quiescent point) the
+     runtime is audited and the collection is diffed against the union of
+     the writers' private models. *)
+
+open Smc_offheap
+open Smc_check
+
+let iters =
+  match Sys.getenv_opt "SMC_STRESS_ITERS" with
+  | Some s -> ( try max 100 (int_of_string (String.trim s)) with _ -> 3000)
+  | None -> 3000
+
+let seed =
+  match Sys.getenv_opt "SMC_STRESS_SEED" with
+  | Some s -> ( try Int64.of_string (String.trim s) with _ -> 0xC0FFEEL)
+  | None -> 0xC0FFEEL
+
+let subseed k = Int64.add seed (Int64.of_int k)
+
+let assert_clean what = function
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "%s: %d violations (SMC_STRESS_SEED=%Ld to reproduce)\n%s" what
+      (List.length vs) seed (Audit.report vs)
+
+(* ------------------------------------------------------------------ *)
+(* Model-based single-domain runs                                      *)
+(* ------------------------------------------------------------------ *)
+
+let configs =
+  [
+    { Model.default_config with Model.placement = Block.Row; mode = Context.Indirect };
+    { Model.default_config with Model.placement = Block.Row; mode = Context.Direct };
+    { Model.default_config with Model.placement = Block.Columnar; mode = Context.Indirect };
+    { Model.default_config with Model.placement = Block.Columnar; mode = Context.Direct };
+  ]
+
+let test_model config () =
+  let m = Model.create ~config ~seed () in
+  Model.run m ~ops:iters ~batch_size:500;
+  assert_clean (Model.config_name config) (Model.violations m);
+  let s = Model.stats m in
+  Alcotest.(check bool) "compaction exercised" true (s.Model.compactions > 0);
+  Alcotest.(check bool) "population survived" true (Model.live_count m > 0)
+
+let test_quarantine_churn mode () =
+  let config =
+    {
+      Model.default_config with
+      Model.mode;
+      slots_per_block = 32;
+      reclaim_threshold = 0.3;
+      quarantine_limit = Some 6;
+    }
+  in
+  let m = Model.create ~config ~seed:(subseed 3) () in
+  (* A floor on the budget: with limit 6 the churn needs a couple of
+     thousand operations before any slot's incarnation overflows. *)
+  Model.run m ~ops:(max 2_000 (min iters 20_000)) ~batch_size:250;
+  assert_clean "quarantine churn" (Model.violations m);
+  Alcotest.(check bool)
+    "slots actually quarantined" true
+    (Atomic.get (Model.runtime m).Runtime.quarantined_slots > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos runs                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_flaky_epoch () =
+  let m = Model.create ~seed:(subseed 11) () in
+  let prng = Smc_util.Prng.create ~seed:(subseed 12) () in
+  Chaos.with_flaky_epoch (Model.runtime m) ~prng ~fail_one_in:2 (fun () ->
+      Model.run m ~ops:(max 1000 (iters / 2)) ~batch_size:250);
+  assert_clean "flaky epoch" (Model.violations m)
+
+let test_stuck_epoch () =
+  let m = Model.create ~seed:(subseed 13) () in
+  Chaos.with_stuck_epoch (Model.runtime m) (fun () ->
+      Model.run m ~ops:(max 500 (iters / 4)) ~batch_size:250);
+  assert_clean "stuck epoch" (Model.violations m);
+  (* The gate is gone; reclamation and compaction must recover. *)
+  Model.run m ~ops:(max 500 (iters / 4)) ~batch_size:250;
+  assert_clean "recovery after stuck epoch" (Model.violations m)
+
+let test_alloc_failures () =
+  let m = Model.create ~seed:(subseed 17) () in
+  let prng = Smc_util.Prng.create ~seed:(subseed 18) () in
+  let (), injected =
+    Chaos.with_alloc_failures (Model.runtime m) ~prng ~fail_one_in:8 (fun () ->
+        Model.run m ~ops:(max 1000 (iters / 2)) ~batch_size:250)
+  in
+  assert_clean "alloc failures" (Model.violations m);
+  Alcotest.(check bool) "failures were injected" true (injected > 0);
+  Alcotest.(check int) "model saw every injection" injected (Model.stats m).Model.failed_allocs
+
+let test_compaction_boundary_chaos mode () =
+  let config = { Model.default_config with Model.mode; slots_per_block = 64 } in
+  let m = Model.create ~config ~seed:(subseed 19) () in
+  let rt = Model.runtime m in
+  Chaos.with_compaction_hook rt
+    ~hook:(fun phase ->
+      match phase with
+      | Runtime.Phase_frozen ->
+        (* Free objects while they carry the frozen bit: exercises the
+           mark-reloc-failed path and dead-slot re-checks in the sweep. *)
+        Model.op_remove m;
+        Model.op_remove m;
+        Model.op_remove m
+      | Runtime.Phase_waiting -> ignore (Epoch.try_advance rt.Runtime.epoch : bool)
+      | Runtime.Phase_moving ->
+        (* Resolve during the relocation sweep: exercises the helping and
+           bail-out cases of §5.1. *)
+        Model.op_lookup m;
+        Model.op_lookup m
+      | Runtime.Phase_selected | Runtime.Phase_completed -> ())
+    (fun () ->
+      let rounds = max 5 (iters / 500) in
+      for _ = 1 to rounds do
+        for _ = 1 to 150 do
+          Model.apply_one m
+        done;
+        Model.op_compact m
+      done);
+  Model.audit_now m;
+  Model.check_agreement m;
+  assert_clean "compaction boundary chaos" (Model.violations m)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-domain: 2 writers + 1 reader + 1 compactor                    *)
+(* ------------------------------------------------------------------ *)
+
+let layout =
+  Layout.create ~name:"stress_mt" [ ("key", Layout.Int); ("payload", Layout.Int) ]
+
+let key_word = (Layout.field layout "key").Layout.word
+let payload_word = (Layout.field layout "payload").Layout.word
+
+(* Payload is a pure function of the key (never 0), so the racing reader can
+   validate any object it observes without sharing the writers' models. *)
+let payload_of h = ((h * 0x9E3779B1) lxor (h lsr 13)) land 0x3FFF_FFFF lor 1
+
+type wstate = {
+  w_id : int;
+  w_live : (int, int) Hashtbl.t;  (* handle -> packed ref *)
+  mutable w_handles : int array;
+  mutable w_n : int;
+  w_pos : (int, int) Hashtbl.t;
+  mutable w_next : int;
+}
+
+let new_wstate w_id =
+  {
+    w_id;
+    w_live = Hashtbl.create 512;
+    w_handles = Array.make 512 0;
+    w_n = 0;
+    w_pos = Hashtbl.create 512;
+    w_next = 0;
+  }
+
+let w_push st h =
+  if st.w_n = Array.length st.w_handles then begin
+    let bigger = Array.make (2 * st.w_n) 0 in
+    Array.blit st.w_handles 0 bigger 0 st.w_n;
+    st.w_handles <- bigger
+  end;
+  st.w_handles.(st.w_n) <- h;
+  Hashtbl.replace st.w_pos h st.w_n;
+  st.w_n <- st.w_n + 1
+
+let w_drop st h =
+  let i = Hashtbl.find st.w_pos h in
+  let last = st.w_handles.(st.w_n - 1) in
+  st.w_handles.(i) <- last;
+  Hashtbl.replace st.w_pos last i;
+  st.w_n <- st.w_n - 1;
+  Hashtbl.remove st.w_pos h
+
+(* Writer handles interleave (writer 0 odd, writer 1 even+disjoint) so the
+   two private models can be merged without collisions. *)
+let writer_round (ctx : Context.t) st prng ops errs =
+  let em = ctx.Context.rt.Runtime.epoch in
+  for _ = 1 to ops do
+    let d = Smc_util.Prng.int prng 100 in
+    if d < 45 || st.w_n = 0 then begin
+      let h = 1 + st.w_id + (2 * st.w_next) in
+      st.w_next <- st.w_next + 1;
+      let r = Context.alloc ctx in
+      Epoch.enter_critical em;
+      (match Context.resolve ctx r with
+      | None -> errs := Printf.sprintf "writer %d: fresh ref does not resolve" st.w_id :: !errs
+      | Some (blk, slot) ->
+        Block.set_word blk ~slot ~word:payload_word (payload_of h);
+        Block.set_word blk ~slot ~word:key_word h);
+      Epoch.exit_critical em;
+      Hashtbl.replace st.w_live h r;
+      w_push st h
+    end
+    else if d < 80 then begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Hashtbl.find st.w_live h in
+      if not (Context.free ctx r) then
+        errs := Printf.sprintf "writer %d: free of live handle %d failed" st.w_id h :: !errs;
+      Hashtbl.remove st.w_live h;
+      w_drop st h
+    end
+    else begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Hashtbl.find st.w_live h in
+      Epoch.enter_critical em;
+      (match Context.resolve ctx r with
+      | None ->
+        errs := Printf.sprintf "writer %d: live handle %d does not resolve" st.w_id h :: !errs
+      | Some (blk, slot) ->
+        let k = Block.get_word blk ~slot ~word:key_word in
+        let p = Block.get_word blk ~slot ~word:payload_word in
+        if k <> h || p <> payload_of h then
+          errs :=
+            Printf.sprintf "writer %d: handle %d reads key %d payload %d" st.w_id h k p
+            :: !errs);
+      Epoch.exit_critical em
+    end
+  done
+
+let reader_round (ctx : Context.t) sweeps errs =
+  let em = ctx.Context.rt.Runtime.epoch in
+  for _ = 1 to sweeps do
+    Epoch.enter_critical em;
+    Context.iter_valid ctx ~f:(fun blk slot ->
+        let k = Block.get_word blk ~slot ~word:key_word in
+        let p = Block.get_word blk ~slot ~word:payload_word in
+        (* k = 0 or p = 0: object caught between allocation and its field
+           writes — bag semantics admits observing it. *)
+        if k <> 0 && p <> 0 && p <> payload_of k then
+          errs := Printf.sprintf "reader: key %d carries payload %d" k p :: !errs);
+    Epoch.exit_critical em;
+    Domain.cpu_relax ()
+  done
+
+let compactor_round (ctx : Context.t) passes =
+  for _ = 1 to passes do
+    ignore (Compaction.run ctx ~occupancy_threshold:0.45 ~max_wait_spins:5_000_000 () : Compaction.report)
+  done
+
+let check_merged ctx (writers : wstate array) errs =
+  let em = ctx.Context.rt.Runtime.epoch in
+  let expected = Hashtbl.create 1024 in
+  Array.iter (fun st -> Hashtbl.iter (fun h _ -> Hashtbl.replace expected h ()) st.w_live) writers;
+  let seen = Hashtbl.create 1024 in
+  Epoch.enter_critical em;
+  Context.iter_valid ctx ~f:(fun blk slot ->
+      let k = Block.get_word blk ~slot ~word:key_word in
+      let p = Block.get_word blk ~slot ~word:payload_word in
+      if not (Hashtbl.mem expected k) then
+        errs := Printf.sprintf "checkpoint: unexpected key %d in collection" k :: !errs
+      else if p <> payload_of k then
+        errs := Printf.sprintf "checkpoint: key %d carries payload %d" k p :: !errs;
+      if Hashtbl.mem seen k then
+        errs := Printf.sprintf "checkpoint: key %d enumerated twice" k :: !errs;
+      Hashtbl.replace seen k ());
+  Epoch.exit_critical em;
+  Hashtbl.iter
+    (fun h () ->
+      if not (Hashtbl.mem seen h) then
+        errs := Printf.sprintf "checkpoint: live key %d missing from collection" h :: !errs)
+    expected;
+  let total = Hashtbl.length expected in
+  if Context.valid_count ctx <> total then
+    errs :=
+      Printf.sprintf "checkpoint: valid_count %d but writers hold %d objects"
+        (Context.valid_count ctx) total
+      :: !errs
+
+let test_multi_domain mode () =
+  let rt = Runtime.create () in
+  let ctx =
+    Context.create rt ~layout ~mode ~slots_per_block:128 ~reclaim_threshold:0.25 ()
+  in
+  let auditor = Audit.create rt in
+  let writers = [| new_wstate 0; new_wstate 1 |] in
+  let rounds = 6 in
+  let per_writer = max 200 (iters / 12) in
+  let errs = ref [] in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng = Smc_util.Prng.create ~seed:(subseed ((1000 * round) + st.w_id)) () in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              writer_round ctx st prng per_writer local;
+              !local))
+        writers
+    in
+    let rd =
+      Domain.spawn (fun () ->
+          let local = ref [] in
+          reader_round ctx (5 + (per_writer / 50)) local;
+          !local)
+    in
+    let cd = Domain.spawn (fun () -> compactor_round ctx 8) in
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    errs := Domain.join rd @ !errs;
+    Domain.join cd;
+    (* Quiescent checkpoint: every domain joined, nobody in a critical
+       section — audit the whole runtime, then diff against the merged
+       writer models. *)
+    let vs = Audit.check_runtime auditor ~contexts:[ ctx ] in
+    assert_clean (Printf.sprintf "multi-domain audit, round %d" round) vs;
+    check_merged ctx writers errs;
+    assert_clean (Printf.sprintf "multi-domain checkpoint, round %d" round) !errs
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "stress"
+    [
+      ( "model",
+        List.map (fun c -> qc (Model.config_name c) (test_model c)) configs
+        @ [
+            qc "quarantine churn (indirect)" (test_quarantine_churn Context.Indirect);
+            qc "quarantine churn (direct)" (test_quarantine_churn Context.Direct);
+          ] );
+      ( "chaos",
+        [
+          qc "flaky epoch advancement" test_flaky_epoch;
+          qc "stuck epoch advancement" test_stuck_epoch;
+          qc "failing allocations" test_alloc_failures;
+          qc "compaction phase boundaries (indirect)"
+            (test_compaction_boundary_chaos Context.Indirect);
+          qc "compaction phase boundaries (direct)"
+            (test_compaction_boundary_chaos Context.Direct);
+        ] );
+      ( "domains",
+        [
+          qc "2 writers + reader + compactor (indirect)" (test_multi_domain Context.Indirect);
+          qc "2 writers + reader + compactor (direct)" (test_multi_domain Context.Direct);
+        ] );
+    ]

@@ -128,6 +128,139 @@ let test_table_string_columns () =
   check Alcotest.string "string col" "y" (Table.get_string t "s" 1);
   check Alcotest.int "nrows" 3 (Table.nrows t)
 
+(* ------------------------------------------------------------------ *)
+(* Columnar-placement memory contexts: remove / re-add incarnations.
+
+   The encoded column store above is static; the dynamic columnar layout of
+   the paper (§4.1) is a Columnar-placement off-heap context, whose slot
+   directory and incarnation protocol must behave exactly like the row
+   store's — these mirror the row-store tests in test_offheap.ml with
+   plane-major object storage. *)
+
+open Smc_offheap
+
+let item_layout () =
+  Layout.create ~name:"item" [ ("name", Layout.Str 16); ("age", Layout.Int) ]
+
+let make_col_ctx ?mode ?(slots_per_block = 8) ?reclaim_threshold () =
+  let rt = Runtime.create () in
+  let ctx =
+    Context.create rt ~layout:(item_layout ()) ~placement:Block.Columnar ?mode
+      ~slots_per_block ?reclaim_threshold ()
+  in
+  (rt, ctx)
+
+let set_item ctx r ~name ~age =
+  match Context.resolve ctx r with
+  | None -> Alcotest.fail "set_item: reference is dead"
+  | Some (blk, slot) ->
+    Block.set_string blk ~slot (Layout.field ctx.Context.layout "name") name;
+    Block.set_word blk ~slot ~word:(Layout.field ctx.Context.layout "age").Layout.word age
+
+let get_age ctx r =
+  match Context.resolve ctx r with
+  | None -> Alcotest.fail "get_age: reference is dead"
+  | Some (blk, slot) ->
+    Block.get_word blk ~slot ~word:(Layout.field ctx.Context.layout "age").Layout.word
+
+let get_name ctx r =
+  match Context.resolve ctx r with
+  | None -> Alcotest.fail "get_name: reference is dead"
+  | Some (blk, slot) -> Block.get_string blk ~slot (Layout.field ctx.Context.layout "name")
+
+let test_col_remove_nulls_reference () =
+  let _rt, ctx = make_col_ctx () in
+  let r = Context.alloc ctx in
+  set_item ctx r ~name:"Adam" ~age:27;
+  check Alcotest.bool "free succeeds" true (Context.free ctx r);
+  check Alcotest.bool "second free fails" false (Context.free ctx r);
+  check Alcotest.bool "resolve gives None" true (Context.resolve ctx r = None)
+
+let test_col_slot_reuse_bumps_incarnation () =
+  let rt, ctx = make_col_ctx ~slots_per_block:4 ~reclaim_threshold:0.01 () in
+  let r1 = Context.alloc ctx in
+  set_item ctx r1 ~name:"Adam" ~age:27;
+  ignore (Context.free ctx r1 : bool);
+  ignore
+    (Epoch.advance_until rt.Runtime.epoch
+       ~target:(Epoch.global rt.Runtime.epoch + 2)
+       ~max_spins:100
+      : bool);
+  (* Exhaust the block so the limbo slot gets re-added over. *)
+  let fresh =
+    List.init 8 (fun i ->
+        let r = Context.alloc ctx in
+        set_item ctx r ~name:"Tom" ~age:i;
+        r)
+  in
+  check Alcotest.bool "stale ref reads null" true (Context.resolve ctx r1 = None);
+  check Alcotest.bool "stale free fails" false (Context.free ctx r1);
+  List.iteri
+    (fun i r ->
+      check Alcotest.int "fresh refs intact" i (get_age ctx r);
+      check Alcotest.string "plane-major strings intact" "Tom" (get_name ctx r))
+    fresh
+
+let test_col_direct_remove_readd () =
+  let rt, ctx = make_col_ctx ~mode:Context.Direct ~slots_per_block:4 ~reclaim_threshold:0.01 () in
+  let r1 = Context.alloc ctx in
+  set_item ctx r1 ~name:"Eve" ~age:31;
+  let d1 = Context.direct_ref_of ctx r1 in
+  check Alcotest.bool "live direct ref resolves" true (Context.resolve_direct ctx d1 <> None);
+  ignore (Context.free ctx r1 : bool);
+  (* The slot incarnation was bumped with the entry's: the stored direct
+     pointer must read as null immediately, before any reuse. *)
+  check Alcotest.bool "stale direct ref reads null" true (Context.resolve_direct ctx d1 = None);
+  ignore
+    (Epoch.advance_until rt.Runtime.epoch
+       ~target:(Epoch.global rt.Runtime.epoch + 2)
+       ~max_spins:100
+      : bool);
+  (* Re-add until the slot is reused; the old direct pointer must stay null
+     while the new object's direct pointer resolves to the right data. *)
+  let fresh =
+    List.init 8 (fun i ->
+        let r = Context.alloc ctx in
+        set_item ctx r ~name:"New" ~age:(100 + i);
+        (r, Context.direct_ref_of ctx r))
+  in
+  check Alcotest.bool "stale direct ref still null after reuse" true
+    (Context.resolve_direct ctx d1 = None);
+  List.iteri
+    (fun i (r, d) ->
+      check Alcotest.int "indirect ref intact" (100 + i) (get_age ctx r);
+      match Context.resolve_direct ctx d with
+      | None -> Alcotest.fail "fresh direct ref is dead"
+      | Some (blk, slot) ->
+        check Alcotest.int "direct ref reads the new object" (100 + i)
+          (Block.get_word blk ~slot ~word:(Layout.field ctx.Context.layout "age").Layout.word))
+    fresh
+
+let test_col_quarantine_on_overflow () =
+  let rt = Runtime.create () in
+  rt.Runtime.inc_quarantine_limit <- 3;
+  let ctx =
+    Context.create rt ~layout:(item_layout ()) ~placement:Block.Columnar ~slots_per_block:4 ()
+  in
+  let rec churn rounds =
+    if rounds > 0 then begin
+      let r = Context.alloc ctx in
+      ignore (Context.free ctx r : bool);
+      ignore
+        (Epoch.advance_until rt.Runtime.epoch
+           ~target:(Epoch.global rt.Runtime.epoch + 2)
+           ~max_spins:100
+          : bool);
+      churn (rounds - 1)
+    end
+  in
+  churn 10;
+  check Alcotest.bool "columnar slots quarantined" true
+    (Atomic.get rt.Runtime.quarantined_slots > 0);
+  let r = Context.alloc ctx in
+  set_item ctx r ~name:"ok" ~age:1;
+  check Alcotest.int "allocation continues" 1 (get_age ctx r)
+
 let () =
   Alcotest.run "smc_columnstore"
     [
@@ -156,5 +289,13 @@ let () =
         [
           Alcotest.test_case "validation" `Quick test_table_validation;
           Alcotest.test_case "string columns" `Quick test_table_string_columns;
+        ] );
+      ( "columnar contexts",
+        [
+          Alcotest.test_case "remove nulls reference" `Quick test_col_remove_nulls_reference;
+          Alcotest.test_case "slot reuse bumps incarnation" `Quick
+            test_col_slot_reuse_bumps_incarnation;
+          Alcotest.test_case "direct remove/re-add" `Quick test_col_direct_remove_readd;
+          Alcotest.test_case "quarantine on overflow" `Quick test_col_quarantine_on_overflow;
         ] );
     ]

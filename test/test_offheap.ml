@@ -823,6 +823,85 @@ let test_quarantined_slots_not_enumerated () =
   Epoch.exit_critical rt.Runtime.epoch;
   check Alcotest.int "only the live object enumerated" 1 !seen
 
+(* Regression: direct-mode contexts must quarantine at the 27-bit direct
+   incarnation width, not the 31-bit indirect one. A direct reference
+   carries only [Constants.direct_inc_bits] of the slot's incarnation, so a
+   slot whose incarnation reaches [direct_inc_mask] would alias incarnation
+   0 for stored direct pointers if it were put back in circulation. *)
+let test_direct_quarantine_clamps_at_direct_width () =
+  let rt = Runtime.create () in
+  let ctx =
+    Context.create rt ~layout:(person_layout ()) ~mode:Context.Direct ~slots_per_block:4 ()
+  in
+  check Alcotest.int "effective limit is the direct width" Constants.direct_inc_mask
+    (Context.effective_quarantine_limit ctx);
+  (* Entry-side overflow: fast-forward the entry incarnation to the brink
+     and free through a matching reference. *)
+  let r = Context.alloc ctx in
+  let entry = Constants.ref_entry r in
+  (match Context.resolve ctx r with
+  | None -> Alcotest.fail "fresh ref dead"
+  | Some (blk, slot) ->
+    Indirection.set_inc_word rt.Runtime.ind entry (Constants.direct_inc_mask - 1);
+    Bigarray.Array1.set blk.Block.slot_inc slot (Constants.direct_inc_mask - 1));
+  let r' = Constants.pack_ref ~entry ~inc:(Constants.direct_inc_mask - 1) in
+  check Alcotest.bool "free succeeds" true (Context.free ctx r');
+  check Alcotest.int "slot quarantined at the direct width" 1
+    (Atomic.get rt.Runtime.quarantined_slots);
+  (* Slot-side overflow: entries migrate between slots, so a slot can reach
+     the direct width while its current entry's incarnation is still small.
+     The slot incarnation alone must trigger the quarantine. *)
+  let r2 = Context.alloc ctx in
+  (match Context.resolve ctx r2 with
+  | None -> Alcotest.fail "fresh ref dead"
+  | Some (blk, slot) ->
+    Bigarray.Array1.set blk.Block.slot_inc slot (Constants.direct_inc_mask - 1));
+  check Alcotest.bool "free succeeds" true (Context.free ctx r2);
+  check Alcotest.int "slot incarnation alone quarantines" 2
+    (Atomic.get rt.Runtime.quarantined_slots)
+
+(* ------------------------------------------------------------------ *)
+(* Counter accounting through a full compact cycle *)
+
+(* Pins the valid/limbo/quarantine accounting across fill → thin → compact
+   → refill, backed by the full invariant audit of Smc_check.Audit (slot
+   directories vs. counters, back-pointers vs. indirection entries, free
+   stores, epoch stamps) at every quiescent step. *)
+let test_compact_cycle_pins_counters () =
+  let rt, ctx, kept = populate_and_thin ~slots_per_block:16 ~total:128 ~keep_every:4 () in
+  let auditor = Smc_check.Audit.create rt in
+  let audit_clean step =
+    match Smc_check.Audit.check_runtime auditor ~contexts:[ ctx ] with
+    | [] -> ()
+    | vs -> Alcotest.failf "audit after %s:\n%s" step (Smc_check.Audit.report vs)
+  in
+  let live = List.length kept in
+  check Alcotest.int "valid_count after thinning" live (Context.valid_count ctx);
+  check Alcotest.int "limbo after thinning" (128 - live) (Context.stats_limbo ctx);
+  audit_clean "thinning";
+  let report = Compaction.run ctx ~occupancy_threshold:0.5 () in
+  check Alcotest.bool "pass not aborted" false report.Compaction.aborted;
+  check Alcotest.bool "objects moved" true (report.Compaction.objects_moved > 0);
+  (* Compaction must not change what is alive, and retiring the emptied
+     source blocks must drop their limbo slots from the context totals. The
+     allocator's thread-local block is never a candidate, so its limbo slots
+     (at most one block's worth) legitimately remain. *)
+  check Alcotest.int "valid_count preserved by compaction" live (Context.valid_count ctx);
+  check Alcotest.bool "limbo slots retired with their blocks" true
+    (Context.stats_limbo ctx <= 16 - 4);
+  check Alcotest.int "nothing quarantined" 0 (Atomic.get rt.Runtime.quarantined_slots);
+  audit_clean "compaction";
+  List.iter (fun (i, r) -> check Alcotest.int "data intact" i (get_age ctx r)) kept;
+  (* Refill and free everything including the survivors: counters must come
+     back to exactly zero live objects. *)
+  let fresh = Array.init 64 (fun _ -> Context.alloc ctx) in
+  check Alcotest.int "valid_count after refill" (live + 64) (Context.valid_count ctx);
+  audit_clean "refill";
+  Array.iter (fun r -> ignore (Context.free ctx r : bool)) fresh;
+  List.iter (fun (_, r) -> ignore (Context.free ctx r : bool)) kept;
+  check Alcotest.int "all freed" 0 (Context.valid_count ctx);
+  audit_clean "draining"
+
 (* ------------------------------------------------------------------ *)
 (* Per-block critical sections *)
 
@@ -957,6 +1036,13 @@ let () =
           Alcotest.test_case "overflow quarantines slot" `Quick test_quarantine_on_overflow;
           Alcotest.test_case "quarantined not enumerated" `Quick
             test_quarantined_slots_not_enumerated;
+          Alcotest.test_case "direct mode clamps at direct width" `Quick
+            test_direct_quarantine_clamps_at_direct_width;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "compact cycle pins counters" `Quick
+            test_compact_cycle_pins_counters;
         ] );
       ( "granularity",
         [
