@@ -73,6 +73,13 @@ let tests =
     Test.make ~name:"fig11/Q6 smc unsafe"
       (Staged.stage (fun () ->
            ignore (Smc_tpch.Q_smc.q6 ~unsafe:true (Lazy.force smc_db) : int)));
+    (* parallel query kernels (query-scaling experiment) *)
+    Test.make ~name:"qscale/Q1 smc parallel"
+      (Staged.stage (fun () ->
+           ignore (Smc_tpch.Q_smc.q1_par (Lazy.force smc_db))));
+    Test.make ~name:"qscale/Q6 smc parallel"
+      (Staged.stage (fun () ->
+           ignore (Smc_tpch.Q_smc.q6_par (Lazy.force smc_db) : int)));
     Test.make ~name:"fig12/Q5 smc direct"
       (Staged.stage (fun () -> ignore (Smc_tpch.Q_smc.q5 ~unsafe:true (Lazy.force direct_db))));
     Test.make ~name:"fig12/Q6 smc columnar"
@@ -139,6 +146,7 @@ let run_figures () =
   p (E.Fig13.table (E.Fig13.run ~sf ()));
   p (E.Linq_vs_compiled.table (E.Linq_vs_compiled.run ~sf ()));
   p (E.Ext_queries.table (E.Ext_queries.run ~sf ()));
+  p (E.Query_scaling.table (E.Query_scaling.run ~sf ~domain_counts:(if quick then [ 1; 2 ] else [ 1; 2; 4; 8 ]) ()));
   E.Ablations.print_all ~sf:(Float.min sf 0.02) ()
 
 let () =

@@ -5,7 +5,40 @@
 open Cmdliner
 module E = Smc_experiments
 
-let print_table t = Smc_util.Table.print t
+(* Every table printed through [print_table] is also collected, so a run
+   can be written out as a JSON artifact with [--json FILE]. The plain-text
+   output is unchanged either way. *)
+let collected : Smc_util.Table.t list ref = ref []
+
+let print_table t =
+  collected := t :: !collected;
+  Smc_util.Table.print t
+
+let write_json file =
+  let tables = List.rev !collected in
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "[";
+      List.iteri
+        (fun i t ->
+          if i > 0 then output_string oc ",";
+          output_string oc (Smc_util.Table.to_json t))
+        tables;
+      output_string oc "]\n")
+
+let with_json json thunk =
+  collected := [];
+  thunk ();
+  Option.iter write_json json
+
+let json_arg =
+  let doc =
+    "Also write every table produced by this run as a JSON array to $(docv) \
+     (one object per table: title, columns, rows)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
 let sf_arg default =
   let doc = "TPC-H scale factor (fraction of the official 1.0 scale)." in
@@ -43,6 +76,10 @@ let run_linq sf = print_table (E.Linq_vs_compiled.table (E.Linq_vs_compiled.run 
 let run_ablations sf = E.Ablations.print_all ~sf ()
 let run_ext sf = print_table (E.Ext_queries.table (E.Ext_queries.run ~sf ()))
 
+let run_qscale sf quick domain_counts =
+  let sf = if quick then Float.min sf 0.01 else sf in
+  print_table (E.Query_scaling.table (E.Query_scaling.run ~sf ~domain_counts ()))
+
 let run_all sf quick =
   (* Compact between figures: off-heap Bigarrays of dropped databases are
      only returned to the OS on finalisation. *)
@@ -59,36 +96,70 @@ let run_all sf quick =
       (fun () -> run_fig13 sf);
       (fun () -> run_linq sf);
       (fun () -> run_ext sf);
+      (fun () -> run_qscale sf quick [ 1; 2; 4; 8 ]);
       (fun () -> run_ablations sf);
     ]
 
-let cmd name doc term = Cmd.v (Cmd.info name ~doc) term
+(* Commands evaluate to a thunk so the [--json] wrapper can bracket the
+   whole run with collection and artifact writing. *)
+let cmd name doc term =
+  Cmd.v (Cmd.info name ~doc) Term.(const with_json $ json_arg $ term)
 
-let fig6_cmd = cmd "fig6" "Reclamation-threshold sensitivity" Term.(const run_fig6 $ quick_arg)
-let fig7_cmd = cmd "fig7" "Batch allocation throughput" Term.(const run_fig7 $ quick_arg)
+let fig6_cmd =
+  cmd "fig6" "Reclamation-threshold sensitivity"
+    Term.(const (fun quick () -> run_fig6 quick) $ quick_arg)
+
+let fig7_cmd =
+  cmd "fig7" "Batch allocation throughput"
+    Term.(const (fun quick () -> run_fig7 quick) $ quick_arg)
 
 let fig8_cmd =
-  cmd "fig8" "Refresh stream throughput" Term.(const run_fig8 $ sf_arg 0.02 $ quick_arg)
+  cmd "fig8" "Refresh stream throughput"
+    Term.(const (fun sf quick () -> run_fig8 sf quick) $ sf_arg 0.02 $ quick_arg)
 
-let fig9_cmd = cmd "fig9" "GC pause vs collection size" Term.(const run_fig9 $ quick_arg)
+let fig9_cmd =
+  cmd "fig9" "GC pause vs collection size"
+    Term.(const (fun quick () -> run_fig9 quick) $ quick_arg)
 
 let fig10_cmd =
   cmd "fig10" "Enumeration performance (fresh/worn)"
-    Term.(const run_fig10 $ sf_arg 0.05 $ quick_arg)
+    Term.(const (fun sf quick () -> run_fig10 sf quick) $ sf_arg 0.05 $ quick_arg)
 
-let fig11_cmd = cmd "fig11" "TPC-H Q1-Q6 vs List" Term.(const run_fig11 $ sf_arg 0.05)
-let fig12_cmd = cmd "fig12" "Direct pointers & columnar" Term.(const run_fig12 $ sf_arg 0.05)
-let fig13_cmd = cmd "fig13" "Comparison to RDBMS columnstore" Term.(const run_fig13 $ sf_arg 0.05)
-let linq_cmd = cmd "linq" "LINQ (Volcano) vs compiled" Term.(const run_linq $ sf_arg 0.05)
+let fig11_cmd =
+  cmd "fig11" "TPC-H Q1-Q6 vs List" Term.(const (fun sf () -> run_fig11 sf) $ sf_arg 0.05)
+
+let fig12_cmd =
+  cmd "fig12" "Direct pointers & columnar"
+    Term.(const (fun sf () -> run_fig12 sf) $ sf_arg 0.05)
+
+let fig13_cmd =
+  cmd "fig13" "Comparison to RDBMS columnstore"
+    Term.(const (fun sf () -> run_fig13 sf) $ sf_arg 0.05)
+
+let linq_cmd =
+  cmd "linq" "LINQ (Volcano) vs compiled" Term.(const (fun sf () -> run_linq sf) $ sf_arg 0.05)
 
 let ext_cmd =
-  cmd "ext" "Extension queries Q7/Q10/Q12/Q14/Q19" Term.(const run_ext $ sf_arg 0.05)
+  cmd "ext" "Extension queries Q7/Q10/Q12/Q14/Q19"
+    Term.(const (fun sf () -> run_ext sf) $ sf_arg 0.05)
 
 let ablations_cmd =
-  cmd "ablations" "Implementation design-choice ablations" Term.(const run_ablations $ sf_arg 0.02)
+  cmd "ablations" "Implementation design-choice ablations"
+    Term.(const (fun sf () -> run_ablations sf) $ sf_arg 0.02)
+
+let domains_arg =
+  let doc = "Comma-separated domain counts to sweep." in
+  Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "domains" ] ~docv:"N,.." ~doc)
+
+let qscale_cmd =
+  cmd "qscale" "Parallel query scaling (Q1/Q6 over the domain pool)"
+    Term.(
+      const (fun sf quick domains () -> run_qscale sf quick domains)
+      $ sf_arg 0.05 $ quick_arg $ domains_arg)
 
 let all_cmd =
-  cmd "all" "Run every experiment" Term.(const run_all $ sf_arg 0.05 $ quick_arg)
+  cmd "all" "Run every experiment"
+    Term.(const (fun sf quick () -> run_all sf quick) $ sf_arg 0.05 $ quick_arg)
 
 let () =
   let info = Cmd.info "smc_bench" ~doc:"Self-managed collections experiment harness" in
@@ -96,7 +167,7 @@ let () =
     Cmd.group info
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
-        linq_cmd; ext_cmd; ablations_cmd; all_cmd;
+        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

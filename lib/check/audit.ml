@@ -99,7 +99,7 @@ let check_context ~out (ctx : Context.t) =
   let rt = ctx.Context.rt in
   let global = Epoch.global rt.Runtime.epoch in
   Mutex.lock ctx.Context.lock;
-  let queue = ctx.Context.reclaim_queue in
+  let queue = Context.reclaim_queue_blocks ctx in
   let view = ctx.Context.view in
   Mutex.unlock ctx.Context.lock;
   List.iter

@@ -1,0 +1,17 @@
+(** Query scaling — parallel TPC-H Q1/Q6 over a shared domain pool.
+
+    A Fig 7-style scaling sweep for query execution rather than allocation:
+    the sequential unsafe kernels are the baseline, then the same kernels
+    run as block-partitioned parallel scans ({!Smc_tpch.Q_smc.q1_par} /
+    {!Smc_tpch.Q_smc.q6_par}) at each requested domain count, all drawing
+    workers from one reusable pool so no run pays [Domain.spawn]. Speedup
+    is relative to the sequential baseline of the same query. Note the
+    parallel points can only scale up to the machine's core count
+    regardless of the requested domains. *)
+
+type point = { query : string; variant : string; domains : int; ms : float; speedup : float }
+
+val run : ?sf:float -> ?domain_counts:int list -> unit -> point list
+(** Defaults: [sf = 0.05], [domain_counts = [1; 2; 4; 8]]. *)
+
+val table : point list -> Smc_util.Table.t

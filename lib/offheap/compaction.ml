@@ -45,7 +45,7 @@ let select_candidates (ctx : Context.t) threshold =
     then begin
       if blk.Block.queued then begin
         blk.Block.queued <- false;
-        ctx.reclaim_queue <- List.filter (fun b -> b != blk) ctx.reclaim_queue
+        Context.rq_remove_locked ctx blk
       end;
       blk.Block.owner_tid <- compactor_owner;
       result := blk :: !result

@@ -20,7 +20,8 @@ type t = {
   reclaim_threshold : float;
   lock : Mutex.t;
   mutable view : view;
-  mutable reclaim_queue : Block.t list;
+  mutable rq_front : Block.t list;
+  mutable rq_back : Block.t list;
   local_block : Block.t option array;
   mutable direct_referrers : (t * Layout.field) list;
   compaction_requested : bool Atomic.t;
@@ -42,7 +43,8 @@ let create rt ~layout ?(placement = Block.Row) ?(mode = Indirect) ?(slots_per_bl
     reclaim_threshold;
     lock = Mutex.create ();
     view = { v_blocks = [||]; v_n = 0 };
-    reclaim_queue = [];
+    rq_front = [];
+    rq_back = [];
     local_block = Array.make max_threads None;
     direct_referrers = [];
     compaction_requested = Atomic.make false;
@@ -76,23 +78,42 @@ let fresh_block t =
   publish_block t blk;
   blk
 
+(* The reclamation queue is a two-list FIFO under the context lock: pushes
+   prepend to [rq_back], pops take from [rq_front], reversing the back list
+   into the front only when the front runs dry — O(1) amortised either way,
+   where a naive [queue @ [blk]] append is quadratic under churn. *)
+let rq_push_locked t blk = t.rq_back <- blk :: t.rq_back
+
+let rq_normalize_locked t =
+  if t.rq_front = [] then begin
+    t.rq_front <- List.rev t.rq_back;
+    t.rq_back <- []
+  end
+
+let rq_remove_locked t blk =
+  t.rq_front <- List.filter (fun b -> b != blk) t.rq_front;
+  t.rq_back <- List.filter (fun b -> b != blk) t.rq_back
+
+let reclaim_queue_blocks t = t.rq_front @ List.rev t.rq_back
+
 (* Pop the oldest ready block from the reclamation queue; when blocks are
    queued but not yet ready, nudge the global epoch (§3.5: lazy advance from
    the allocation function). *)
 let pop_reclaimable t =
   let epoch = t.rt.Runtime.epoch in
   with_lock t (fun () ->
-      match t.reclaim_queue with
+      rq_normalize_locked t;
+      match t.rq_front with
       | [] -> None
       | head :: rest ->
         if head.Block.dead then begin
           head.Block.queued <- false;
-          t.reclaim_queue <- rest;
+          t.rq_front <- rest;
           None
         end
         else if Epoch.global epoch >= head.Block.queued_ready then begin
           head.Block.queued <- false;
-          t.reclaim_queue <- rest;
+          t.rq_front <- rest;
           Some head
         end
         else begin
@@ -123,7 +144,7 @@ let maybe_queue t blk =
         if (not blk.Block.queued) && not blk.Block.dead then begin
           blk.Block.queued <- true;
           blk.Block.queued_ready <- Epoch.global t.rt.Runtime.epoch + 2;
-          t.reclaim_queue <- t.reclaim_queue @ [ blk ]
+          rq_push_locked t blk
         end)
 
 let release_local t tid blk =
@@ -132,8 +153,12 @@ let release_local t tid blk =
   maybe_queue t blk
 
 (* Scan the slot directory from the last allocation position for a free slot
-   or a reclaimable limbo slot (§3.5). *)
+   or a reclaimable limbo slot (§3.5). A completely full block (every slot
+   valid, so no free and no limbo slot to recycle) is rejected without
+   touching the directory at all. *)
 let scan_for_slot t tid blk =
+  if Atomic.get blk.Block.valid_count = blk.Block.nslots then None
+  else begin
   let epoch = t.rt.Runtime.epoch in
   let ind = t.rt.Runtime.ind in
   let n = blk.Block.nslots in
@@ -161,6 +186,7 @@ let scan_for_slot t tid blk =
     end
   in
   go n blk.Block.scan_pos
+  end
 
 let rec alloc t =
   Runtime.fire_alloc_hook t.rt;
@@ -440,57 +466,80 @@ let scan_block blk ~f =
       f blk slot
   done
 
-(* Block-access protocol of §5.2: the first time an enumeration meets any
-   member of a compaction group it processes the whole group — either
-   pre-relocation under the group's query counter (waiting phase) or
-   post-relocation from the target block. Later members of a handled group
-   are skipped. An aborted group reverts to plain source scanning. *)
-let handle_group g ~processed ~scan =
-  if List.memq g !processed then ()
-  else begin
-    processed := g :: !processed;
-    let scan_sources () = Array.iter scan g.Block.sources in
-    let rec attempt () =
-      let state = Atomic.get g.Block.g_state in
-      if state = Block.group_done then scan g.Block.g_target
-      else if state = Block.group_moving then begin
-        let rec wait () =
-          let s = Atomic.get g.Block.g_state in
-          if s = Block.group_moving then begin
-            Domain.cpu_relax ();
-            wait ()
-          end
-          else s
-        in
-        if wait () = Block.group_done then scan g.Block.g_target else scan_sources ()
-      end
-      else if state = Block.group_pending then begin
-        ignore (Atomic.fetch_and_add g.Block.g_queries 1 : int);
-        if Atomic.get g.Block.g_state <> Block.group_pending then begin
-          ignore (Atomic.fetch_and_add g.Block.g_queries (-1) : int);
-          attempt ()
+(* Compaction-group claim tickets (§5.2). An enumeration — sequential or
+   partitioned across domains — must process each group exactly once and as
+   a whole. The ticket is a CAS-maintained list of claimed groups shared by
+   every worker of one enumeration: the first worker to reach any member of
+   a group wins the claim and scans the whole group; everyone else skips
+   the group's blocks. Groups are few (compaction forms a handful at a
+   time), so a list is cheaper than a hash table here. *)
+type claims = Block.group list Atomic.t
+
+let no_claims () = Atomic.make []
+
+let claim_group claims g =
+  let rec go () =
+    let seen = Atomic.get claims in
+    if List.memq g seen then false
+    else if Atomic.compare_and_set claims seen (g :: seen) then true
+    else go ()
+  in
+  go ()
+
+let group_claimed claims g = List.memq g (Atomic.get claims)
+
+(* Block-access protocol of §5.2: the claiming enumeration processes the
+   whole group — either pre-relocation under the group's query counter
+   (waiting phase) or post-relocation from the target block. An aborted
+   group reverts to plain source scanning. *)
+let scan_group g ~scan =
+  let scan_sources () = Array.iter scan g.Block.sources in
+  let rec attempt () =
+    let state = Atomic.get g.Block.g_state in
+    if state = Block.group_done then scan g.Block.g_target
+    else if state = Block.group_moving then begin
+      let rec wait () =
+        let s = Atomic.get g.Block.g_state in
+        if s = Block.group_moving then begin
+          Domain.cpu_relax ();
+          wait ()
         end
-        else
-          Fun.protect
-            ~finally:(fun () -> ignore (Atomic.fetch_and_add g.Block.g_queries (-1) : int))
-            scan_sources
+        else s
+      in
+      if wait () = Block.group_done then scan g.Block.g_target else scan_sources ()
+    end
+    else if state = Block.group_pending then begin
+      ignore (Atomic.fetch_and_add g.Block.g_queries 1 : int);
+      if Atomic.get g.Block.g_state <> Block.group_pending then begin
+        ignore (Atomic.fetch_and_add g.Block.g_queries (-1) : int);
+        attempt ()
       end
-      else scan_sources () (* aborted *)
-    in
-    attempt ()
-  end
+      else
+        Fun.protect
+          ~finally:(fun () -> ignore (Atomic.fetch_and_add g.Block.g_queries (-1) : int))
+          scan_sources
+    end
+    else scan_sources () (* aborted *)
+  in
+  attempt ()
+
+(* One element of a view snapshot, under the claim protocol: grouped blocks
+   go through the ticket, ungrouped live blocks are scanned directly. *)
+let scan_view_element ~claims blk ~scan =
+  match blk.Block.group with
+  | Some g -> if claim_group claims g then scan_group g ~scan
+  | None -> if not blk.Block.dead then scan blk
 
 (* [wrap] delimits each independently-consistent unit of the enumeration: a
    single live block, or a whole compaction group (whose members must be
    processed in the same thread-local epoch, §5.2). *)
 let iter_blocks_scanned ?(wrap = fun f -> f ()) t ~scan =
   let { v_blocks = blocks; v_n = n } = t.view in
-  let processed = ref [] in
+  let claims = no_claims () in
   for i = 0 to n - 1 do
     let blk = blocks.(i) in
     match blk.Block.group with
-    | Some g ->
-      if not (List.memq g !processed) then wrap (fun () -> handle_group g ~processed ~scan)
+    | Some g -> if not (group_claimed claims g) then wrap (fun () -> scan_view_element ~claims blk ~scan)
     | None -> if not blk.Block.dead then wrap (fun () -> scan blk)
   done
 

@@ -39,7 +39,11 @@ type t = {
   mutable view : view;
       (** atomically-published snapshot of the block list; read it once and
           iterate the pair — mutators never disturb a published view *)
-  mutable reclaim_queue : Block.t list;  (** oldest first *)
+  mutable rq_front : Block.t list;
+      (** reclamation queue, pop end (oldest first) *)
+  mutable rq_back : Block.t list;
+      (** reclamation queue, push end (newest first); the two lists form an
+          amortised-O(1) FIFO under the context lock *)
   local_block : Block.t option array;  (** per thread slot *)
   mutable direct_referrers : (t * Layout.field) list;
       (** contexts holding direct references into this one (§6 fixup) *)
@@ -104,6 +108,44 @@ val iter_valid_hoisted : t -> on_block:(Block.t -> int -> unit) -> unit
 (** Like {!iter_valid}, but [on_block] runs once per block and returns the
     per-slot body — query code hoists raw block state out of the slot loop
     (the paper's direct block access). *)
+
+(** {2 Parallel-enumeration support}
+
+    A parallel query partitions one view snapshot across worker domains.
+    Each worker processes view elements inside its own epoch critical
+    section (one per block, so grace periods stay short); compaction groups
+    are claimed through a shared {!claims} ticket so a group is handled by
+    exactly one worker and never split (§5.2). The actual domain pool and
+    partitioning live in [Smc_parallel]; these are the protocol pieces it
+    builds on (also used by the sequential enumerators above). *)
+
+type claims
+(** Shared claim ticket for the compaction groups met by one enumeration. *)
+
+val no_claims : unit -> claims
+(** Fresh ticket; create one per enumeration and share it across workers. *)
+
+val claim_group : claims -> Block.group -> bool
+(** Atomically claim a group; [true] for exactly one caller per group. *)
+
+val scan_view_element : claims:claims -> Block.t -> scan:(Block.t -> unit) -> unit
+(** Process one element of a view snapshot under the §5.2 protocol: a live
+    ungrouped block is scanned directly; the first worker to reach any
+    member of a compaction group claims the whole group and scans it
+    (pre-relocation under the query counter, or post-relocation from the
+    target); members of an already-claimed group are skipped. Call inside a
+    critical section. *)
+
+val scan_block : Block.t -> f:(Block.t -> int -> unit) -> unit
+(** Apply [f] to every valid slot of one block (no group handling). *)
+
+val reclaim_queue_blocks : t -> Block.t list
+(** Snapshot of the reclamation queue, oldest first. Callers must hold the
+    context lock or be at a quiescent point (the audit's use). *)
+
+val rq_remove_locked : t -> Block.t -> unit
+(** Remove a block from the reclamation queue; caller must hold the context
+    lock (the compactor pulls candidates out of the queue this way). *)
 
 val resolve_loc : t -> int -> int
 (** Allocation-free {!resolve}: packed (block, slot) per

@@ -1,0 +1,53 @@
+(** Parallel block enumeration over a memory context (§5.2).
+
+    One call takes a single snapshot of the context's published block view
+    and partitions it across the pool's worker domains (plus the caller)
+    through an atomic index dispenser. Each view element is processed
+    inside its own epoch critical section — §4's per-block granularity, so
+    grace periods stay short while the scan runs — and compaction groups
+    are claimed atomically so exactly one worker scans a group, whole.
+
+    Accumulation is strictly per-worker: [init ()] makes a private
+    accumulator in each worker, [combine] merges them on the calling domain
+    once all workers finished. Enumeration order across workers is
+    unspecified; semantics are the same bag semantics as
+    {!Smc_offheap.Context.iter_valid} (objects added or removed
+    concurrently may or may not be observed).
+
+    [?pool] defaults to {!Pool.default}; [?domains] caps the workers used
+    for this call (0 or absent = the pool's full width). With one worker —
+    or a single-block view — everything runs sequentially on the caller,
+    with no pool round-trip. *)
+
+open Smc_offheap
+
+val fold_valid_par :
+  ?pool:Pool.t ->
+  ?domains:int ->
+  Context.t ->
+  init:(unit -> 'acc) ->
+  f:('acc -> Block.t -> int -> 'acc) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+
+val iter_valid_par :
+  ?pool:Pool.t -> ?domains:int -> Context.t -> f:(Block.t -> int -> unit) -> unit
+(** [f] runs concurrently in several domains — it must be domain-safe
+    (e.g. accumulate into atomics). Prefer {!fold_valid_par}. *)
+
+val fold_hoisted_par :
+  ?pool:Pool.t ->
+  ?domains:int ->
+  Context.t ->
+  init:(unit -> 'acc) ->
+  on_block:('acc -> Block.t -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Parallel analogue of {!Smc_offheap.Context.iter_valid_hoisted}:
+    [on_block acc blk] runs once per block in the worker that drew the
+    block and returns the per-slot body, closed over the worker's private
+    accumulator and the block's hoisted raw state. *)
+
+val iter_hoisted_par :
+  ?pool:Pool.t -> ?domains:int -> Context.t -> on_block:(Block.t -> int -> unit) -> unit
+(** Hoisted iteration without accumulators; [on_block] must be domain-safe. *)

@@ -1,0 +1,143 @@
+(* A reusable pool of worker domains. Domains are expensive to spawn
+   (~tens of microseconds plus a GC ramp-up), far too expensive to pay per
+   query, so the pool spawns lazily — one worker per outstanding demand, up
+   to the size cap — and keeps them parked on a condition variable between
+   queries. The calling domain always participates in [run], so a pool of
+   size 0 degrades to plain sequential execution. *)
+
+type 'a outcome = Done of 'a | Failed of exn
+
+type 'a promise = {
+  p_lock : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_state : 'a outcome option;
+}
+
+type t = {
+  size : int; (* worker-domain cap; parallelism in [run] is size + 1 *)
+  lock : Mutex.t;
+  work_available : Condition.t;
+  tasks : (unit -> unit) Queue.t;
+  mutable workers : unit Domain.t list;
+  mutable n_workers : int;
+  mutable stopping : bool;
+}
+
+let default_size () = max 0 (Domain.recommended_domain_count () - 1)
+
+let create ?size () =
+  let size = match size with Some s -> max 0 s | None -> default_size () in
+  {
+    size;
+    lock = Mutex.create ();
+    work_available = Condition.create ();
+    tasks = Queue.create ();
+    workers = [];
+    n_workers = 0;
+    stopping = false;
+  }
+
+let size t = t.size
+
+(* Workers drain the queue before honouring a shutdown so every promise
+   issued before [shutdown] is fulfilled. Tasks never raise: [submit] wraps
+   the user function so the exception travels through the promise. *)
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec take () =
+      if not (Queue.is_empty t.tasks) then Some (Queue.pop t.tasks)
+      else if t.stopping then None
+      else begin
+        Condition.wait t.work_available t.lock;
+        take ()
+      end
+    in
+    let task = take () in
+    Mutex.unlock t.lock;
+    match task with
+    | None -> ()
+    | Some f ->
+      f ();
+      next ()
+  in
+  next ()
+
+let fulfil p outcome =
+  Mutex.lock p.p_lock;
+  p.p_state <- Some outcome;
+  Condition.broadcast p.p_cond;
+  Mutex.unlock p.p_lock
+
+let submit t f =
+  let p = { p_lock = Mutex.create (); p_cond = Condition.create (); p_state = None } in
+  let task () = fulfil p (try Done (f ()) with e -> Failed e) in
+  Mutex.lock t.lock;
+  if t.stopping then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.tasks;
+  (* Lazy spawning: grow only while there is more queued work than parked
+     workers could ever pick up; a pool that is never used spawns nothing. *)
+  if t.n_workers < t.size && Queue.length t.tasks > 0 then begin
+    t.n_workers <- t.n_workers + 1;
+    t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
+  end;
+  Condition.signal t.work_available;
+  Mutex.unlock t.lock;
+  p
+
+let await p =
+  Mutex.lock p.p_lock;
+  let rec wait () =
+    match p.p_state with
+    | Some outcome -> outcome
+    | None ->
+      Condition.wait p.p_cond p.p_lock;
+      wait ()
+  in
+  let outcome = wait () in
+  Mutex.unlock p.p_lock;
+  match outcome with Done v -> v | Failed e -> raise e
+
+let run t ~workers f =
+  let workers = max 1 workers in
+  let extra = min (workers - 1) t.size in
+  let promises = List.init extra (fun i -> submit t (fun () -> f (i + 1))) in
+  let mine = try Done (f 0) with e -> Failed e in
+  (* Await every helper even when one failed, so no worker is still touching
+     shared state when [run] returns; then re-raise the first failure. *)
+  let outcomes = List.map (fun p -> try Done (await p) with e -> Failed e) promises in
+  List.iter (function Done () -> () | Failed e -> raise e) (mine :: outcomes)
+
+let effective_workers t ~requested = 1 + min (max 1 requested - 1) t.size
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work_available;
+  let workers = t.workers in
+  t.workers <- [];
+  t.n_workers <- 0;
+  Mutex.unlock t.lock;
+  List.iter Domain.join workers
+
+(* One process-wide default pool, created on first use and torn down at
+   exit so worker domains never outlive the program's shutdown sequence. *)
+let default_lock = Mutex.create ()
+let default_pool = ref None
+
+let default () =
+  Mutex.lock default_lock;
+  let p =
+    match !default_pool with
+    | Some p when not p.stopping -> p
+    | _ ->
+      let p = create () in
+      default_pool := Some p;
+      at_exit (fun () -> if not p.stopping then shutdown p);
+      p
+  in
+  Mutex.unlock default_lock;
+  p

@@ -1,0 +1,45 @@
+(** A reusable, lazily-spawned pool of worker domains.
+
+    [Domain.spawn] is far too expensive to pay per query, so parallel query
+    execution draws workers from a pool that persists across queries.
+    Workers are spawned on demand, up to the size cap, and parked on a
+    condition variable in between. The calling domain always takes part in
+    {!run}, so a pool of size 0 (the default on a single-core machine)
+    degrades to plain sequential execution with no domains spawned at
+    all. *)
+
+type t
+
+type 'a promise
+
+val create : ?size:int -> unit -> t
+(** [size] is the number of {e worker} domains the pool may spawn; total
+    parallelism in {!run} is [size + 1] (the caller participates).
+    Defaults to [Domain.recommended_domain_count () - 1]. *)
+
+val size : t -> int
+(** The worker-domain cap this pool was created with. *)
+
+val submit : t -> (unit -> 'a) -> 'a promise
+(** Enqueue one task; spawns a worker if demand exceeds the spawned count
+    and the cap allows. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a promise -> 'a
+(** Block until the task finishes; re-raises the task's exception. *)
+
+val run : t -> workers:int -> (int -> unit) -> unit
+(** [run t ~workers f] executes [f w] for [w = 0 .. n-1] concurrently,
+    where [n = min workers (size t + 1)]; [f 0] runs on the calling domain.
+    Returns once {e all} calls finished, then re-raises the first
+    exception, if any. *)
+
+val effective_workers : t -> requested:int -> int
+(** The [n] that {!run} would use for [~workers:requested]. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: queued tasks are drained, then every worker domain
+    is joined. Idempotent; subsequent {!submit}s raise. *)
+
+val default : unit -> t
+(** The process-wide shared pool, created on first use (default size) and
+    shut down automatically at exit. *)

@@ -4,12 +4,24 @@ type t = {
   scan : (Value.t array -> unit) -> unit;
 }
 
-let of_smc coll ~columns =
+(* The parallel knob: [domains] ≥ 2 extracts rows with a block-partitioned
+   parallel scan (each worker builds a private row list, lists are spliced
+   on the caller) and pushes them to [emit] sequentially — consumers stay
+   single-threaded. Absent, or ≤ 1, the source scans exactly as before.
+   Row order across blocks is unspecified in the parallel case. *)
+let of_smc ?pool ?domains coll ~columns =
   let schema = Array.of_list (List.map fst columns) in
   let extractors = Array.of_list (List.map snd columns) in
+  let extract blk slot = Array.map (fun e -> e blk slot) extractors in
+  let parallel = match domains with Some d when d > 1 -> true | _ -> false in
   let scan emit =
-    Smc.Collection.iter coll ~f:(fun blk slot ->
-        emit (Array.map (fun extract -> extract blk slot) extractors))
+    if parallel then
+      List.iter emit
+        (Smc_parallel.Par_scan.fold_valid_par ?pool ?domains coll.Smc.Collection.ctx
+           ~init:(fun () -> [])
+           ~f:(fun acc blk slot -> extract blk slot :: acc)
+           ~combine:(fun a b -> List.rev_append b a))
+    else Smc.Collection.iter coll ~f:(fun blk slot -> emit (extract blk slot))
   in
   { name = coll.Smc.Collection.name; schema; scan }
 

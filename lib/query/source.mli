@@ -11,11 +11,17 @@ type t = {
 }
 
 val of_smc :
+  ?pool:Smc_parallel.Pool.t ->
+  ?domains:int ->
   Smc.Collection.t ->
   columns:(string * (Smc_offheap.Block.t -> int -> Value.t)) list ->
   t
 (** Scans the collection inside one critical section, extracting the named
-    columns from each valid slot. *)
+    columns from each valid slot. With [?domains] ≥ 2 the extraction runs
+    as a block-partitioned parallel scan ({!Smc_parallel.Par_scan}) and the
+    rows are pushed to the consumer sequentially afterwards — downstream
+    operators never see concurrency, but row order across blocks becomes
+    unspecified. Default is the sequential scan, unchanged. *)
 
 val of_array : name:string -> schema:string list -> Value.t array array -> t
 

@@ -3,6 +3,7 @@ module F = Smc.Field
 module D = Smc_decimal.Decimal
 module Block = Smc_offheap.Block
 module BA1 = Bigarray.Array1
+module Par_scan = Smc_parallel.Par_scan
 
 let ends_with ~suffix s =
   let n = String.length suffix and m = String.length s in
@@ -204,6 +205,121 @@ let q1 ?(unsafe = false) db =
     Smc_util.Date.add_days (Smc_util.Date.of_ymd 1998 12 1) (-Results.q1_delta_days)
   in
   if unsafe then q1_unsafe db cutoff else q1_safe db cutoff
+
+(* Q1 — parallel: the unsafe kernel run over a block-partitioned parallel
+   scan. Every worker domain folds into its own flat accumulator region —
+   no sharing, no atomics on the hot path — and the regions are merged
+   element-wise on the calling domain once all workers finished. Blocks are
+   claimed through the §5.2 group protocol and each is scanned inside its
+   own epoch critical section. *)
+
+let q1_groups = 512
+
+type q1_flat = {
+  p_qty : int array;
+  p_base : int array;
+  p_disc_price : int array;
+  p_charge : int array;
+  p_disc : int array;
+  p_count : int array;
+}
+
+let q1_flat_make () =
+  {
+    p_qty = Array.make q1_groups 0;
+    p_base = Array.make q1_groups 0;
+    p_disc_price = Array.make q1_groups 0;
+    p_charge = Array.make q1_groups 0;
+    p_disc = Array.make q1_groups 0;
+    p_count = Array.make q1_groups 0;
+  }
+
+let q1_flat_merge a b =
+  for g = 0 to q1_groups - 1 do
+    a.p_qty.(g) <- a.p_qty.(g) + b.p_qty.(g);
+    a.p_base.(g) <- a.p_base.(g) + b.p_base.(g);
+    a.p_disc_price.(g) <- a.p_disc_price.(g) + b.p_disc_price.(g);
+    a.p_charge.(g) <- a.p_charge.(g) + b.p_charge.(g);
+    a.p_disc.(g) <- a.p_disc.(g) + b.p_disc.(g);
+    a.p_count.(g) <- a.p_count.(g) + b.p_count.(g)
+  done;
+  a
+
+let q1_par ?pool ?domains (db : Db_smc.t) =
+  let cutoff =
+    Smc_util.Date.add_days (Smc_util.Date.of_ymd 1998 12 1) (-Results.q1_delta_days)
+  in
+  let lf = db.Db_smc.lf in
+  let o_ship = word_offset lf.Db_smc.l_shipdate
+  and o_rf = word_offset lf.Db_smc.l_returnflag
+  and o_ls = word_offset lf.Db_smc.l_linestatus
+  and o_qty = word_offset lf.Db_smc.l_quantity
+  and o_price = word_offset lf.Db_smc.l_extendedprice
+  and o_disc = word_offset lf.Db_smc.l_discount
+  and o_tax = word_offset lf.Db_smc.l_tax in
+  let acc =
+    Par_scan.fold_hoisted_par ?pool ?domains db.Db_smc.lineitems.C.ctx ~init:q1_flat_make
+      ~on_block:(fun acc blk ->
+        let data = blk.Block.data in
+        let consume g price d q tax =
+          let dp = D.mul price (D.sub D.one d) in
+          acc.p_qty.(g) <- acc.p_qty.(g) + q;
+          acc.p_base.(g) <- acc.p_base.(g) + price;
+          acc.p_disc_price.(g) <- acc.p_disc_price.(g) + dp;
+          acc.p_charge.(g) <- acc.p_charge.(g) + D.mul dp (D.add D.one tax);
+          acc.p_disc.(g) <- acc.p_disc.(g) + d;
+          acc.p_count.(g) <- acc.p_count.(g) + 1
+        in
+        match blk.Block.placement with
+        | Block.Row ->
+          let sw = blk.Block.layout.Smc_offheap.Layout.slot_words in
+          fun slot ->
+            let b = slot * sw in
+            if BA1.unsafe_get data (b + o_ship) <= cutoff then begin
+              let g =
+                ((BA1.unsafe_get data (b + o_rf) land 0x7F) lsl 1)
+                lor (BA1.unsafe_get data (b + o_ls) land 1)
+              in
+              consume g
+                (BA1.unsafe_get data (b + o_price))
+                (BA1.unsafe_get data (b + o_disc))
+                (BA1.unsafe_get data (b + o_qty))
+                (BA1.unsafe_get data (b + o_tax))
+            end
+        | Block.Columnar ->
+          let n = blk.Block.nslots in
+          let b_ship = o_ship * n
+          and b_rf = o_rf * n
+          and b_ls = o_ls * n
+          and b_qty = o_qty * n
+          and b_price = o_price * n
+          and b_disc = o_disc * n
+          and b_tax = o_tax * n in
+          fun slot ->
+            if BA1.unsafe_get data (b_ship + slot) <= cutoff then begin
+              let g =
+                ((BA1.unsafe_get data (b_rf + slot) land 0x7F) lsl 1)
+                lor (BA1.unsafe_get data (b_ls + slot) land 1)
+              in
+              consume g
+                (BA1.unsafe_get data (b_price + slot))
+                (BA1.unsafe_get data (b_disc + slot))
+                (BA1.unsafe_get data (b_qty + slot))
+                (BA1.unsafe_get data (b_tax + slot))
+            end)
+      ~combine:q1_flat_merge
+  in
+  let rows = ref [] in
+  for g = q1_groups - 1 downto 0 do
+    if acc.p_count.(g) > 0 then
+      rows :=
+        q1_row (Char.chr (g lsr 1))
+          (if g land 1 = 1 then 'O' else 'F')
+          ~qty:acc.p_qty.(g) ~base:acc.p_base.(g) ~disc_price:acc.p_disc_price.(g)
+          ~charge:acc.p_charge.(g) ~disc:acc.p_disc.(g) ~count:acc.p_count.(g)
+        :: !rows
+  done;
+  Results.sort_q1 !rows
 
 (* ------------------------------------------------------------------ *)
 (* Q2 — minimum-cost supplier. The scan is tiny relative to lineitem
@@ -919,3 +1035,52 @@ let q6 ?(unsafe = false) (db : Db_smc.t) =
             D.add !total (D.mul (F.get_dec f_price blk slot) (F.get_dec f_disc blk slot)));
     !total
   end
+
+(* Q6 — parallel: the unsafe kernel with one in-place decimal accumulator
+   per worker domain, summed on the caller at the end. *)
+let q6_par ?pool ?domains (db : Db_smc.t) =
+  let lf = db.Db_smc.lf in
+  let lo = Results.q6_date in
+  let hi = Smc_util.Date.add_months lo 12 in
+  let o_ship = word_offset lf.Db_smc.l_shipdate
+  and o_disc = word_offset lf.Db_smc.l_discount
+  and o_qty = word_offset lf.Db_smc.l_quantity
+  and o_price = word_offset lf.Db_smc.l_extendedprice in
+  let d_lo = Results.q6_disc_lo and d_hi = Results.q6_disc_hi and q_max = Results.q6_qty in
+  let acc =
+    Par_scan.fold_hoisted_par ?pool ?domains db.Db_smc.lineitems.C.ctx ~init:D.Acc.make
+      ~on_block:(fun acc blk ->
+        let data = blk.Block.data in
+        match blk.Block.placement with
+        | Block.Row ->
+          let sw = blk.Block.layout.Smc_offheap.Layout.slot_words in
+          fun slot ->
+            let b = slot * sw in
+            let ship = BA1.unsafe_get data (b + o_ship) in
+            if ship >= lo && ship < hi then begin
+              let disc = BA1.unsafe_get data (b + o_disc) in
+              if
+                disc >= d_lo && disc <= d_hi
+                && BA1.unsafe_get data (b + o_qty) < q_max
+              then D.Acc.add_mul acc (BA1.unsafe_get data (b + o_price)) disc
+            end
+        | Block.Columnar ->
+          let n = blk.Block.nslots in
+          let b_ship = o_ship * n
+          and b_disc = o_disc * n
+          and b_qty = o_qty * n
+          and b_price = o_price * n in
+          fun slot ->
+            let ship = BA1.unsafe_get data (b_ship + slot) in
+            if ship >= lo && ship < hi then begin
+              let disc = BA1.unsafe_get data (b_disc + slot) in
+              if
+                disc >= d_lo && disc <= d_hi
+                && BA1.unsafe_get data (b_qty + slot) < q_max
+              then D.Acc.add_mul acc (BA1.unsafe_get data (b_price + slot)) disc
+            end)
+      ~combine:(fun a b ->
+        D.Acc.add a (D.Acc.get b);
+        a)
+  in
+  D.Acc.get acc

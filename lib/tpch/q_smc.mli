@@ -26,6 +26,18 @@ val q6 : ?unsafe:bool -> Db_smc.t -> Results.q6
     treatment; string predicates compile to pre-packed word compares in both
     variants where the collection layer provides them). *)
 
+(** Parallel variants of the unsafe Q1/Q6 kernels: the context's block view
+    is partitioned across the pool's worker domains (see
+    {!Smc_parallel.Par_scan}); each worker folds into a private flat
+    accumulator region ([q1]) or in-place decimal accumulator ([q6]) that
+    is merged on the calling domain once all workers finished. Results are
+    identical to the sequential unsafe variants on a quiescent collection.
+    [?domains] caps the workers used for one call; [?pool] defaults to the
+    process-wide pool. *)
+
+val q1_par : ?pool:Smc_parallel.Pool.t -> ?domains:int -> Db_smc.t -> Results.q1
+val q6_par : ?pool:Smc_parallel.Pool.t -> ?domains:int -> Db_smc.t -> Results.q6
+
 val q7 : ?unsafe:bool -> Db_smc.t -> Results.q7
 val q10 : ?unsafe:bool -> Db_smc.t -> Results.q10
 val q12 : ?unsafe:bool -> Db_smc.t -> Results.q12

@@ -46,3 +46,43 @@ let to_string t =
   Buffer.contents buf
 
 let print t = print_string (to_string t); flush stdout
+
+(* Hand-rolled JSON so the artifact writer needs no dependencies. Cells are
+   kept as the exact strings the plain-text renderer shows. *)
+let json_escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let strings sep xs emit =
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf sep;
+        emit x)
+      xs
+  in
+  Buffer.add_string buf "{\"title\":";
+  json_escape buf t.title;
+  Buffer.add_string buf ",\"columns\":[";
+  strings "," t.columns (json_escape buf);
+  Buffer.add_string buf "],\"rows\":[";
+  strings ","
+    (List.rev t.rows)
+    (fun row ->
+      Buffer.add_char buf '[';
+      strings "," row (json_escape buf);
+      Buffer.add_char buf ']');
+  Buffer.add_string buf "]}";
+  Buffer.contents buf

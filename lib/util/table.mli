@@ -15,5 +15,10 @@ val add_rowf : t -> ('a, unit, string, unit) format4 -> 'a
 val to_string : t -> string
 val print : t -> unit
 
+val to_json : t -> string
+(** The table as one JSON object [{"title", "columns", "rows"}], cells as
+    the same strings {!to_string} renders — for machine-readable benchmark
+    artifacts. *)
+
 val cell_float : float -> string
 (** Standard float formatting used across benches. *)

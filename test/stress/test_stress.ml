@@ -257,6 +257,27 @@ let reader_round (ctx : Context.t) sweeps errs =
     Domain.cpu_relax ()
   done
 
+(* Parallel reader: the same validation as [reader_round], but sweeping
+   with the block-partitioned parallel scan — pool workers race the writers
+   and the compactor, each block scanned in its own critical section, with
+   per-worker error lists spliced on the caller. *)
+let par_reader_round pool (ctx : Context.t) sweeps errs =
+  for _ = 1 to sweeps do
+    let local =
+      Smc_parallel.Par_scan.fold_valid_par ~pool ~domains:3 ctx
+        ~init:(fun () -> [])
+        ~f:(fun acc blk slot ->
+          let k = Block.get_word blk ~slot ~word:key_word in
+          let p = Block.get_word blk ~slot ~word:payload_word in
+          if k <> 0 && p <> 0 && p <> payload_of k then
+            Printf.sprintf "par reader: key %d carries payload %d" k p :: acc
+          else acc)
+        ~combine:(fun a b -> List.rev_append b a)
+    in
+    errs := local @ !errs;
+    Domain.cpu_relax ()
+  done
+
 let compactor_round (ctx : Context.t) passes =
   for _ = 1 to passes do
     ignore (Compaction.run ctx ~occupancy_threshold:0.45 ~max_wait_spins:5_000_000 () : Compaction.report)
@@ -331,6 +352,65 @@ let test_multi_domain mode () =
     assert_clean (Printf.sprintf "multi-domain checkpoint, round %d" round) !errs
   done
 
+(* Like [test_multi_domain], but the sequential reader domain is replaced
+   by parallel query sweeps running on the main domain over a reusable
+   pool: 2 writer domains + compactor domain + 3-way parallel reads racing
+   on the same context, audited and diffed at every quiescent point. *)
+let test_multi_domain_parallel mode () =
+  let rt = Runtime.create () in
+  let ctx =
+    Context.create rt ~layout ~mode ~slots_per_block:128 ~reclaim_threshold:0.25 ()
+  in
+  let auditor = Audit.create rt in
+  let pool = Smc_parallel.Pool.create ~size:2 () in
+  Fun.protect
+    ~finally:(fun () -> Smc_parallel.Pool.shutdown pool)
+    (fun () ->
+      let writers = [| new_wstate 0; new_wstate 1 |] in
+      let rounds = 4 in
+      let per_writer = max 200 (iters / 12) in
+      let errs = ref [] in
+      for round = 1 to rounds do
+        let wd =
+          Array.map
+            (fun st ->
+              let prng =
+                Smc_util.Prng.create ~seed:(subseed ((1000 * round) + 500 + st.w_id)) ()
+              in
+              Domain.spawn (fun () ->
+                  let local = ref [] in
+                  writer_round ctx st prng per_writer local;
+                  !local))
+            writers
+        in
+        let cd = Domain.spawn (fun () -> compactor_round ctx 6) in
+        par_reader_round pool ctx (4 + (per_writer / 50)) errs;
+        Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+        Domain.join cd;
+        let vs = Audit.check_runtime auditor ~contexts:[ ctx ] in
+        assert_clean (Printf.sprintf "parallel-reader audit, round %d" round) vs;
+        check_merged ctx writers errs;
+        (* The parallel sweep at a quiescent point must agree exactly with
+           the sequential checkpoint enumeration. *)
+        let par_keys =
+          Smc_parallel.Par_scan.fold_valid_par ~pool ~domains:3 ctx
+            ~init:(fun () -> [])
+            ~f:(fun acc blk slot -> Block.get_word blk ~slot ~word:key_word :: acc)
+            ~combine:(fun a b -> List.rev_append b a)
+        in
+        let seq_keys = ref [] in
+        Epoch.enter_critical rt.Runtime.epoch;
+        Context.iter_valid ctx ~f:(fun blk slot ->
+            seq_keys := Block.get_word blk ~slot ~word:key_word :: !seq_keys);
+        Epoch.exit_critical rt.Runtime.epoch;
+        if List.sort compare par_keys <> List.sort compare !seq_keys then
+          errs :=
+            Printf.sprintf "round %d: parallel sweep (%d keys) disagrees with sequential (%d)"
+              round (List.length par_keys) (List.length !seq_keys)
+            :: !errs;
+        assert_clean (Printf.sprintf "parallel-reader checkpoint, round %d" round) !errs
+      done)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -357,5 +437,9 @@ let () =
         [
           qc "2 writers + reader + compactor (indirect)" (test_multi_domain Context.Indirect);
           qc "2 writers + reader + compactor (direct)" (test_multi_domain Context.Direct);
+          qc "2 writers + parallel queries + compactor (indirect)"
+            (test_multi_domain_parallel Context.Indirect);
+          qc "2 writers + parallel queries + compactor (direct)"
+            (test_multi_domain_parallel Context.Direct);
         ] );
     ]

@@ -1,0 +1,286 @@
+(* Tests for the parallel query-execution layer: the reusable domain pool,
+   block-partitioned parallel enumeration (equivalence with the sequential
+   enumerators on every placement/mode configuration, exactly-once
+   compaction-group claiming), the parallel TPC-H kernels, and the query
+   engine's parallel source knob. *)
+
+open Smc_offheap
+module Pool = Smc_parallel.Pool
+module Par_scan = Smc_parallel.Par_scan
+
+let check = Alcotest.check
+
+(* ------------------------------------------------------------------ *)
+(* Domain pool                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_submit_await () =
+  let pool = Pool.create ~size:3 () in
+  check Alcotest.int "size" 3 (Pool.size pool);
+  (* Several batches over the same pool: workers are reused, not respawned. *)
+  for round = 1 to 3 do
+    let ps = List.init 8 (fun i -> Pool.submit pool (fun () -> i * round)) in
+    let got = List.map Pool.await ps in
+    check (Alcotest.list Alcotest.int) "results" (List.init 8 (fun i -> i * round)) got
+  done;
+  Pool.shutdown pool;
+  (try
+     ignore (Pool.submit pool (fun () -> 0) : int Pool.promise);
+     Alcotest.fail "submit after shutdown should raise"
+   with Invalid_argument _ -> ());
+  (* Shutdown is idempotent. *)
+  Pool.shutdown pool
+
+let test_pool_run () =
+  let pool = Pool.create ~size:3 () in
+  check Alcotest.int "effective (wide request)" 4 (Pool.effective_workers pool ~requested:8);
+  check Alcotest.int "effective (narrow request)" 2 (Pool.effective_workers pool ~requested:2);
+  check Alcotest.int "effective (degenerate)" 1 (Pool.effective_workers pool ~requested:0);
+  let hits = Array.make 4 0 in
+  Pool.run pool ~workers:4 (fun w -> hits.(w) <- hits.(w) + 1);
+  check (Alcotest.list Alcotest.int) "each worker index ran once" [ 1; 1; 1; 1 ]
+    (Array.to_list hits);
+  (* A zero-size pool degrades to sequential execution on the caller. *)
+  let seq = Pool.create ~size:0 () in
+  let ran = ref 0 in
+  Pool.run seq ~workers:4 (fun w ->
+      check Alcotest.int "only worker 0" 0 w;
+      incr ran);
+  check Alcotest.int "ran exactly once" 1 !ran;
+  Pool.shutdown seq;
+  Pool.shutdown pool
+
+exception Boom
+
+let test_pool_exceptions () =
+  let pool = Pool.create ~size:2 () in
+  let p = Pool.submit pool (fun () -> raise Boom) in
+  (try
+     ignore (Pool.await p : unit);
+     Alcotest.fail "await should re-raise"
+   with Boom -> ());
+  (* A failing task does not poison the pool. *)
+  check Alcotest.int "pool still serves" 7 (Pool.await (Pool.submit pool (fun () -> 7)));
+  (try
+     Pool.run pool ~workers:3 (fun w -> if w = 1 then raise Boom);
+     Alcotest.fail "run should re-raise"
+   with Boom -> ());
+  Pool.run pool ~workers:3 (fun _ -> ());
+  Pool.shutdown pool
+
+(* ------------------------------------------------------------------ *)
+(* Parallel enumeration vs the sequential enumerators                  *)
+(* ------------------------------------------------------------------ *)
+
+let kv_layout = Layout.create ~name:"kv_par" [ ("k", Layout.Int); ("v", Layout.Int) ]
+let fk = Smc.Field.int kv_layout "k"
+let fv = Smc.Field.int kv_layout "v"
+
+(* A collection with several blocks and a sprinkling of limbo slots, so the
+   parallel scan must skip free/limbo states exactly like the sequential
+   one. *)
+let build ~placement ~mode ~n () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"kv" ~layout:kv_layout ~placement ~mode
+      ~slots_per_block:64 ()
+  in
+  let refs =
+    Array.init n (fun i ->
+        Smc.Collection.add coll ~init:(fun blk slot ->
+            Smc.Field.set_int fk blk slot i;
+            Smc.Field.set_int fv blk slot ((7 * i) + 1)))
+  in
+  Array.iteri
+    (fun i r -> if i mod 3 = 0 then ignore (Smc.Collection.remove coll r : bool))
+    refs;
+  (rt, coll)
+
+let seq_sum_count coll =
+  let sum = ref 0 and count = ref 0 in
+  Smc.Collection.iter coll ~f:(fun blk slot ->
+      sum := !sum + Smc.Field.get_int fv blk slot;
+      incr count);
+  (!sum, !count)
+
+let configs =
+  [
+    ("row/indirect", Block.Row, Context.Indirect);
+    ("row/direct", Block.Row, Context.Direct);
+    ("columnar/indirect", Block.Columnar, Context.Indirect);
+    ("columnar/direct", Block.Columnar, Context.Direct);
+  ]
+
+let test_par_equivalence (name, placement, mode) () =
+  let _rt, coll = build ~placement ~mode ~n:2000 () in
+  let ctx = coll.Smc.Collection.ctx in
+  let pool = Pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let expected = seq_sum_count coll in
+      let pair = Alcotest.(pair int int) in
+      let fold domains =
+        Par_scan.fold_valid_par ~pool ~domains ctx
+          ~init:(fun () -> (0, 0))
+          ~f:(fun (s, c) blk slot -> (s + Smc.Field.get_int fv blk slot, c + 1))
+          ~combine:(fun (s1, c1) (s2, c2) -> (s1 + s2, c1 + c2))
+      in
+      check pair (name ^ ": fold domains=4") expected (fold 4);
+      check pair (name ^ ": fold sequential fast path") expected (fold 1);
+      let sum = Atomic.make 0 and count = Atomic.make 0 in
+      Par_scan.iter_valid_par ~pool ~domains:4 ctx ~f:(fun blk slot ->
+          ignore (Atomic.fetch_and_add sum (Smc.Field.get_int fv blk slot) : int);
+          Atomic.incr count);
+      check pair (name ^ ": iter domains=4") expected (Atomic.get sum, Atomic.get count);
+      let v_word = (Layout.field kv_layout "v").Layout.word
+      and sw = kv_layout.Layout.slot_words in
+      let hoisted =
+        Par_scan.fold_hoisted_par ~pool ~domains:4 ctx
+          ~init:(fun () -> (ref 0, ref 0))
+          ~on_block:(fun (s, c) blk ->
+            let data = blk.Block.data in
+            let word =
+              match blk.Block.placement with
+              | Block.Row -> fun slot -> Bigarray.Array1.get data ((slot * sw) + v_word)
+              | Block.Columnar ->
+                let base = v_word * blk.Block.nslots in
+                fun slot -> Bigarray.Array1.get data (base + slot)
+            in
+            fun slot ->
+              s := !s + word slot;
+              incr c)
+          ~combine:(fun (s1, c1) (s2, c2) ->
+            s1 := !s1 + !s2;
+            c1 := !c1 + !c2;
+            (s1, c1))
+      in
+      check pair (name ^ ": hoisted domains=4") expected (!(fst hoisted), !(snd hoisted)))
+
+(* ------------------------------------------------------------------ *)
+(* Compaction-group claiming                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Fabricate a completed compaction group (two sources, one target) and let
+   several domains race over the sources: the group must be scanned exactly
+   once per enumeration, always through the target. *)
+let test_group_claim_exactly_once () =
+  let rt = Runtime.create () in
+  let ctx = Context.create rt ~layout:kv_layout ~slots_per_block:16 () in
+  let srcs = [| Context.fresh_block ctx; Context.fresh_block ctx |] in
+  let target = Context.new_block_unpublished ctx in
+  let g =
+    {
+      Block.sources = srcs;
+      g_target = target;
+      g_state = Atomic.make Block.group_done;
+      g_queries = Atomic.make 0;
+    }
+  in
+  Array.iter (fun b -> b.Block.group <- Some g) srcs;
+  let pool = Pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      for _trial = 1 to 100 do
+        let claims = Context.no_claims () in
+        let scans = Atomic.make 0 in
+        Pool.run pool ~workers:4 (fun _ ->
+            Array.iter
+              (fun b ->
+                Context.scan_view_element ~claims b ~scan:(fun scanned ->
+                    if scanned != target then
+                      Alcotest.fail "a done group must be scanned through its target";
+                    Atomic.incr scans))
+              srcs);
+        check Alcotest.int "exactly one scan per enumeration" 1 (Atomic.get scans)
+      done;
+      (* The raw ticket: one winner per group no matter how many racers. *)
+      for _trial = 1 to 100 do
+        let claims = Context.no_claims () in
+        let wins = Atomic.make 0 in
+        Pool.run pool ~workers:4 (fun _ ->
+            if Context.claim_group claims g then Atomic.incr wins);
+        check Alcotest.int "exactly one claim winner" 1 (Atomic.get wins)
+      done)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel TPC-H kernels and the query-engine source knob             *)
+(* ------------------------------------------------------------------ *)
+
+let tpch_db = lazy (Smc_tpch.Db_smc.load (Smc_tpch.Dbgen.generate ~sf:0.01 ()))
+
+let test_q1_q6_parity () =
+  let db = Lazy.force tpch_db in
+  let pool = Pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let q1_seq = Smc_tpch.Q_smc.q1 ~unsafe:true db in
+      check Alcotest.bool "q1 par(4) = seq" true
+        (Smc_tpch.Q_smc.q1_par ~pool ~domains:4 db = q1_seq);
+      check Alcotest.bool "q1 par(1) = seq" true
+        (Smc_tpch.Q_smc.q1_par ~pool ~domains:1 db = q1_seq);
+      check Alcotest.bool "q1 safe agrees" true (Smc_tpch.Q_smc.q1 ~unsafe:false db = q1_seq);
+      let q6_seq = Smc_tpch.Q_smc.q6 ~unsafe:true db in
+      check Alcotest.int "q6 par(4) = seq" q6_seq (Smc_tpch.Q_smc.q6_par ~pool ~domains:4 db);
+      check Alcotest.int "q6 par(1) = seq" q6_seq (Smc_tpch.Q_smc.q6_par ~pool ~domains:1 db))
+
+let test_source_parallel_knob () =
+  let _rt, coll = build ~placement:Block.Row ~mode:Context.Indirect ~n:500 () in
+  let columns =
+    [
+      ("k", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fk blk slot));
+      ("v", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fv blk slot));
+    ]
+  in
+  let pool = Pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let agg src =
+        Smc_query.Interp.collect
+          Smc_query.Plan.(
+            group_by ~keys:[]
+              ~aggs:
+                [
+                  ("total", Sum (Smc_query.Expr.Col "v"));
+                  ("n", Count);
+                  ("top", Max (Smc_query.Expr.Col "k"));
+                ]
+              (scan src))
+      in
+      let seq = agg (Smc_query.Source.of_smc coll ~columns) in
+      let par = agg (Smc_query.Source.of_smc ~pool ~domains:4 coll ~columns) in
+      check Alcotest.bool "volcano aggregate agrees" true (seq = par);
+      (* domains <= 1 keeps the plain sequential scan, row order included. *)
+      let seq_rows =
+        Smc_query.Interp.collect
+          (Smc_query.Plan.scan (Smc_query.Source.of_smc ~domains:1 coll ~columns))
+      in
+      let base_rows =
+        Smc_query.Interp.collect (Smc_query.Plan.scan (Smc_query.Source.of_smc coll ~columns))
+      in
+      check Alcotest.bool "domains=1 is the sequential scan" true (seq_rows = base_rows))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          qc "submit/await + reuse + shutdown" test_pool_submit_await;
+          qc "run partitions worker indices" test_pool_run;
+          qc "exception propagation" test_pool_exceptions;
+        ] );
+      ( "par_scan",
+        List.map (fun (name, p, m) -> qc name (test_par_equivalence (name, p, m))) configs );
+      ( "groups", [ qc "claimed exactly once" test_group_claim_exactly_once ] );
+      ( "queries",
+        [
+          qc "q1/q6 parallel = sequential" test_q1_q6_parity;
+          qc "volcano source parallel knob" test_source_parallel_knob;
+        ] );
+    ]
