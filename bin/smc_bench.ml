@@ -28,9 +28,14 @@ let write_json file =
         tables;
       output_string oc "]\n")
 
-let with_json json thunk =
+let with_json json stats thunk =
   collected := [];
   thunk ();
+  (* The counter table is printed (and collected) last, so a --json artifact
+     carries the run's full event history alongside its figures. *)
+  if stats then
+    print_table
+      (Smc_obs.to_table ~title:"obs counters" (Smc_obs.process_snapshot ()));
   Option.iter write_json json
 
 let json_arg =
@@ -39,6 +44,13 @@ let json_arg =
      (one object per table: title, columns, rows)."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let stats_arg =
+  let doc =
+    "Append a merged Obs counter snapshot (every runtime created by this \
+     run) as a final table; it is included in any $(b,--json) artifact."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
 
 let sf_arg default =
   let doc = "TPC-H scale factor (fraction of the official 1.0 scale)." in
@@ -100,10 +112,44 @@ let run_all sf quick =
       (fun () -> run_ablations sf);
     ]
 
-(* Commands evaluate to a thunk so the [--json] wrapper can bracket the
-   whole run with collection and artifact writing. *)
+(* A self-checking observability workload: populate a lineitem collection,
+   churn it, scan it, compact it, then run the structural audit and the
+   derived counter balances over the result. The counter table is always
+   printed; any violation is fatal (exit 1), which makes the [stats]
+   subcommand a cheap end-to-end smoke of the Obs layer. *)
+let run_stats quick =
+  let rt, coll =
+    E.Workload.lineitem_collection ~slots_per_block:256 ~reclaim_threshold:0.2 ()
+  in
+  let prng = Smc_util.Prng.create ~seed:42L () in
+  let n = if quick then 20_000 else 100_000 in
+  let refs = Array.init n (fun _ -> E.Workload.add_lineitem coll prng) in
+  E.Workload.churn coll ~refs ~prng ~fraction:0.3 ~rounds:(if quick then 3 else 6);
+  ignore (E.Workload.scan_sum coll : int);
+  (* Thin the collection so compaction actually forms groups and the
+     balance check exercises its limbo-drop and relocation terms. *)
+  Array.iter
+    (fun r -> if Smc_util.Prng.int prng 4 <> 0 then ignore (Smc.Collection.remove coll r : bool))
+    refs;
+  ignore
+    (Smc_offheap.Compaction.run coll.Smc.Collection.ctx ~occupancy_threshold:0.6 ()
+      : Smc_offheap.Compaction.report);
+  let contexts = [ coll.Smc.Collection.ctx ] in
+  let violations =
+    Smc_check.Audit.check_once rt ~contexts @ Smc_check.Obs_check.check rt ~contexts
+  in
+  print_table
+    (Smc_obs.to_table ~title:"obs counters"
+       (Smc_obs.snapshot rt.Smc_offheap.Runtime.obs));
+  if violations <> [] then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
+(* Commands evaluate to a thunk so the [--json]/[--stats] wrapper can
+   bracket the whole run with collection and artifact writing. *)
 let cmd name doc term =
-  Cmd.v (Cmd.info name ~doc) Term.(const with_json $ json_arg $ term)
+  Cmd.v (Cmd.info name ~doc) Term.(const with_json $ json_arg $ stats_arg $ term)
 
 let fig6_cmd =
   cmd "fig6" "Reclamation-threshold sensitivity"
@@ -157,6 +203,10 @@ let qscale_cmd =
       const (fun sf quick domains () -> run_qscale sf quick domains)
       $ sf_arg 0.05 $ quick_arg $ domains_arg)
 
+let stats_cmd =
+  cmd "stats" "Self-checking Obs counter workload (audit + balance check)"
+    Term.(const (fun quick () -> run_stats quick) $ quick_arg)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(const (fun sf quick () -> run_all sf quick) $ sf_arg 0.05 $ quick_arg)
@@ -167,7 +217,7 @@ let () =
     Cmd.group info
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
-        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; all_cmd;
+        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

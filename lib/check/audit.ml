@@ -108,7 +108,17 @@ let check_context ~out (ctx : Context.t) =
         vf out "block %d: sits in the reclamation queue but is not flagged queued" b.Block.id;
       if b.Block.queued_ready > global + 2 then
         vf out "block %d: queued_ready %d exceeds global epoch + grace period (%d)"
-          b.Block.id b.Block.queued_ready (global + 2))
+          b.Block.id b.Block.queued_ready (global + 2);
+      (* A queued block must be reclaimable as-is: not killed by compaction
+         (a dead head would stall every ready block behind it), not owned by
+         an allocating thread, not reserved into a compaction group. *)
+      if b.Block.dead then
+        vf out "block %d: dead block sitting in the reclamation queue" b.Block.id;
+      if b.Block.owner_tid >= 0 then
+        vf out "block %d: queued for reclamation while owned by thread slot %d"
+          b.Block.id b.Block.owner_tid;
+      if b.Block.group <> None then
+        vf out "block %d: queued for reclamation while in a compaction group" b.Block.id)
     queue;
   let seen = Hashtbl.create 64 in
   for i = 0 to view.Context.v_n - 1 do

@@ -297,7 +297,8 @@ let apply_one t =
 (* ---- batch runner ---- *)
 
 let audit_now t =
-  List.iter (fun v -> viol t "audit: %s" v) (Audit.check_runtime t.audit ~contexts:[ t.ctx ])
+  List.iter (fun v -> viol t "audit: %s" v) (Audit.check_runtime t.audit ~contexts:[ t.ctx ]);
+  List.iter (fun v -> viol t "obs: %s" v) (Obs_check.check t.rt ~contexts:[ t.ctx ])
 
 let run t ~ops ~batch_size =
   if batch_size <= 0 then invalid_arg "Model.run";

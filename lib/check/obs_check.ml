@@ -1,0 +1,80 @@
+(* Derived-invariant checks over the Obs counter layer.
+
+   Where Audit proves structural state consistent with itself, these checks
+   prove the *event history* consistent with the structural state: every
+   allocation, retire, queue push and epoch advance since the runtime was
+   created must balance against what the blocks, queues and epoch manager
+   hold right now. A lifecycle bug that Audit's point-in-time sweep cannot
+   see — e.g. the allocator minting fresh blocks while recycled blocks rot
+   behind a dead queue head — shows up here as a counter imbalance.
+
+   Same contract as Audit: call at a quiescent point (no other domain
+   mutating, caller outside any critical section). The counters are summed
+   across domain stripes, which is only exact when the writing domains are
+   parked or joined. Because the balances integrate the runtime's whole
+   history, they hold only when counters were enabled for the runtime's
+   whole life; [check] returns no violations while [Smc_obs.enabled] is
+   off. *)
+
+open Smc_offheap
+
+let vf out fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt
+
+let check (rt : Runtime.t) ~(contexts : Context.t list) =
+  if not !Smc_obs.enabled then []
+  else begin
+    let out = ref [] in
+    let s = Smc_obs.snapshot rt.Runtime.obs in
+    let g c = Smc_obs.get s c in
+    let eq what lhs rhs =
+      if lhs <> rhs then vf out "%s: counters say %d, runtime state says %d" what lhs rhs
+    in
+    (* Structural sums come from the registry, not the context list, so the
+       block-level balances hold even when the caller audits a subset of the
+       runtime's contexts. Dead blocks are excluded exactly as the context
+       stats exclude them. *)
+    let valid = ref 0 and limbo = ref 0 in
+    Registry.iter_registered rt.Runtime.registry ~f:(fun (blk : Block.t) ->
+        if not blk.Block.dead then begin
+          valid := !valid + Atomic.get blk.Block.valid_count;
+          limbo := !limbo + Atomic.get blk.Block.limbo_count
+        end);
+    eq "live-object balance (allocs - frees = sum of valid slots)"
+      (g Smc_obs.c_allocs - g Smc_obs.c_frees)
+      !valid;
+    eq "limbo balance (retires - quarantines - recycles - drops = sum of limbo slots)"
+      (g Smc_obs.c_retires - g Smc_obs.c_quarantines - g Smc_obs.c_slot_recycles
+     - g Smc_obs.c_limbo_drops)
+      !limbo;
+    eq "free/retire agreement (every successful free retires exactly one slot)"
+      (g Smc_obs.c_frees) (g Smc_obs.c_retires);
+    eq "quarantine agreement (counter vs runtime quarantined_slots)"
+      (g Smc_obs.c_quarantines)
+      (Atomic.get rt.Runtime.quarantined_slots);
+    (* Queue balance is per-context: every push is eventually popped by the
+       allocator, drained as a dead head, or pulled out by the compactor —
+       whatever remains must be sitting in a queue right now. A dead-head
+       stall breaks this (pushes keep climbing, pops stay flat while the
+       queue holds ready blocks and fresh_blocks grows). *)
+    let queued =
+      List.fold_left
+        (fun acc ctx -> acc + List.length (Context.reclaim_queue_blocks ctx))
+        0 contexts
+    in
+    eq "reclamation-queue balance (pushes - pops - dead drops - unqueues = queued blocks)"
+      (g Smc_obs.c_rq_pushes - g Smc_obs.c_rq_pops - g Smc_obs.c_rq_dead_drops
+     - g Smc_obs.c_rq_unqueues)
+      queued;
+    eq "epoch agreement (successful advances = global epoch)"
+      (g Smc_obs.c_epoch_adv_ok)
+      (Epoch.global rt.Runtime.epoch);
+    eq "thread-slot balance (registers - releases = live threads)"
+      (g Smc_obs.c_thread_registers - g Smc_obs.c_thread_releases)
+      (Epoch.live_threads rt.Runtime.epoch);
+    List.rev !out
+  end
+
+let check_exn rt ~contexts =
+  match check rt ~contexts with
+  | [] -> ()
+  | violations -> raise (Audit.Audit_failure violations)

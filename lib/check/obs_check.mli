@@ -1,0 +1,18 @@
+(** Derived-invariant checks over the {!Smc_obs} counter layer.
+
+    Cross-validates the runtime's event history (counters) against its
+    structural state (blocks, queues, epoch manager): the live-object,
+    limbo, reclamation-queue, quarantine, epoch and thread-slot balances.
+    Complements {!Audit}, whose sweeps are point-in-time — a stall where
+    events stop happening (recycles flat while fresh blocks climb) is
+    visible here and invisible there. *)
+
+val check : Smc_offheap.Runtime.t -> contexts:Smc_offheap.Context.t list -> string list
+(** Violations found, empty when all balances hold. Call at a quiescent
+    point. [contexts] is used for the reclamation-queue balance; the
+    block-level balances sweep the runtime's registry directly. Returns []
+    when [Smc_obs.enabled] is false — the balances integrate the runtime's
+    whole history and only hold if counting was never switched off. *)
+
+val check_exn : Smc_offheap.Runtime.t -> contexts:Smc_offheap.Context.t list -> unit
+(** Raises {!Audit.Audit_failure} with the violations, if any. *)

@@ -1,0 +1,188 @@
+(* Low-overhead runtime observability counters.
+
+   One [t] is a set of monotonic event counters owned by one subsystem
+   instance (a runtime, a domain pool). Each domain that touches the
+   instance gets its own *stripe* — a padded int array reached through
+   domain-local state — so hot-path increments are a plain load/store into
+   domain-private memory: no atomics, no cross-domain cache-line sharing.
+   Reads ([snapshot]) merge the stripes; they are exact at quiescent points
+   (every writing domain parked or joined) and approximate otherwise, which
+   is the same contract the invariant audit already has.
+
+   Counters are process-visible through a registry of live instances
+   ([process_snapshot]), so a bench run can attach one counter table to its
+   artifact without threading instances through every layer. *)
+
+(* Counter ids: dense ints so a stripe is one array and an increment is one
+   indexed store. [names] must stay in sync — [all] below is the single
+   source of truth. *)
+
+let c_allocs = 0 (* slot allocations handed out by Context.alloc *)
+let c_frees = 1 (* successful Context.free calls *)
+let c_retires = 2 (* retire_slot calls (limbo + quarantine) *)
+let c_quarantines = 3 (* slots quarantined at the incarnation bound *)
+let c_slot_recycles = 4 (* limbo slots reclaimed by the allocation scan *)
+let c_limbo_drops = 5 (* limbo slots discarded with dead compaction sources *)
+let c_blocks_created = 6 (* blocks minted, including compaction targets *)
+let c_fresh_blocks = 7 (* blocks minted by the allocator (queue was dry) *)
+let c_rq_pushes = 8 (* reclamation-queue pushes *)
+let c_rq_pops = 9 (* reclamation-queue pops (block recycles) *)
+let c_rq_dead_drops = 10 (* dead blocks drained from the queue head *)
+let c_rq_unqueues = 11 (* queued blocks pulled out by the compactor *)
+let c_epoch_adv_ok = 12 (* successful Epoch.try_advance calls *)
+let c_epoch_adv_fail = 13 (* failed Epoch.try_advance calls *)
+let c_crit_enters = 14 (* outermost critical-section entries *)
+let c_thread_registers = 15 (* epoch thread-slot registrations *)
+let c_thread_releases = 16 (* epoch thread-slot releases (explicit + GC) *)
+let c_entries_minted = 17 (* never-used indirection entries bumped *)
+let c_entries_recycled = 18 (* indirection entries reused from free stores *)
+let c_entries_freed = 19 (* indirection entries returned for reuse *)
+let c_compaction_passes = 20 (* compaction passes that formed groups *)
+let c_compaction_aborts = 21 (* passes aborted at an epoch boundary *)
+let c_compaction_phases = 22 (* compaction phase transitions *)
+let c_groups_formed = 23
+let c_groups_skipped = 24
+let c_objects_moved = 25
+let c_blocks_retired = 26
+let c_reloc_helps = 27 (* readers helping a relocation (§5.1 case c) *)
+let c_reloc_bails = 28 (* readers bailing an object out (§5.1 case b) *)
+let c_pool_tasks = 29 (* tasks submitted to a domain pool *)
+let c_par_scans = 30 (* parallel enumerations started *)
+let c_par_workers = 31 (* worker activations across parallel enumerations *)
+
+let all =
+  [|
+    ("allocs", c_allocs);
+    ("frees", c_frees);
+    ("retires", c_retires);
+    ("quarantines", c_quarantines);
+    ("slot_recycles", c_slot_recycles);
+    ("limbo_drops", c_limbo_drops);
+    ("blocks_created", c_blocks_created);
+    ("fresh_blocks", c_fresh_blocks);
+    ("rq_pushes", c_rq_pushes);
+    ("rq_pops", c_rq_pops);
+    ("rq_dead_drops", c_rq_dead_drops);
+    ("rq_unqueues", c_rq_unqueues);
+    ("epoch_adv_ok", c_epoch_adv_ok);
+    ("epoch_adv_fail", c_epoch_adv_fail);
+    ("crit_enters", c_crit_enters);
+    ("thread_registers", c_thread_registers);
+    ("thread_releases", c_thread_releases);
+    ("entries_minted", c_entries_minted);
+    ("entries_recycled", c_entries_recycled);
+    ("entries_freed", c_entries_freed);
+    ("compaction_passes", c_compaction_passes);
+    ("compaction_aborts", c_compaction_aborts);
+    ("compaction_phases", c_compaction_phases);
+    ("groups_formed", c_groups_formed);
+    ("groups_skipped", c_groups_skipped);
+    ("objects_moved", c_objects_moved);
+    ("blocks_retired", c_blocks_retired);
+    ("reloc_helps", c_reloc_helps);
+    ("reloc_bails", c_reloc_bails);
+    ("pool_tasks", c_pool_tasks);
+    ("par_scans", c_par_scans);
+    ("par_workers", c_par_workers);
+  |]
+
+let n_counters = Array.length all
+
+let names =
+  let a = Array.make n_counters "" in
+  Array.iter (fun (n, c) -> a.(c) <- n) all;
+  a
+
+let name c = names.(c)
+
+(* Runtime toggle. Off, increments cost one load+branch; the derived
+   invariants only hold for instances whose whole life ran enabled, so the
+   checker no-ops while disabled. SMC_OBS=0 turns counters off at start-up
+   for overhead A/B runs. *)
+let enabled =
+  ref (match Sys.getenv_opt "SMC_OBS" with Some ("0" | "false") -> false | _ -> true)
+
+(* A stripe is [pad | counters | pad]: the pads keep a stripe's hot words
+   off the cache lines of whatever the allocator placed next to it. *)
+let pad = 8
+
+let stripe_len = pad + n_counters + pad
+
+type t = {
+  label : string;
+  lock : Mutex.t; (* protects [stripes]; taken only on a domain's first use *)
+  stripes : int array list ref;
+  key : int array Domain.DLS.key;
+}
+
+let instances_lock = Mutex.create ()
+let instances : t list ref = ref []
+
+let create ?(label = "obs") () =
+  let lock = Mutex.create () in
+  let stripes = ref [] in
+  let key =
+    Domain.DLS.new_key (fun () ->
+        let s = Array.make stripe_len 0 in
+        Mutex.lock lock;
+        stripes := s :: !stripes;
+        Mutex.unlock lock;
+        s)
+  in
+  let t = { label; lock; stripes; key } in
+  Mutex.lock instances_lock;
+  instances := t :: !instances;
+  Mutex.unlock instances_lock;
+  t
+
+let incr t c =
+  if !enabled then begin
+    let s = Domain.DLS.get t.key in
+    s.(pad + c) <- s.(pad + c) + 1
+  end
+
+let add t c n =
+  if !enabled then begin
+    let s = Domain.DLS.get t.key in
+    s.(pad + c) <- s.(pad + c) + n
+  end
+
+type snapshot = { src : string; counts : int array }
+
+let snapshot t =
+  let counts = Array.make n_counters 0 in
+  Mutex.lock t.lock;
+  List.iter
+    (fun s ->
+      for c = 0 to n_counters - 1 do
+        counts.(c) <- counts.(c) + s.(pad + c)
+      done)
+    !(t.stripes);
+  Mutex.unlock t.lock;
+  { src = t.label; counts }
+
+let get s c = s.counts.(c)
+
+let diff a b =
+  { src = a.src; counts = Array.init n_counters (fun c -> a.counts.(c) - b.counts.(c)) }
+
+let merge a b =
+  { src = "merged"; counts = Array.init n_counters (fun c -> a.counts.(c) + b.counts.(c)) }
+
+let process_snapshot () =
+  Mutex.lock instances_lock;
+  let ts = !instances in
+  Mutex.unlock instances_lock;
+  List.fold_left
+    (fun acc t -> merge acc (snapshot t))
+    { src = "process"; counts = Array.make n_counters 0 }
+    ts
+
+let to_table ?title ?(zeros = false) s =
+  let title = match title with Some t -> t | None -> Printf.sprintf "Obs counters (%s)" s.src in
+  let t = Smc_util.Table.create ~title ~columns:[ "counter"; "count" ] in
+  for c = 0 to n_counters - 1 do
+    if zeros || s.counts.(c) <> 0 then
+      Smc_util.Table.add_row t [ names.(c); string_of_int s.counts.(c) ]
+  done;
+  t

@@ -1,0 +1,83 @@
+(** Low-overhead runtime observability counters.
+
+    A [t] holds one padded counter stripe per domain that touches it, so
+    hot-path increments are plain stores into domain-private memory.
+    Snapshots merge the stripes: exact at quiescent points, approximate
+    while writers run (same contract as {!Smc_check}'s audit). *)
+
+(** {1 Counter ids}
+
+    Dense ints in [0, n_counters). *)
+
+val c_allocs : int
+val c_frees : int
+val c_retires : int
+val c_quarantines : int
+val c_slot_recycles : int
+val c_limbo_drops : int
+val c_blocks_created : int
+val c_fresh_blocks : int
+val c_rq_pushes : int
+val c_rq_pops : int
+val c_rq_dead_drops : int
+val c_rq_unqueues : int
+val c_epoch_adv_ok : int
+val c_epoch_adv_fail : int
+val c_crit_enters : int
+val c_thread_registers : int
+val c_thread_releases : int
+val c_entries_minted : int
+val c_entries_recycled : int
+val c_entries_freed : int
+val c_compaction_passes : int
+val c_compaction_aborts : int
+val c_compaction_phases : int
+val c_groups_formed : int
+val c_groups_skipped : int
+val c_objects_moved : int
+val c_blocks_retired : int
+val c_reloc_helps : int
+val c_reloc_bails : int
+val c_pool_tasks : int
+val c_par_scans : int
+val c_par_workers : int
+
+val n_counters : int
+val name : int -> string
+
+(** {1 Instances} *)
+
+type t
+
+val enabled : bool ref
+(** Global increment toggle. Initialised from [SMC_OBS] ([0]/[false]
+    disables). Derived invariants only hold for instances whose whole
+    lifetime ran with counters enabled. *)
+
+val create : ?label:string -> unit -> t
+(** Fresh instance, registered for {!process_snapshot}. *)
+
+val incr : t -> int -> unit
+(** [incr t c] bumps counter [c] on the calling domain's stripe. No-op
+    when [enabled] is false. *)
+
+val add : t -> int -> int -> unit
+(** [add t c n] bumps counter [c] by [n]. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = { src : string; counts : int array }
+
+val snapshot : t -> snapshot
+(** Merge all stripes of [t]. *)
+
+val get : snapshot -> int -> int
+val diff : snapshot -> snapshot -> snapshot
+val merge : snapshot -> snapshot -> snapshot
+
+val process_snapshot : unit -> snapshot
+(** Merged snapshot of every live instance in the process. *)
+
+val to_table : ?title:string -> ?zeros:bool -> snapshot -> Smc_util.Table.t
+(** Render as a two-column table (counter, count). Zero counters are
+    omitted unless [zeros] is true. *)

@@ -45,7 +45,8 @@ let select_candidates (ctx : Context.t) threshold =
     then begin
       if blk.Block.queued then begin
         blk.Block.queued <- false;
-        Context.rq_remove_locked ctx blk
+        Context.rq_remove_locked ctx blk;
+        Smc_obs.incr ctx.Context.rt.Runtime.obs Smc_obs.c_rq_unqueues
       end;
       blk.Block.owner_tid <- compactor_owner;
       result := blk :: !result
@@ -240,7 +241,11 @@ let complete_group (ctx : Context.t) (g : Block.group) ~tid =
           if entry >= 0 then begin
             Indirection.free ind ~tid entry;
             Bigarray.Array1.unsafe_set src.Block.backptr slot Constants.null_ref
-          end
+          end;
+          (* The slot dies with its source instead of being recycled by the
+             allocation scan; counted so the limbo balance invariant
+             (retires − quarantines − recycles − drops = Σ limbo) holds. *)
+          Smc_obs.incr ctx.rt.Runtime.obs Smc_obs.c_limbo_drops
         end
       done;
       src.Block.dead <- true)
@@ -292,7 +297,7 @@ let prune_dead (ctx : Context.t) =
   ctx.Context.view <- { Context.v_blocks = fresh; v_n = Array.length fresh };
   Mutex.unlock ctx.lock
 
-let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000_000) () =
+let run_pass (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000_000) () =
   let rt = ctx.rt in
   let em = rt.Runtime.epoch in
   if Epoch.in_critical em then
@@ -429,6 +434,17 @@ let run (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 50_000
       end
     end
   end
+
+let run (ctx : Context.t) ?occupancy_threshold ?max_wait_spins () =
+  let report = run_pass ctx ?occupancy_threshold ?max_wait_spins () in
+  let obs = ctx.Context.rt.Runtime.obs in
+  if report.groups_formed > 0 then Smc_obs.incr obs Smc_obs.c_compaction_passes;
+  if report.aborted then Smc_obs.incr obs Smc_obs.c_compaction_aborts;
+  Smc_obs.add obs Smc_obs.c_groups_formed report.groups_formed;
+  Smc_obs.add obs Smc_obs.c_groups_skipped report.groups_skipped;
+  Smc_obs.add obs Smc_obs.c_objects_moved report.objects_moved;
+  Smc_obs.add obs Smc_obs.c_blocks_retired report.blocks_retired;
+  report
 
 let run_if_requested (ctx : Context.t) =
   if Atomic.compare_and_set ctx.Context.compaction_requested true false then

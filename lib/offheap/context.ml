@@ -67,7 +67,10 @@ let append_block_locked t blk =
   v_blocks.(v_n) <- blk;
   t.view <- { v_blocks; v_n = v_n + 1 }
 
+let obs_incr t c = Smc_obs.incr t.rt.Runtime.obs c
+
 let new_block_unpublished t =
+  obs_incr t Smc_obs.c_blocks_created;
   Registry.register t.rt.Runtime.registry (fun ~id ->
       Block.create ~id ~layout:t.layout ~placement:t.placement ~nslots:t.slots_per_block)
 
@@ -98,38 +101,57 @@ let reclaim_queue_blocks t = t.rq_front @ List.rev t.rq_back
 
 (* Pop the oldest ready block from the reclamation queue; when blocks are
    queued but not yet ready, nudge the global epoch (§3.5: lazy advance from
-   the allocation function). *)
-let pop_reclaimable t =
+   the allocation function). Dead blocks — killed by compaction after they
+   were queued — are drained in a loop so a dead head can never hide the
+   ready blocks behind it (that stall made the allocator mint fresh blocks
+   forever while recycled memory sat in the queue). When [owner] is given,
+   the popped block's owner is set {e under the context lock}, closing the
+   window in which [maybe_queue] on another domain could still see the block
+   as unowned and re-queue it. *)
+let pop_reclaimable ?owner t =
   let epoch = t.rt.Runtime.epoch in
   with_lock t (fun () ->
-      rq_normalize_locked t;
-      match t.rq_front with
-      | [] -> None
-      | head :: rest ->
-        if head.Block.dead then begin
-          head.Block.queued <- false;
-          t.rq_front <- rest;
-          None
-        end
-        else if Epoch.global epoch >= head.Block.queued_ready then begin
-          head.Block.queued <- false;
-          t.rq_front <- rest;
-          Some head
-        end
-        else begin
-          ignore (Epoch.try_advance epoch : bool);
-          None
-        end)
+      let rec drain () =
+        rq_normalize_locked t;
+        match t.rq_front with
+        | [] -> None
+        | head :: rest ->
+          if head.Block.dead then begin
+            head.Block.queued <- false;
+            t.rq_front <- rest;
+            obs_incr t Smc_obs.c_rq_dead_drops;
+            drain ()
+          end
+          else if Epoch.global epoch >= head.Block.queued_ready then begin
+            head.Block.queued <- false;
+            t.rq_front <- rest;
+            (match owner with Some tid -> head.Block.owner_tid <- tid | None -> ());
+            obs_incr t Smc_obs.c_rq_pops;
+            Some head
+          end
+          else begin
+            (* FIFO ready-epochs are monotone: nothing behind a not-yet-ready
+               head can be ready either. *)
+            ignore (Epoch.try_advance epoch : bool);
+            None
+          end
+      in
+      drain ())
 
 let acquire_block t tid =
-  let blk =
-    match pop_reclaimable t with
-    | Some blk -> blk
-    | None -> fresh_block t
-  in
-  blk.Block.owner_tid <- tid;
-  blk.Block.scan_pos <- 0;
-  blk
+  match pop_reclaimable ~owner:tid t with
+  | Some blk ->
+    blk.Block.scan_pos <- 0;
+    blk
+  | None ->
+    (* Claim ownership before the block becomes visible: once published it
+       can be seen by the compactor and by [maybe_queue] on other domains. *)
+    let blk = new_block_unpublished t in
+    blk.Block.owner_tid <- tid;
+    blk.Block.scan_pos <- 0;
+    publish_block t blk;
+    obs_incr t Smc_obs.c_fresh_blocks;
+    blk
 
 let maybe_queue t blk =
   (* Queue blocks whose limbo fraction crossed the reclamation threshold so
@@ -139,13 +161,24 @@ let maybe_queue t blk =
     (not blk.Block.queued) && (not blk.Block.dead) && blk.Block.group = None
     && blk.Block.owner_tid < 0
     && float_of_int limbo /. float_of_int blk.Block.nslots > t.reclaim_threshold
-  then
+  then begin
+    Runtime.fire_queue_hook t.rt blk;
     with_lock t (fun () ->
-        if (not blk.Block.queued) && not blk.Block.dead then begin
+        (* Re-check the full condition: between the unlocked check above and
+           here the block can be re-acquired as a thread-local allocation
+           block (owner set under the lock by [pop_reclaimable]), reserved
+           into a compaction group, or killed. Queuing it then would hand a
+           writer's active block to reclamation. *)
+        if
+          (not blk.Block.queued) && (not blk.Block.dead) && blk.Block.group = None
+          && blk.Block.owner_tid < 0
+        then begin
           blk.Block.queued <- true;
           blk.Block.queued_ready <- Epoch.global t.rt.Runtime.epoch + 2;
-          rq_push_locked t blk
+          rq_push_locked t blk;
+          obs_incr t Smc_obs.c_rq_pushes
         end)
+  end
 
 let release_local t tid blk =
   blk.Block.owner_tid <- -1;
@@ -179,6 +212,7 @@ let scan_for_slot t tid blk =
         if old_entry >= 0 then Indirection.free ind ~tid old_entry;
         Bigarray.Array1.unsafe_set blk.Block.backptr pos Constants.null_ref;
         ignore (Atomic.fetch_and_add blk.Block.limbo_count (-1) : int);
+        obs_incr t Smc_obs.c_slot_recycles;
         blk.Block.scan_pos <- pos + 1;
         Some pos
       end
@@ -211,6 +245,7 @@ let rec alloc t =
     Bigarray.Array1.unsafe_set blk.Block.backptr slot entry;
     Block.set_dir_entry blk slot (dir_entry ~state:state_valid ~stamp:0);
     ignore (Atomic.fetch_and_add blk.Block.valid_count 1 : int);
+    obs_incr t Smc_obs.c_allocs;
     let inc = Indirection.inc_word ind entry land inc_mask in
     pack_ref ~entry ~inc
 
@@ -228,6 +263,7 @@ let effective_quarantine_limit t =
    reference-visible width (§3.1's overflow rule). *)
 let retire_slot t blk slot ~new_inc =
   ignore (Atomic.fetch_and_add blk.Block.valid_count (-1) : int);
+  obs_incr t Smc_obs.c_retires;
   (* Direct references validate against the slot's own incarnation word, and
      entries migrate between slots — so in direct mode the slot incarnation
      (already bumped by [free]) is bounded independently of the entry's. *)
@@ -241,7 +277,8 @@ let retire_slot t blk slot ~new_inc =
   in
   if overflow then begin
     Block.set_dir_entry blk slot (dir_entry ~state:state_quarantined ~stamp:0);
-    ignore (Atomic.fetch_and_add t.rt.Runtime.quarantined_slots 1 : int)
+    ignore (Atomic.fetch_and_add t.rt.Runtime.quarantined_slots 1 : int);
+    obs_incr t Smc_obs.c_quarantines
   end
   else begin
     let epoch = Epoch.global t.rt.Runtime.epoch in
@@ -283,6 +320,7 @@ let free t packed =
             Bigarray.Array1.unsafe_set blk.Block.slot_inc slot
               (((sw land lnot flags_mask) + 1) land lnot flags_mask));
           retire_slot t blk slot ~new_inc;
+          obs_incr t Smc_obs.c_frees;
           true
         end)
   end
@@ -354,7 +392,8 @@ let resolve_frozen t entry =
           let blk = Registry.get rt.Runtime.registry (ptr_block p) in
           let bail () =
             mark_reloc_failed blk (ptr_slot p);
-            Indirection.set_inc_word ind entry (w land lnot frozen_bit)
+            Indirection.set_inc_word ind entry (w land lnot frozen_bit);
+            obs_incr t Smc_obs.c_reloc_bails
           in
           match Block.find_reloc blk ~slot:(ptr_slot p) with
           | Some r -> begin
@@ -363,7 +402,8 @@ let resolve_frozen t entry =
                phase, keeping pre-relocation group reads consistent. *)
             match blk.Block.group with
             | Some g when Atomic.get g.Block.g_state = Block.group_moving ->
-              perform_relocation t entry r blk
+              perform_relocation t entry r blk;
+              obs_incr t Smc_obs.c_reloc_helps
             | Some _ | None -> bail ()
           end
           | None -> bail ()

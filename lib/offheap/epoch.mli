@@ -18,14 +18,32 @@
 
 type t
 
-val create : ?max_threads:int -> unit -> t
-(** [max_threads] bounds concurrently registered domains (default 128). *)
+val create : ?max_threads:int -> ?obs:Smc_obs.t -> unit -> t
+(** [max_threads] bounds concurrently registered domains (default 128).
+    When [obs] is given, registrations, releases, critical-section entries
+    and advance attempts are counted on it. *)
 
 val global : t -> int
 (** Current global epoch. *)
 
 val thread_id : t -> int
-(** Registers the calling domain if needed and returns its slot index. *)
+(** Registers the calling domain if needed and returns its slot index.
+    Released slot ids are recycled, so the [max_threads] bound applies to
+    domains registered {e concurrently}, not over the instance's lifetime. *)
+
+val release_thread : t -> unit
+(** Returns the calling domain's slot to the free list; no-op when the
+    domain never registered. Raises [Invalid_argument] inside a critical
+    section. Domains that die without releasing are reclaimed best-effort
+    by a GC finaliser on their registration cell. *)
+
+val release_current_domain : unit -> unit
+(** Calls {!release_thread} on every live epoch instance in the process.
+    Domain-pool workers call this on teardown so pool create/shutdown
+    cycles do not leak thread slots. *)
+
+val live_threads : t -> int
+(** Number of currently registered (not yet released) domains. *)
 
 val enter_critical : t -> unit
 val exit_critical : t -> unit

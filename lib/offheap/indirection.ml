@@ -14,7 +14,10 @@ type t = {
   mutable free_list : int array; (* global stack of recycled entries *)
   mutable free_count : int;
   caches : cache array; (* per thread-slot recycled-entry caches *)
+  obs : Smc_obs.t option;
 }
+
+let oincr obs c = match obs with Some o -> Smc_obs.incr o c | None -> ()
 
 let cache_refill = 256
 let cache_spill = 1024
@@ -27,7 +30,7 @@ let make_chunk n =
   Bigarray.Array1.fill ptr Constants.null_ref;
   { inc; ptr }
 
-let create ?(chunk_bits = 16) () =
+let create ?(chunk_bits = 16) ?obs () =
   let n = 1 lsl chunk_bits in
   {
     chunk_bits;
@@ -39,6 +42,7 @@ let create ?(chunk_bits = 16) () =
     free_list = Array.make 4096 0;
     free_count = 0;
     caches = Array.init max_threads (fun _ -> { items = Array.make cache_spill 0; count = 0 });
+    obs;
   }
 
 let chunk_of t idx = t.chunks.(idx lsr t.chunk_bits)
@@ -75,11 +79,13 @@ let alloc t ~tid =
   let cache = t.caches.(tid) in
   if cache.count > 0 || pop_global t cache then begin
     cache.count <- cache.count - 1;
+    oincr t.obs Smc_obs.c_entries_recycled;
     cache.items.(cache.count)
   end
   else begin
     let idx = Atomic.fetch_and_add t.bump 1 in
     ensure_chunk t idx;
+    oincr t.obs Smc_obs.c_entries_minted;
     idx
   end
 
@@ -101,7 +107,8 @@ let free t ~tid entry =
   let cache = t.caches.(tid) in
   if cache.count >= cache_spill then push_global t cache;
   cache.items.(cache.count) <- entry;
-  cache.count <- cache.count + 1
+  cache.count <- cache.count + 1;
+  oincr t.obs Smc_obs.c_entries_freed
 
 let inc_word t idx =
   Bigarray.Array1.unsafe_get (chunk_of t idx).inc (idx land t.chunk_mask)

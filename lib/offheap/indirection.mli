@@ -17,8 +17,9 @@
 
 type t
 
-val create : ?chunk_bits:int -> unit -> t
-(** [chunk_bits] sets entries per chunk to [2^chunk_bits] (default 16). *)
+val create : ?chunk_bits:int -> ?obs:Smc_obs.t -> unit -> t
+(** [chunk_bits] sets entries per chunk to [2^chunk_bits] (default 16).
+    When [obs] is given, entry mints/recycles/frees are counted on it. *)
 
 val alloc : t -> tid:int -> int
 (** Allocates an entry index for thread slot [tid]. The entry's incarnation

@@ -17,18 +17,24 @@ type t = {
   next_context_id : int Atomic.t;
   mutable inc_quarantine_limit : int;
   quarantined_slots : int Atomic.t;
+  obs : Smc_obs.t;
   mutable on_alloc : (unit -> unit) option;
       (* Fault-injection hook, fired at the start of every allocation
          attempt (including retries after a block release). *)
   mutable on_compaction_phase : (compaction_phase -> unit) option;
       (* Fault-injection hook, fired by Compaction.run at phase
          boundaries. *)
+  mutable on_queue_check : (Block.t -> unit) option;
+      (* Fault-injection hook, fired by Context.maybe_queue between its
+         unlocked pre-check and taking the context lock — the TOCTOU
+         window a writer re-acquiring the block races through. *)
 }
 
 let create ?max_threads () =
+  let obs = Smc_obs.create ~label:"runtime" () in
   {
-    epoch = Epoch.create ?max_threads ();
-    ind = Indirection.create ();
+    epoch = Epoch.create ?max_threads ~obs ();
+    ind = Indirection.create ~obs ();
     registry = Registry.create ();
     locks = Smc_util.Striped_lock.create ~stripes:256 ();
     next_relocation_epoch = Atomic.make (-1);
@@ -36,14 +42,20 @@ let create ?max_threads () =
     next_context_id = Atomic.make 0;
     inc_quarantine_limit = Constants.inc_mask;
     quarantined_slots = Atomic.make 0;
+    obs;
     on_alloc = None;
     on_compaction_phase = None;
+    on_queue_check = None;
   }
 
 let fire_alloc_hook t = match t.on_alloc with None -> () | Some f -> f ()
 
 let fire_compaction_hook t phase =
+  Smc_obs.incr t.obs Smc_obs.c_compaction_phases;
   match t.on_compaction_phase with None -> () | Some f -> f phase
+
+let fire_queue_hook t blk =
+  match t.on_queue_check with None -> () | Some f -> f blk
 
 let tid t = Epoch.thread_id t.epoch
 

@@ -28,18 +28,26 @@ type t = {
           reused (§3.1's overflow rule); defaults to the reference-visible
           incarnation width, lowered in tests to exercise the path *)
   quarantined_slots : int Atomic.t;
+  obs : Smc_obs.t;
+      (** per-domain event counters for this runtime instance; every layer
+          below (epoch, indirection, context, compaction) reports here *)
   mutable on_alloc : (unit -> unit) option;
       (** fault-injection hook, fired at the start of every allocation
           attempt (including retries); [None] in production *)
   mutable on_compaction_phase : (compaction_phase -> unit) option;
       (** fault-injection hook, fired by [Compaction.run] at phase
           boundaries; [None] in production *)
+  mutable on_queue_check : (Block.t -> unit) option;
+      (** fault-injection hook, fired by [Context.maybe_queue] between its
+          unlocked pre-check and taking the context lock; [None] in
+          production *)
 }
 
 val create : ?max_threads:int -> unit -> t
 
 val fire_alloc_hook : t -> unit
 val fire_compaction_hook : t -> compaction_phase -> unit
+val fire_queue_hook : t -> Block.t -> unit
 
 val tid : t -> int
 (** The calling domain's thread slot (registers on first use). *)

@@ -26,8 +26,11 @@ let with_block_critical epoch body =
 let drive ?pool ?(domains = 0) (ctx : Context.t) ~init ~scan ~combine =
   let { Context.v_blocks = blocks; v_n = n } = ctx.Context.view in
   let epoch = ctx.Context.rt.Runtime.epoch in
+  let obs = ctx.Context.rt.Runtime.obs in
+  Smc_obs.incr obs Smc_obs.c_par_scans;
   let claims = Context.no_claims () in
   let run_worker next acc =
+    Smc_obs.incr obs Smc_obs.c_par_workers;
     let rec go () =
       let i = Atomic.fetch_and_add next 1 in
       if i < n then begin

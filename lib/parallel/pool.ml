@@ -21,11 +21,12 @@ type t = {
   mutable workers : unit Domain.t list;
   mutable n_workers : int;
   mutable stopping : bool;
+  obs : Smc_obs.t option;
 }
 
 let default_size () = max 0 (Domain.recommended_domain_count () - 1)
 
-let create ?size () =
+let create ?size ?obs () =
   let size = match size with Some s -> max 0 s | None -> default_size () in
   {
     size;
@@ -35,6 +36,7 @@ let create ?size () =
     workers = [];
     n_workers = 0;
     stopping = false;
+    obs;
   }
 
 let size t = t.size
@@ -56,7 +58,11 @@ let worker_loop t =
     let task = take () in
     Mutex.unlock t.lock;
     match task with
-    | None -> ()
+    | None ->
+      (* This worker domain is about to die: hand back every epoch thread
+         slot it registered, so pool create/shutdown cycles do not exhaust
+         the epoch manager's slot array. *)
+      Smc_offheap.Epoch.release_current_domain ()
     | Some f ->
       f ();
       next ()
@@ -72,6 +78,7 @@ let fulfil p outcome =
 let submit t f =
   let p = { p_lock = Mutex.create (); p_cond = Condition.create (); p_state = None } in
   let task () = fulfil p (try Done (f ()) with e -> Failed e) in
+  (match t.obs with Some o -> Smc_obs.incr o Smc_obs.c_pool_tasks | None -> ());
   Mutex.lock t.lock;
   if t.stopping then begin
     Mutex.unlock t.lock;

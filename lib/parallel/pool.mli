@@ -12,10 +12,13 @@ type t
 
 type 'a promise
 
-val create : ?size:int -> unit -> t
+val create : ?size:int -> ?obs:Smc_obs.t -> unit -> t
 (** [size] is the number of {e worker} domains the pool may spawn; total
     parallelism in {!run} is [size + 1] (the caller participates).
-    Defaults to [Domain.recommended_domain_count () - 1]. *)
+    Defaults to [Domain.recommended_domain_count () - 1]. When [obs] is
+    given, submitted tasks are counted on it. Worker domains release their
+    epoch thread slots on teardown, so repeated create/shutdown cycles do
+    not exhaust the epoch manager's slot array. *)
 
 val size : t -> int
 (** The worker-domain cap this pool was created with. *)

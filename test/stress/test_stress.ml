@@ -19,8 +19,11 @@
      churn injected at compaction phase boundaries.
    - domains: 2 writers + 1 reader + 1 compactor racing on real
      Domain.spawn, in rounds; after every round (a quiescent point) the
-     runtime is audited and the collection is diffed against the union of
-     the writers' private models. *)
+     runtime is audited — structural sweep (Audit.check_runtime) plus the
+     derived counter balances (Obs_check.check) — and the collection is
+     diffed against the union of the writers' private models. A dedicated
+     queue-race round hammers remote frees on tiny blocks so
+     release_local/maybe_queue interleaves with acquire_block. *)
 
 open Smc_offheap
 open Smc_check
@@ -42,6 +45,12 @@ let assert_clean what = function
   | vs ->
     Alcotest.failf "%s: %d violations (SMC_STRESS_SEED=%Ld to reproduce)\n%s" what
       (List.length vs) seed (Audit.report vs)
+
+(* Quiescent-point check: structural audit plus the event-history counter
+   balances. Only sound once every spawned domain has been joined. *)
+let audit_quiescent what auditor rt ctx =
+  assert_clean (what ^ " audit") (Audit.check_runtime auditor ~contexts:[ ctx ]);
+  assert_clean (what ^ " obs") (Obs_check.check rt ~contexts:[ ctx ])
 
 (* ------------------------------------------------------------------ *)
 (* Model-based single-domain runs                                      *)
@@ -330,6 +339,7 @@ let test_multi_domain mode () =
           Domain.spawn (fun () ->
               let local = ref [] in
               writer_round ctx st prng per_writer local;
+              Epoch.release_current_domain ();
               !local))
         writers
     in
@@ -337,17 +347,21 @@ let test_multi_domain mode () =
       Domain.spawn (fun () ->
           let local = ref [] in
           reader_round ctx (5 + (per_writer / 50)) local;
+          Epoch.release_current_domain ();
           !local)
     in
-    let cd = Domain.spawn (fun () -> compactor_round ctx 8) in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round ctx 8;
+          Epoch.release_current_domain ())
+    in
     Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
     errs := Domain.join rd @ !errs;
     Domain.join cd;
     (* Quiescent checkpoint: every domain joined, nobody in a critical
        section — audit the whole runtime, then diff against the merged
        writer models. *)
-    let vs = Audit.check_runtime auditor ~contexts:[ ctx ] in
-    assert_clean (Printf.sprintf "multi-domain audit, round %d" round) vs;
+    audit_quiescent (Printf.sprintf "multi-domain round %d" round) auditor rt ctx;
     check_merged ctx writers errs;
     assert_clean (Printf.sprintf "multi-domain checkpoint, round %d" round) !errs
   done
@@ -380,15 +394,19 @@ let test_multi_domain_parallel mode () =
               Domain.spawn (fun () ->
                   let local = ref [] in
                   writer_round ctx st prng per_writer local;
+                  Epoch.release_current_domain ();
                   !local))
             writers
         in
-        let cd = Domain.spawn (fun () -> compactor_round ctx 6) in
+        let cd =
+          Domain.spawn (fun () ->
+              compactor_round ctx 6;
+              Epoch.release_current_domain ())
+        in
         par_reader_round pool ctx (4 + (per_writer / 50)) errs;
         Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
         Domain.join cd;
-        let vs = Audit.check_runtime auditor ~contexts:[ ctx ] in
-        assert_clean (Printf.sprintf "parallel-reader audit, round %d" round) vs;
+        audit_quiescent (Printf.sprintf "parallel-reader round %d" round) auditor rt ctx;
         check_merged ctx writers errs;
         (* The parallel sweep at a quiescent point must agree exactly with
            the sequential checkpoint enumeration. *)
@@ -411,9 +429,87 @@ let test_multi_domain_parallel mode () =
         assert_clean (Printf.sprintf "parallel-reader checkpoint, round %d" round) !errs
       done)
 
+(* Queue race: tiny blocks and a high reclaim threshold make almost every
+   remote free trip maybe_queue, while the writers' own allocations keep
+   pulling blocks back out via acquire_block. Writers alloc and either free
+   locally or hand the reference to a dedicated freer domain, so
+   release_local on somebody else's block races the owner's
+   release/acquire cycle — the interleaving behind the owner_tid/group
+   TOCTOU fix. Every round ends at a quiescent point with the structural
+   audit and the counter balances. *)
+let test_queue_race mode () =
+  let rt = Runtime.create () in
+  let ctx =
+    Context.create rt ~layout ~mode ~slots_per_block:8 ~reclaim_threshold:0.6 ()
+  in
+  let auditor = Audit.create rt in
+  let q = Queue.create () in
+  let qlock = Mutex.create () in
+  let rounds = 4 in
+  let per_writer = max 500 (iters / 8) in
+  for round = 1 to rounds do
+    let writers_done = Atomic.make 0 in
+    let wd =
+      List.init 2 (fun w ->
+          Domain.spawn (fun () ->
+              let prng =
+                Smc_util.Prng.create ~seed:(subseed (7000 + (100 * round) + w)) ()
+              in
+              for _ = 1 to per_writer do
+                let r = Context.alloc ctx in
+                if Smc_util.Prng.int prng 100 < 70 then begin
+                  Mutex.lock qlock;
+                  Queue.push r q;
+                  Mutex.unlock qlock
+                end
+                else ignore (Context.free ctx r : bool)
+              done;
+              Atomic.incr writers_done;
+              Epoch.release_current_domain ()))
+    in
+    let fd =
+      Domain.spawn (fun () ->
+          let spins = ref 0 in
+          let finished () = Atomic.get writers_done = 2 in
+          let pop () =
+            Mutex.lock qlock;
+            let r = if Queue.is_empty q then None else Some (Queue.pop q) in
+            Mutex.unlock qlock;
+            r
+          in
+          let rec loop () =
+            match pop () with
+            | Some r ->
+              if not (Context.free ctx r) then failwith "queue race: double free";
+              incr spins;
+              if !spins mod 64 = 0 then ignore (Epoch.try_advance rt.Runtime.epoch : bool);
+              loop ()
+            | None ->
+              if finished () then ()
+              else begin
+                Domain.cpu_relax ();
+                loop ()
+              end
+          in
+          loop ();
+          Epoch.release_current_domain ())
+    in
+    List.iter Domain.join wd;
+    Domain.join fd;
+    audit_quiescent (Printf.sprintf "queue-race round %d" round) auditor rt ctx
+  done;
+  (* The churn must actually have put blocks through the queue. *)
+  let s = Smc_obs.snapshot rt.Runtime.obs in
+  Alcotest.(check bool) "reclamation queue exercised" true
+    (Smc_obs.get s Smc_obs.c_rq_pushes > 0);
+  Alcotest.(check bool) "queued blocks were reused" true
+    (Smc_obs.get s Smc_obs.c_rq_pops > 0)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* The balance checks and queue-race assertions need counting on. *)
+  Smc_obs.enabled := true;
   let qc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "stress"
     [
@@ -441,5 +537,9 @@ let () =
             (test_multi_domain_parallel Context.Indirect);
           qc "2 writers + parallel queries + compactor (direct)"
             (test_multi_domain_parallel Context.Direct);
+          qc "queue race: remote frees vs owner recycling (indirect)"
+            (test_queue_race Context.Indirect);
+          qc "queue race: remote frees vs owner recycling (direct)"
+            (test_queue_race Context.Direct);
         ] );
     ]

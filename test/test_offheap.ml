@@ -948,7 +948,122 @@ let test_compaction_daemon () =
   check Alcotest.bool "footprint reduced" true (Context.block_count ctx < before_blocks);
   List.iter (fun (i, r) -> check Alcotest.int "data intact" i (get_age ctx r)) kept
 
+(* ------------------------------------------------------------------ *)
+(* Lifecycle regressions: epoch slot leak, dead queue head, TLAB
+   re-queue race (the three bugs fixed alongside the Obs layer) *)
+
+let test_epoch_slot_recycling () =
+  (* Far more short-lived domains than thread slots: with releases recycling
+     slot ids, a tiny slot array suffices. Pre-fix this hit "Epoch: too many
+     threads" at the 9th domain. *)
+  let em = Epoch.create ~max_threads:8 () in
+  for _ = 1 to 300 do
+    Domain.join
+      (Domain.spawn (fun () ->
+           ignore (Epoch.thread_id em : int);
+           Epoch.enter_critical em;
+           Epoch.exit_critical em;
+           Epoch.release_thread em))
+  done;
+  check Alcotest.bool "slot high-water mark stays tiny" true
+    (Epoch.registered_threads em <= 2);
+  check Alcotest.int "no live registrations left" 0 (Epoch.live_threads em)
+
+let test_epoch_release_semantics () =
+  let em = Epoch.create () in
+  Epoch.release_thread em;
+  (* unregistered: no-op *)
+  let id = Epoch.thread_id em in
+  check Alcotest.int "one live registration" 1 (Epoch.live_threads em);
+  Epoch.enter_critical em;
+  Alcotest.check_raises "release inside a critical section"
+    (Invalid_argument "Epoch.release_thread: inside a critical section") (fun () ->
+      Epoch.release_thread em);
+  Epoch.exit_critical em;
+  Epoch.release_thread em;
+  Epoch.release_thread em;
+  (* released: second call is a no-op *)
+  check Alcotest.int "no live registrations" 0 (Epoch.live_threads em);
+  let id' = Epoch.thread_id em in
+  check Alcotest.int "released slot id is reused" id id';
+  check Alcotest.int "high-water mark unchanged" 1 (Epoch.registered_threads em);
+  Epoch.release_thread em
+
+let test_epoch_finalizer_reclaims_slots () =
+  (* Domains that die without releasing: the DLS cell's finaliser pushes the
+     slot onto the pending stack, drained at the next registration. 64
+     lifetimes against 16 slots only works if that safety net works. *)
+  let em = Epoch.create ~max_threads:16 () in
+  for _ = 1 to 64 do
+    Domain.join (Domain.spawn (fun () -> ignore (Epoch.thread_id em : int)));
+    Gc.full_major ()
+  done;
+  Gc.full_major ();
+  check Alcotest.bool "dead domains' slots were reclaimed" true
+    (Epoch.live_threads em < 16)
+
+let test_pop_skips_dead_queue_head () =
+  let rt, ctx = make_ctx ~slots_per_block:4 ~reclaim_threshold:0.01 () in
+  let obs = rt.Runtime.obs in
+  (* Blocks A (slots 0-3), B (4-7), C (8-11); C stays the local block. *)
+  let refs = Array.init 12 (fun _ -> Context.alloc ctx) in
+  let block_of r =
+    match Context.resolve ctx r with Some (b, _) -> b | None -> Alcotest.fail "live ref"
+  in
+  let a_blk = block_of refs.(0) and b_blk = block_of refs.(4) in
+  for i = 0 to 7 do
+    ignore (Context.free ctx refs.(i) : bool)
+  done;
+  check Alcotest.bool "A queued" true a_blk.Block.queued;
+  check Alcotest.bool "B queued" true b_blk.Block.queued;
+  (* Kill the queue head behind the context's back (in production compaction
+     does this when it retires a queued source block). *)
+  a_blk.Block.dead <- true;
+  ignore (Epoch.advance_until rt.Runtime.epoch
+            ~target:(Epoch.global rt.Runtime.epoch + 3) ~max_spins:100 : bool);
+  let before = Smc_obs.snapshot obs in
+  (* C is full, so this allocation releases it and hits the queue: the dead
+     head A must be drained and B recycled — not a fresh block minted. *)
+  let r = Context.alloc ctx in
+  let after = Smc_obs.snapshot obs in
+  let d c = Smc_obs.get after c - Smc_obs.get before c in
+  check Alcotest.int "allocated from recycled B" b_blk.Block.id (block_of r).Block.id;
+  check Alcotest.int "one dead head drained" 1 (d Smc_obs.c_rq_dead_drops);
+  check Alcotest.int "one queue pop" 1 (d Smc_obs.c_rq_pops);
+  check Alcotest.int "no fresh block minted" 0 (d Smc_obs.c_fresh_blocks)
+
+let test_maybe_queue_rechecks_under_lock () =
+  let rt, ctx = make_ctx ~slots_per_block:4 ~reclaim_threshold:0.25 () in
+  let refs = Array.init 4 (fun _ -> Context.alloc ctx) in
+  let a_blk =
+    match Context.resolve ctx refs.(0) with
+    | Some (b, _) -> b
+    | None -> Alcotest.fail "live ref"
+  in
+  (* A is full; the next allocation releases it (owner -1) and opens it to
+     queuing by remote frees. *)
+  let extra = Context.alloc ctx in
+  check Alcotest.int "A released" (-1) a_blk.Block.owner_tid;
+  (* Simulate the race: between maybe_queue's unlocked pre-check and the
+     context lock, another thread re-acquires A as its allocation block. *)
+  rt.Runtime.on_queue_check <-
+    Some (fun blk -> if blk == a_blk then blk.Block.owner_tid <- 99);
+  ignore (Context.free ctx refs.(0) : bool);
+  ignore (Context.free ctx refs.(1) : bool);
+  (* limbo 2/4 > 0.25 passed the pre-check, so the hook fired — but the
+     under-lock re-check must refuse to queue an owned block. *)
+  check Alcotest.bool "owned block not queued" false a_blk.Block.queued;
+  rt.Runtime.on_queue_check <- None;
+  (* Release again: the next threshold crossing queues it normally. *)
+  a_blk.Block.owner_tid <- -1;
+  ignore (Context.free ctx refs.(2) : bool);
+  check Alcotest.bool "unowned block queued" true a_blk.Block.queued;
+  ignore (Context.free ctx refs.(3) : bool);
+  ignore (Context.free ctx extra : bool)
+
 let () =
+  (* The lifecycle regressions assert Obs counter deltas. *)
+  Smc_obs.enabled := true;
   Alcotest.run "smc_offheap"
     [
       ( "layout",
@@ -1052,4 +1167,16 @@ let () =
         ] );
       ( "daemon",
         [ Alcotest.test_case "background compaction" `Quick test_compaction_daemon ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "epoch slots recycle across domains" `Quick
+            test_epoch_slot_recycling;
+          Alcotest.test_case "epoch release semantics" `Quick test_epoch_release_semantics;
+          Alcotest.test_case "epoch finalizer reclaims leaked slots" `Quick
+            test_epoch_finalizer_reclaims_slots;
+          Alcotest.test_case "dead queue head is skipped" `Quick
+            test_pop_skips_dead_queue_head;
+          Alcotest.test_case "maybe_queue re-checks under lock" `Quick
+            test_maybe_queue_rechecks_under_lock;
+        ] );
     ]

@@ -50,6 +50,22 @@ let test_pool_run () =
   Pool.shutdown seq;
   Pool.shutdown pool
 
+(* Regression: pool workers register epoch thread slots when they touch a
+   runtime; shutting a pool down must hand those slots back. Before slot
+   recycling, ~128 create/use/shutdown cycles against one runtime exhausted
+   the slot table and the worker died with "Epoch: too many threads". *)
+let test_pool_cycles_recycle_epoch_slots () =
+  let rt = Runtime.create () in
+  for _cycle = 1 to 150 do
+    let pool = Pool.create ~size:1 () in
+    let p = Pool.submit pool (fun () -> Runtime.tid rt) in
+    let tid = Pool.await p in
+    Alcotest.(check bool) "worker got a slot" true (tid >= 0);
+    Pool.shutdown pool
+  done;
+  Alcotest.(check bool) "slot high-water stays below the cap" true
+    (Epoch.registered_threads rt.Runtime.epoch < 128)
+
 exception Boom
 
 let test_pool_exceptions () =
@@ -274,6 +290,7 @@ let () =
           qc "submit/await + reuse + shutdown" test_pool_submit_await;
           qc "run partitions worker indices" test_pool_run;
           qc "exception propagation" test_pool_exceptions;
+          qc "cycles recycle epoch slots" test_pool_cycles_recycle_epoch_slots;
         ] );
       ( "par_scan",
         List.map (fun (name, p, m) -> qc name (test_par_equivalence (name, p, m))) configs );
