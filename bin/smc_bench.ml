@@ -14,34 +14,111 @@ let print_table t =
   collected := t :: !collected;
   Smc_util.Table.print t
 
-let write_json file =
+(* Run metadata carried by --json artifacts so BENCH_*.json files form a
+   comparable trajectory across revisions: command, timestamp, git rev,
+   plus whatever knobs the subcommand registers (scale factor, domain
+   counts, variant flags). Values are stored pre-encoded as JSON. *)
+let run_meta : (string * string) list ref = ref []
+let add_meta k v = run_meta := (k, v) :: !run_meta
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let meta_num k v = add_meta k (Printf.sprintf "%g" v)
+let meta_int k v = add_meta k (string_of_int v)
+let meta_bool k v = add_meta k (string_of_bool v)
+
+(* The commit the binary ran from: SMC_GIT_REV when the caller knows best
+   (CI), otherwise read from .git found upward of the cwd — no subprocess. *)
+let git_rev () =
+  match Sys.getenv_opt "SMC_GIT_REV" with
+  | Some r -> r
+  | None ->
+    let read_line_of f =
+      try
+        let ic = open_in f in
+        Fun.protect ~finally:(fun () -> close_in ic) (fun () -> String.trim (input_line ic))
+      with _ -> ""
+    in
+    let rec find_git dir =
+      let cand = Filename.concat dir ".git" in
+      if Sys.file_exists cand then Some cand
+      else
+        let parent = Filename.dirname dir in
+        if String.equal parent dir then None else find_git parent
+    in
+    (match find_git (Sys.getcwd ()) with
+    | None -> "unknown"
+    | Some gitdir ->
+      let head = read_line_of (Filename.concat gitdir "HEAD") in
+      let prefix = "ref: " in
+      let n = String.length prefix in
+      if String.length head > n && String.equal (String.sub head 0 n) prefix then
+        let target = String.sub head n (String.length head - n) in
+        (match read_line_of (Filename.concat gitdir target) with
+        | "" -> "unknown"
+        | rev -> rev)
+      else if String.equal head "" then "unknown"
+      else head)
+
+let write_json name file =
   let tables = List.rev !collected in
+  let meta =
+    [
+      ("command", json_string name);
+      ("timestamp", Printf.sprintf "%.3f" (Unix.gettimeofday ()));
+      ("git_rev", json_string (git_rev ()));
+    ]
+    @ List.rev !run_meta
+  in
   let oc = open_out file in
   Fun.protect
     ~finally:(fun () -> close_out oc)
     (fun () ->
-      output_string oc "[";
+      output_string oc "{\"meta\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then output_string oc ",";
+          output_string oc (json_string k);
+          output_string oc ":";
+          output_string oc v)
+        meta;
+      output_string oc "},\"tables\":[";
       List.iteri
         (fun i t ->
           if i > 0 then output_string oc ",";
           output_string oc (Smc_util.Table.to_json t))
         tables;
-      output_string oc "]\n")
+      output_string oc "]}\n")
 
-let with_json json stats thunk =
+let with_json name json stats thunk =
   collected := [];
+  run_meta := [];
   thunk ();
   (* The counter table is printed (and collected) last, so a --json artifact
      carries the run's full event history alongside its figures. *)
   if stats then
     print_table
       (Smc_obs.to_table ~title:"obs counters" (Smc_obs.process_snapshot ()));
-  Option.iter write_json json
+  Option.iter (write_json name) json
 
 let json_arg =
   let doc =
-    "Also write every table produced by this run as a JSON array to $(docv) \
-     (one object per table: title, columns, rows)."
+    "Also write this run as a JSON object to $(docv): a $(b,meta) object \
+     (command, timestamp, git rev, and the run's knobs) plus a $(b,tables) \
+     array (one object per table: title, columns, rows)."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
 
@@ -61,38 +138,84 @@ let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc)
 
 let run_fig6 quick =
+  meta_bool "quick" quick;
   let n = if quick then 50_000 else 200_000 in
   print_table (E.Fig6.table (E.Fig6.run ~n ()))
 
 let run_fig7 quick =
+  meta_bool "quick" quick;
   let per_thread = if quick then 100_000 else 300_000 in
   print_table (E.Fig7.table (E.Fig7.run ~per_thread ()))
 
 let run_fig8 sf quick =
+  meta_num "sf" sf;
+  meta_bool "quick" quick;
   let pairs = if quick then 2 else 3 in
   print_table (E.Fig8.table (E.Fig8.run ~sf ~pairs_per_thread:pairs ()))
 
 let run_fig9 quick =
+  meta_bool "quick" quick;
   let sizes = if quick then [ 50_000; 200_000 ] else [ 100_000; 400_000; 1_600_000 ] in
   let duration_s = if quick then 1.0 else 2.0 in
   print_table (E.Fig9.table (E.Fig9.run ~sizes ~duration_s ()))
 
 let run_fig10 sf quick =
+  meta_num "sf" sf;
+  meta_bool "quick" quick;
   let wear = if quick then 10 else 20 in
   print_table (E.Fig10.table (E.Fig10.run ~sf ~wear_pairs:wear ()))
 
-let run_fig11 sf = print_table (E.Fig11.table (E.Fig11.run ~sf ()))
-let run_fig12 sf = print_table (E.Fig12.table (E.Fig12.run ~sf ()))
-let run_fig13 sf = print_table (E.Fig13.table (E.Fig13.run ~sf ()))
-let run_linq sf = print_table (E.Linq_vs_compiled.table (E.Linq_vs_compiled.run ~sf ()))
-let run_ablations sf = E.Ablations.print_all ~sf ()
-let run_ext sf = print_table (E.Ext_queries.table (E.Ext_queries.run ~sf ()))
+let with_sf sf run =
+  meta_num "sf" sf;
+  run sf
+
+let run_fig11 sf = with_sf sf (fun sf -> print_table (E.Fig11.table (E.Fig11.run ~sf ())))
+let run_fig12 sf = with_sf sf (fun sf -> print_table (E.Fig12.table (E.Fig12.run ~sf ())))
+let run_fig13 sf = with_sf sf (fun sf -> print_table (E.Fig13.table (E.Fig13.run ~sf ())))
+
+let run_linq sf =
+  with_sf sf (fun sf -> print_table (E.Linq_vs_compiled.table (E.Linq_vs_compiled.run ~sf ())))
+
+let run_ablations sf = with_sf sf (fun sf -> E.Ablations.print_all ~sf ())
+let run_ext sf = with_sf sf (fun sf -> print_table (E.Ext_queries.table (E.Ext_queries.run ~sf ())))
 
 let run_qscale sf quick domain_counts =
+  meta_num "sf" sf;
+  meta_bool "quick" quick;
+  add_meta "domains"
+    (Printf.sprintf "[%s]" (String.concat "," (List.map string_of_int domain_counts)));
   let sf = if quick then Float.min sf 0.01 else sf in
   print_table (E.Query_scaling.table (E.Query_scaling.run ~sf ~domain_counts ()))
 
+(* Indexed vs full-scan access paths, doubling as the index self-check
+   workload: the experiment verifies indexed plans return the scan plans'
+   exact rows, churns keys to exercise staleness, and finishes with the
+   index audit plus the runtime audit/balance sweeps — violations are
+   fatal, like [run_stats]. *)
+let run_index quick rows sf =
+  meta_bool "quick" quick;
+  meta_int "rows" rows;
+  meta_num "sf" sf;
+  let rows = if quick then min rows 50_000 else rows in
+  let sf = if quick then Float.min sf 0.005 else sf in
+  let points, violations = E.Index_paths.run ~rows ~sf () in
+  print_table (E.Index_paths.table points);
+  List.iter
+    (fun (p : E.Index_paths.point) ->
+      if not p.E.Index_paths.identical then
+        prerr_endline ("index plan result mismatch: " ^ p.E.Index_paths.case))
+    points;
+  if
+    violations <> []
+    || List.exists (fun (p : E.Index_paths.point) -> not p.E.Index_paths.identical) points
+  then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
 let run_all sf quick =
+  meta_num "sf" sf;
+  meta_bool "quick" quick;
   (* Compact between figures: off-heap Bigarrays of dropped databases are
      only returned to the OS on finalisation. *)
   let seq fs = List.iter (fun f -> f (); Gc.compact ()) fs in
@@ -118,6 +241,7 @@ let run_all sf quick =
    printed; any violation is fatal (exit 1), which makes the [stats]
    subcommand a cheap end-to-end smoke of the Obs layer. *)
 let run_stats quick =
+  meta_bool "quick" quick;
   let rt, coll =
     E.Workload.lineitem_collection ~slots_per_block:256 ~reclaim_threshold:0.2 ()
   in
@@ -149,7 +273,8 @@ let run_stats quick =
 (* Commands evaluate to a thunk so the [--json]/[--stats] wrapper can
    bracket the whole run with collection and artifact writing. *)
 let cmd name doc term =
-  Cmd.v (Cmd.info name ~doc) Term.(const with_json $ json_arg $ stats_arg $ term)
+  let wrapped = with_json name in
+  Cmd.v (Cmd.info name ~doc) Term.(const wrapped $ json_arg $ stats_arg $ term)
 
 let fig6_cmd =
   cmd "fig6" "Reclamation-threshold sensitivity"
@@ -207,6 +332,16 @@ let stats_cmd =
   cmd "stats" "Self-checking Obs counter workload (audit + balance check)"
     Term.(const (fun quick () -> run_stats quick) $ quick_arg)
 
+let rows_arg =
+  let doc = "Synthetic table size for the index comparison." in
+  Arg.(value & opt int 1_000_000 & info [ "rows" ] ~docv:"N" ~doc)
+
+let index_cmd =
+  cmd "index" "Indexed vs full-scan access paths (self-checking: audits are fatal)"
+    Term.(
+      const (fun quick rows sf () -> run_index quick rows sf)
+      $ quick_arg $ rows_arg $ sf_arg 0.01)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(const (fun sf quick () -> run_all sf quick) $ sf_arg 0.05 $ quick_arg)
@@ -217,7 +352,7 @@ let () =
     Cmd.group info
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
-        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; all_cmd;
+        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

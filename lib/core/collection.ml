@@ -1,24 +1,65 @@
 open Smc_offheap
 
+type index_hook = {
+  ih_name : string;
+  ih_on_add : Ref.t -> Block.t -> int -> unit;
+  ih_on_remove : Ref.t -> unit;
+}
+
 type t = {
   name : string;
   layout : Layout.t;
   ctx : Context.t;
   rt : Runtime.t;
+  mutable hooks : index_hook list;
 }
 
 let create rt ~name ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () =
   let ctx = Context.create rt ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () in
-  { name; layout; ctx; rt }
+  { name; layout; ctx; rt; hooks = [] }
 
 let add t ~init =
   let packed = Context.alloc t.ctx in
+  let r = Ref.of_packed packed in
   (match Context.resolve t.ctx packed with
-  | Some (blk, slot) -> init blk slot
+  | Some (blk, slot) ->
+      init blk slot;
+      (match t.hooks with
+      | [] -> ()
+      | hooks -> List.iter (fun h -> h.ih_on_add r blk slot) hooks)
   | None -> assert false (* a freshly allocated object cannot be dead *));
-  Ref.of_packed packed
+  r
 
-let remove t r = Context.free t.ctx (Ref.to_packed r)
+let remove t r =
+  let removed = Context.free t.ctx (Ref.to_packed r) in
+  (if removed then
+     match t.hooks with
+     | [] -> ()
+     | hooks -> List.iter (fun h -> h.ih_on_remove r) hooks);
+  removed
+
+let attach_index t hook =
+  (match t.ctx.Context.mode with
+  | Context.Direct ->
+      invalid_arg
+        (Printf.sprintf
+           "Collection.attach_index: collection %S uses direct references; \
+            indexes require indirect mode (refs stable across compaction)"
+           t.name)
+  | Context.Indirect -> ());
+  if List.exists (fun h -> String.equal h.ih_name hook.ih_name) t.hooks then
+    invalid_arg
+      (Printf.sprintf "Collection.attach_index: index %S already attached to %S" hook.ih_name
+         t.name);
+  t.hooks <- hook :: t.hooks
+
+let detach_index t name =
+  if not (List.exists (fun h -> String.equal h.ih_name name) t.hooks) then
+    invalid_arg
+      (Printf.sprintf "Collection.detach_index: no index %S attached to %S" name t.name);
+  t.hooks <- List.filter (fun h -> not (String.equal h.ih_name name)) t.hooks
+
+let index_names t = List.rev_map (fun h -> h.ih_name) t.hooks
 
 let deref_opt t r = Context.resolve t.ctx (Ref.to_packed r)
 

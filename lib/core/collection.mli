@@ -9,11 +9,24 @@
     Storage knobs mirror the paper's variants: row vs columnar placement
     (§4.1) and indirect vs direct reference mode (§6). *)
 
+type index_hook = {
+  ih_name : string;
+  ih_on_add : Ref.t -> Smc_offheap.Block.t -> int -> unit;
+      (** Fired by {!add} after the object's fields are initialised, with
+          the new reference and its current location. *)
+  ih_on_remove : Ref.t -> unit;
+      (** Fired by {!remove} after a successful free. The reference already
+          reads as null; maintenance must be deferred (lazy staleness). *)
+}
+(** Incremental-maintenance callbacks for an attached secondary index
+    ([Smc_index] builds these; the collection layer only fires them). *)
+
 type t = {
   name : string;
   layout : Smc_offheap.Layout.t;
   ctx : Smc_offheap.Context.t;
   rt : Smc_offheap.Runtime.t;
+  mutable hooks : index_hook list;
 }
 
 val create :
@@ -33,7 +46,24 @@ val add : t -> init:(Smc_offheap.Block.t -> int -> unit) -> Ref.t
     manager's alloc, as §2 prescribes. *)
 
 val remove : t -> Ref.t -> bool
-(** Frees the object; [false] if the reference was already null/dead. *)
+(** Frees the object; [false] if the reference was already null/dead.
+    Attached index hooks fire only on a successful free. *)
+
+val attach_index : t -> index_hook -> unit
+(** Registers an index's maintenance hooks so {!add}/{!remove} keep it
+    current incrementally. Attachment is a quiescent-point operation: no
+    concurrent [add]/[remove] may run while the hook list changes (probes
+    may). Raises [Invalid_argument] for a duplicate index name, or when the
+    collection uses {!Smc_offheap.Context.Direct} references — indexes store
+    [Ref.t]s and rely on indirect mode keeping them stable across
+    compaction, so relocation never needs index patching. *)
+
+val detach_index : t -> string -> unit
+(** Unregisters the named index's hooks (quiescent-point operation).
+    Raises [Invalid_argument] if no such index is attached. *)
+
+val index_names : t -> string list
+(** Names of currently attached indexes, in attachment order. *)
 
 val deref : t -> Ref.t -> Smc_offheap.Block.t * int
 (** Current location of the object. Raises

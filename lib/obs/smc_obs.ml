@@ -49,6 +49,12 @@ let c_reloc_bails = 28 (* readers bailing an object out (§5.1 case b) *)
 let c_pool_tasks = 29 (* tasks submitted to a domain pool *)
 let c_par_scans = 30 (* parallel enumerations started *)
 let c_par_workers = 31 (* worker activations across parallel enumerations *)
+let c_idx_inserts = 32 (* entries inserted into hash indexes *)
+let c_idx_probes = 33 (* index probe operations *)
+let c_idx_hits = 34 (* validated (live) entries yielded by probes *)
+let c_idx_stale = 35 (* stale entries observed (probe sightings + purges) *)
+let c_idx_tombstones = 36 (* stale entries tombstoned or dropped by sweeps/rebuilds *)
+let c_idx_rebuilds = 37 (* index rebuilds (load-factor or churn triggered) *)
 
 let all =
   [|
@@ -84,6 +90,12 @@ let all =
     ("pool_tasks", c_pool_tasks);
     ("par_scans", c_par_scans);
     ("par_workers", c_par_workers);
+    ("idx_inserts", c_idx_inserts);
+    ("idx_probes", c_idx_probes);
+    ("idx_hits", c_idx_hits);
+    ("idx_stale", c_idx_stale);
+    ("idx_tombstones", c_idx_tombstones);
+    ("idx_rebuilds", c_idx_rebuilds);
   |]
 
 let n_counters = Array.length all

@@ -41,6 +41,12 @@ val c_reloc_bails : int
 val c_pool_tasks : int
 val c_par_scans : int
 val c_par_workers : int
+val c_idx_inserts : int
+val c_idx_probes : int
+val c_idx_hits : int
+val c_idx_stale : int
+val c_idx_tombstones : int
+val c_idx_rebuilds : int
 
 val n_counters : int
 val name : int -> string

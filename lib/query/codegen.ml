@@ -24,6 +24,16 @@ let to_ocaml_source plan =
       line (depth + 1) "let %s = (blk, slot) in" row;
       k (depth + 1) row;
       line depth ");"
+    | Plan.IndexScan { src; index; value } ->
+      let row = fresh "row" in
+      line depth "(* index scan %s.%s via %s: probe the off-heap hash index inside one"
+        src.Source.name index.Source.ix_column index.Source.ix_name;
+      line depth "   critical section; every hit is incarnation-validated *)";
+      line depth "Hash_index.probe %s (key %s) ~f:(fun ref blk slot ->"
+        index.Source.ix_name (Value.to_string value);
+      line (depth + 1) "let %s = (blk, slot) in" row;
+      k (depth + 1) row;
+      line depth ");"
     | Plan.Where (pred, input) ->
       emit input depth (fun d row ->
           line d "if %s then begin" (Expr.to_string pred);
@@ -50,6 +60,16 @@ let to_ocaml_source plan =
           k (d + 1) (Printf.sprintf "(%s, %s)" row m);
           line d ") (Hashtbl.find_all %s (%s));" table
             (String.concat ", " (List.map fst on)))
+    | Plan.IndexJoin { left; src; index; left_col } ->
+      emit left depth (fun d row ->
+          let m = fresh "matched" in
+          line d "(* index nested-loop join: probe %s.%s via %s, no build phase *)"
+            src.Source.name index.Source.ix_column index.Source.ix_name;
+          line d "Hash_index.probe %s (key %s) ~f:(fun ref blk slot ->"
+            index.Source.ix_name left_col;
+          line (d + 1) "let %s = (blk, slot) in" m;
+          k (d + 1) (Printf.sprintf "(%s, %s)" row m);
+          line d ");")
     | Plan.GroupBy { keys; aggs; input } ->
       let table = fresh "groups" in
       line depth "let %s = Hashtbl.create 256 in" table;
@@ -112,9 +132,10 @@ let to_ocaml_source plan =
   Buffer.contents buf
 
 let rec operator_count = function
-  | Plan.Scan _ -> 1
+  | Plan.Scan _ | Plan.IndexScan _ -> 1
   | Plan.Where (_, p) | Plan.Select (_, p) | Plan.OrderBy (_, p) | Plan.Limit (_, p)
   | Plan.Distinct p ->
     1 + operator_count p
   | Plan.GroupBy { input; _ } -> 1 + operator_count input
   | Plan.HashJoin { left; right; _ } -> 1 + operator_count left + operator_count right
+  | Plan.IndexJoin { left; _ } -> 1 + operator_count left

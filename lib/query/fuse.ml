@@ -6,6 +6,7 @@ let group_key key_fns row = List.map (fun f -> f row) key_fns
 let rec compile plan =
   match plan with
   | Plan.Scan src -> src.Source.scan
+  | Plan.IndexScan { index; value; _ } -> fun emit -> index.Source.ix_probe value emit
   | Plan.Where (pred, input) ->
     let upstream = compile input in
     let test = Expr.compile_pred ~schema:(Plan.schema input) pred in
@@ -28,6 +29,13 @@ let rec compile plan =
           List.iter
             (fun r -> emit (Array.append l r))
             (Hashtbl.find_all table (group_key lkeys l)))
+  | Plan.IndexJoin { left; index; left_col; _ } ->
+    (* Index nested-loop join: the probe side fuses straight into the
+       index lookup; there is no build phase to pipeline-break on. *)
+    let lkey = Expr.compile ~schema:(Plan.schema left) (Expr.Col left_col) in
+    let probe = compile left in
+    fun emit ->
+      probe (fun l -> index.Source.ix_probe (lkey l) (fun r -> emit (Array.append l r)))
   | Plan.GroupBy { keys; aggs; input } ->
     let schema = Plan.schema input in
     let key_fns = List.map (fun (_, e) -> Expr.compile ~schema e) keys in

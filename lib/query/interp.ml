@@ -17,6 +17,19 @@ let rec open_cursor plan =
       | row :: rest ->
         remaining := rest;
         Some row)
+  | Plan.IndexScan { index; value; _ } ->
+    (* Pull adapter over the index probe, mirroring the Scan adapter: the
+       probe (one critical section, incarnation-validated hits) fills the
+       row list the cursor drains. *)
+    let rows = ref [] in
+    index.Source.ix_probe value (fun row -> rows := row :: !rows);
+    let remaining = ref (List.rev !rows) in
+    fun () ->
+      (match !remaining with
+      | [] -> None
+      | row :: rest ->
+        remaining := rest;
+        Some row)
   | Plan.Where (pred, input) ->
     let next = open_cursor input in
     let test = Expr.compile_pred ~schema:(Plan.schema input) pred in
@@ -68,6 +81,30 @@ let rec open_cursor plan =
         | Some l ->
           current_left := Some l;
           pending := Hashtbl.find_all table (group_key lkeys l);
+          pull ())
+    in
+    pull
+  | Plan.IndexJoin { left; index; left_col; _ } ->
+    (* Index nested-loop join: no build phase — each left row probes the
+       attached index, one critical section per probe. *)
+    let lkey = Expr.compile ~schema:(Plan.schema left) (Expr.Col left_col) in
+    let lnext = open_cursor left in
+    let pending = ref [] in
+    let current_left = ref None in
+    let rec pull () =
+      match !pending with
+      | row :: rest ->
+        pending := rest;
+        let l = Option.get !current_left in
+        Some (Array.append l row)
+      | [] ->
+        (match lnext () with
+        | None -> None
+        | Some l ->
+          current_left := Some l;
+          let matches = ref [] in
+          index.Source.ix_probe (lkey l) (fun r -> matches := r :: !matches);
+          pending := List.rev !matches;
           pull ())
     in
     pull

@@ -9,37 +9,128 @@ type agg =
 
 type t =
   | Scan of Source.t
+  | IndexScan of { src : Source.t; index : Source.index_info; value : Value.t }
   | Where of Expr.t * t
   | Select of (string * Expr.t) list * t
   | HashJoin of { left : t; right : t; on : (string * string) list }
+  | IndexJoin of { left : t; src : Source.t; index : Source.index_info; left_col : string }
   | GroupBy of { keys : (string * Expr.t) list; aggs : (string * agg) list; input : t }
   | OrderBy of (Expr.t * dir) list * t
   | Limit of int * t
   | Distinct of t
 
+let joined_schema ls rs =
+  let combined = Array.append ls rs in
+  let seen = Hashtbl.create 16 in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c then
+        invalid_arg ("Plan.schema: duplicate column in join output: " ^ c);
+      Hashtbl.add seen c ())
+    combined;
+  combined
+
 let rec schema = function
-  | Scan src -> src.Source.schema
+  | Scan src | IndexScan { src; _ } -> src.Source.schema
   | Where (_, p) | OrderBy (_, p) | Limit (_, p) | Distinct p -> schema p
   | Select (cols, _) -> Array.of_list (List.map fst cols)
   | GroupBy { keys; aggs; _ } ->
     Array.of_list (List.map fst keys @ List.map fst aggs)
-  | HashJoin { left; right; _ } ->
-    let ls = schema left and rs = schema right in
-    let combined = Array.append ls rs in
-    let seen = Hashtbl.create 16 in
-    Array.iter
-      (fun c ->
-        if Hashtbl.mem seen c then
-          invalid_arg ("Plan.schema: duplicate column in join output: " ^ c);
-        Hashtbl.add seen c ())
-      combined;
-    combined
+  | HashJoin { left; right; _ } -> joined_schema (schema left) (schema right)
+  | IndexJoin { left; src; _ } -> joined_schema (schema left) src.Source.schema
+
+(* Eager column validation: unknown references fail at plan construction,
+   naming the operator and the input schema, instead of surfacing as an
+   [Expr.compile] error deep inside Interp/Fuse at run time. *)
+
+let check_columns op input_schema cols =
+  List.iter
+    (fun c ->
+      if not (Array.exists (String.equal c) input_schema) then
+        invalid_arg
+          (Printf.sprintf "Plan.%s: unknown column %S (input columns: %s)" op c
+             (String.concat ", " (Array.to_list input_schema))))
+    cols
+
+let agg_columns = function
+  | Count -> []
+  | Sum e | Min e | Max e | Avg e -> Expr.columns e
 
 let scan src = Scan src
-let where e p = Where (e, p)
-let select cols p = Select (cols, p)
-let join ~on left right = HashJoin { left; right; on }
-let group_by ~keys ~aggs input = GroupBy { keys; aggs; input }
-let order_by specs p = OrderBy (specs, p)
+
+let index_scan src ~column ~value =
+  match Source.find_index src column with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Plan.index_scan: source %s has no index on column %S"
+         src.Source.name column)
+  | Some index ->
+    if not (index.Source.ix_accepts value) then
+      invalid_arg
+        (Printf.sprintf "Plan.index_scan: index %s cannot hold constant %s"
+           index.Source.ix_name (Value.to_string value));
+    IndexScan { src; index; value }
+
+let where e p =
+  check_columns "Where" (schema p) (Expr.columns e);
+  Where (e, p)
+
+let select cols p =
+  check_columns "Select" (schema p) (List.concat_map (fun (_, e) -> Expr.columns e) cols);
+  Select (cols, p)
+
+let join ~on left right =
+  check_columns "HashJoin(left)" (schema left) (List.map fst on);
+  check_columns "HashJoin(right)" (schema right) (List.map snd on);
+  HashJoin { left; right; on }
+
+let index_join ~on:(left_col, right_col) left src =
+  check_columns "IndexJoin(left)" (schema left) [ left_col ];
+  match Source.find_index src right_col with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Plan.index_join: source %s has no index on column %S"
+         src.Source.name right_col)
+  | Some index -> IndexJoin { left; src; index; left_col }
+
+let group_by ~keys ~aggs input =
+  let s = schema input in
+  check_columns "GroupBy(keys)" s (List.concat_map (fun (_, e) -> Expr.columns e) keys);
+  check_columns "GroupBy(aggs)" s (List.concat_map (fun (_, a) -> agg_columns a) aggs);
+  GroupBy { keys; aggs; input }
+
+let order_by specs p =
+  check_columns "OrderBy" (schema p) (List.concat_map (fun (e, _) -> Expr.columns e) specs);
+  OrderBy (specs, p)
+
 let limit n p = Limit (n, p)
 let distinct p = Distinct p
+
+let rec validate = function
+  | Scan _ -> ()
+  | IndexScan { src; index; _ } ->
+    check_columns "IndexScan" src.Source.schema [ index.Source.ix_column ]
+  | Where (e, p) ->
+    validate p;
+    check_columns "Where" (schema p) (Expr.columns e)
+  | Select (cols, p) ->
+    validate p;
+    check_columns "Select" (schema p) (List.concat_map (fun (_, e) -> Expr.columns e) cols)
+  | HashJoin { left; right; on } ->
+    validate left;
+    validate right;
+    check_columns "HashJoin(left)" (schema left) (List.map fst on);
+    check_columns "HashJoin(right)" (schema right) (List.map snd on)
+  | IndexJoin { left; src; index; left_col } ->
+    validate left;
+    check_columns "IndexJoin(left)" (schema left) [ left_col ];
+    check_columns "IndexJoin" src.Source.schema [ index.Source.ix_column ]
+  | GroupBy { keys; aggs; input } ->
+    validate input;
+    let s = schema input in
+    check_columns "GroupBy(keys)" s (List.concat_map (fun (_, e) -> Expr.columns e) keys);
+    check_columns "GroupBy(aggs)" s (List.concat_map (fun (_, a) -> agg_columns a) aggs)
+  | OrderBy (specs, p) ->
+    validate p;
+    check_columns "OrderBy" (schema p) (List.concat_map (fun (e, _) -> Expr.columns e) specs)
+  | Limit (_, p) | Distinct p -> validate p

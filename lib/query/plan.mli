@@ -2,11 +2,19 @@
 
     The structure mirrors the LINQ operator set used by the paper's TPC-H
     adaptation: scans over collections, predicate filters, projections,
-    equi hash joins, grouped aggregation, ordering, and limits. A plan can
+    equi hash joins, grouped aggregation, ordering, and limits — plus two
+    physical index access paths ([IndexScan], [IndexJoin]) that {!Planner}
+    introduces over sources advertising attached hash indexes. A plan can
     be evaluated by {!Interp} (pull-based Volcano iterators — the
     LINQ-to-objects comparison point) or {!Fuse} (a fused push pipeline —
     the query-compilation analogue), and rendered as imperative source by
-    {!Codegen}. *)
+    {!Codegen}.
+
+    The smart constructors validate column references eagerly: an unknown
+    column in a predicate, projection, grouping, or ordering raises
+    [Invalid_argument] naming the operator, the column, and the input
+    schema at plan-construction time, rather than erroring deep inside an
+    evaluator at run time. *)
 
 type dir = Asc | Desc
 
@@ -19,10 +27,19 @@ type agg =
 
 type t =
   | Scan of Source.t
+  | IndexScan of { src : Source.t; index : Source.index_info; value : Value.t }
+      (** rows of [src] whose indexed column equals [value], via one index
+          probe instead of a full scan; same schema and bag of rows as
+          [Where (col = value, Scan src)], row order unspecified *)
   | Where of Expr.t * t
   | Select of (string * Expr.t) list * t
   | HashJoin of { left : t; right : t; on : (string * string) list }
       (** inner equi-join; result schema is left columns then right columns *)
+  | IndexJoin of { left : t; src : Source.t; index : Source.index_info; left_col : string }
+      (** index nested-loop join: for each left row, probe [src]'s index
+          with the [left_col] value instead of building a hash table on the
+          right side; same bag of rows as the equivalent single-key
+          [HashJoin], match order unspecified *)
   | GroupBy of { keys : (string * Expr.t) list; aggs : (string * agg) list; input : t }
   | OrderBy of (Expr.t * dir) list * t
   | Limit of int * t
@@ -33,10 +50,26 @@ val schema : t -> string array
     join's combined schema. *)
 
 val scan : Source.t -> t
+
+val index_scan : Source.t -> column:string -> value:Value.t -> t
+(** Raises [Invalid_argument] when the source has no index on [column] or
+    the index cannot hold [value]. {!Planner.choose_access_paths} builds
+    these automatically from eligible [Where] shapes. *)
+
 val where : Expr.t -> t -> t
 val select : (string * Expr.t) list -> t -> t
 val join : on:(string * string) list -> t -> t -> t
+
+val index_join : on:string * string -> t -> Source.t -> t
+(** [index_join ~on:(left_col, right_col) left src] — raises
+    [Invalid_argument] when [src] has no index on [right_col]. *)
+
 val group_by : keys:(string * Expr.t) list -> aggs:(string * agg) list -> t -> t
 val order_by : (Expr.t * dir) list -> t -> t
 val limit : int -> t -> t
 val distinct : t -> t
+
+val validate : t -> unit
+(** Re-runs the smart constructors' column checks over a whole tree (for
+    plans built with the raw constructors). Raises [Invalid_argument] on
+    the first unknown column, naming the operator. *)

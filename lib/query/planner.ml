@@ -1,0 +1,80 @@
+(* Access-path selection: a single bottom-up rewrite that lowers logical
+   shapes onto the index paths sources advertise. Deliberately a separate,
+   explicit pass — plans run unchanged unless the caller opts in, which is
+   what lets the test suite compare indexed and scan-only executions of the
+   same logical plan. *)
+
+(* Flatten a conjunction into its conjuncts. *)
+let rec conjuncts = function
+  | Expr.And (a, b) -> conjuncts a @ conjuncts b
+  | e -> [ e ]
+
+let rec conj_of = function
+  | [] -> assert false
+  | [ e ] -> e
+  | e :: rest -> Expr.And (e, conj_of rest)
+
+(* [col = const] in either orientation, as an (column, value) pair. *)
+let eq_const = function
+  | Expr.Eq (Expr.Col c, Expr.Const v) | Expr.Eq (Expr.Const v, Expr.Col c) -> Some (c, v)
+  | _ -> None
+
+(* Pick the first conjunct the source can answer with an index probe; the
+   rest stay behind as a residual filter. The matched equality itself is
+   subsumed: a probe yields exactly the rows where the indexed column
+   equals the constant. *)
+let rewrite_where pred src =
+  let rec split seen = function
+    | [] -> None
+    | e :: rest ->
+      (match eq_const e with
+      | Some (c, v) ->
+        (match Source.find_index src c with
+        | Some index when index.Source.ix_accepts v ->
+          Some (Plan.IndexScan { src; index; value = v }, List.rev_append seen rest)
+        | _ -> split (e :: seen) rest)
+      | None -> split (e :: seen) rest)
+  in
+  match split [] (conjuncts pred) with
+  | None -> None
+  | Some (base, []) -> Some base
+  | Some (base, residual) -> Some (Plan.Where (conj_of residual, base))
+
+let rec choose_access_paths plan =
+  match plan with
+  | Plan.Scan _ | Plan.IndexScan _ -> plan
+  | Plan.Where (pred, input) ->
+    (match choose_access_paths input with
+    | Plan.Scan src as input' ->
+      (match rewrite_where pred src with
+      | Some rewritten -> rewritten
+      | None -> Plan.Where (pred, input'))
+    | input' -> Plan.Where (pred, input'))
+  | Plan.Select (cols, p) -> Plan.Select (cols, choose_access_paths p)
+  | Plan.HashJoin { left; right; on } ->
+    let left = choose_access_paths left in
+    (match (right, on) with
+    | Plan.Scan src, [ (left_col, right_col) ] ->
+      (match Source.find_index src right_col with
+      | Some index -> Plan.IndexJoin { left; src; index; left_col }
+      | None -> Plan.HashJoin { left; right = choose_access_paths right; on })
+    | _ -> Plan.HashJoin { left; right = choose_access_paths right; on })
+  | Plan.IndexJoin { left; src; index; left_col } ->
+    Plan.IndexJoin { left = choose_access_paths left; src; index; left_col }
+  | Plan.GroupBy { keys; aggs; input } ->
+    Plan.GroupBy { keys; aggs; input = choose_access_paths input }
+  | Plan.OrderBy (specs, p) -> Plan.OrderBy (specs, choose_access_paths p)
+  | Plan.Limit (n, p) -> Plan.Limit (n, choose_access_paths p)
+  | Plan.Distinct p -> Plan.Distinct (choose_access_paths p)
+
+let rec uses_index = function
+  | Plan.IndexScan _ | Plan.IndexJoin _ -> true
+  | Plan.Scan _ -> false
+  | Plan.Where (_, p)
+  | Plan.Select (_, p)
+  | Plan.OrderBy (_, p)
+  | Plan.Limit (_, p)
+  | Plan.Distinct p ->
+    uses_index p
+  | Plan.GroupBy { input; _ } -> uses_index input
+  | Plan.HashJoin { left; right; _ } -> uses_index left || uses_index right

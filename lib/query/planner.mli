@@ -1,0 +1,23 @@
+(** Access-path selection over logical plans.
+
+    Sources built with [Source.of_smc ~indexes] advertise attached hash
+    indexes; this pass lowers the plan shapes they can answer onto them:
+
+    - [Where (col = const, Scan src)] — including an eligible equality
+      conjunct inside an [And] tree, with the remaining conjuncts kept as
+      a residual filter — becomes {!Plan.IndexScan} when [src] has an
+      index on [col] that can hold the constant;
+    - a single-key [HashJoin] whose right (build) side is a scan of an
+      indexed source becomes {!Plan.IndexJoin} (index nested-loop join),
+      skipping the build phase entirely.
+
+    The pass is explicit: callers opt in per plan, so the same logical
+    plan can be run both ways and compared. Rewrites preserve the bag of
+    result rows but not row order (index probes yield hash order); order
+    is only meaningful under [OrderBy] anyway. *)
+
+val choose_access_paths : Plan.t -> Plan.t
+
+val uses_index : Plan.t -> bool
+(** Whether any index access path appears in the plan (test/bench
+    diagnostic). *)

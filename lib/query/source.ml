@@ -1,15 +1,34 @@
+type index_info = {
+  ix_name : string;
+  ix_column : string;
+  ix_probe : Value.t -> (Value.t array -> unit) -> unit;
+  ix_accepts : Value.t -> bool;
+}
+
 type t = {
   name : string;
   schema : string array;
   scan : (Value.t array -> unit) -> unit;
+  indexes : index_info list;
 }
+
+(* Constant values the planner may route through an index of the given key
+   kind. The conversion mirrors the key encoding: ints and dates (epoch
+   days) are int keys, strings are string keys; anything else — including
+   Null, which equi-predicates never match — stays on the scan path. *)
+let key_of_value kind v =
+  match (kind, v) with
+  | `Int, Value.Int n -> Some (Smc_index.Hash_index.K_int n)
+  | `Int, Value.Date d -> Some (Smc_index.Hash_index.K_int d)
+  | `Str, Value.Str s -> Some (Smc_index.Hash_index.K_str s)
+  | _ -> None
 
 (* The parallel knob: [domains] ≥ 2 extracts rows with a block-partitioned
    parallel scan (each worker builds a private row list, lists are spliced
    on the caller) and pushes them to [emit] sequentially — consumers stay
    single-threaded. Absent, or ≤ 1, the source scans exactly as before.
    Row order across blocks is unspecified in the parallel case. *)
-let of_smc ?pool ?domains coll ~columns =
+let of_smc ?pool ?domains ?(indexes = []) coll ~columns =
   let schema = Array.of_list (List.map fst columns) in
   let extractors = Array.of_list (List.map snd columns) in
   let extract blk slot = Array.map (fun e -> e blk slot) extractors in
@@ -23,12 +42,36 @@ let of_smc ?pool ?domains coll ~columns =
            ~combine:(fun a b -> List.rev_append b a))
     else Smc.Collection.iter coll ~f:(fun blk slot -> emit (extract blk slot))
   in
-  { name = coll.Smc.Collection.name; schema; scan }
+  let indexes =
+    List.map
+      (fun (col, ix) ->
+        let kind = Smc_index.Hash_index.key_kind ix in
+        {
+          ix_name = Smc_index.Hash_index.name ix;
+          ix_column = col;
+          ix_probe =
+            (fun v emit ->
+              match key_of_value kind v with
+              | None -> ()
+              | Some key ->
+                Smc_index.Hash_index.probe ix key ~f:(fun _r blk slot ->
+                    emit (extract blk slot)));
+          ix_accepts = (fun v -> key_of_value kind v <> None);
+        })
+      indexes
+  in
+  { name = coll.Smc.Collection.name; schema; scan; indexes }
 
 let of_array ~name ~schema rows =
-  { name; schema = Array.of_list schema; scan = (fun emit -> Array.iter emit rows) }
+  {
+    name;
+    schema = Array.of_list schema;
+    scan = (fun emit -> Array.iter emit rows);
+    indexes = [];
+  }
 
-let of_fun ~name ~schema scan = { name; schema = Array.of_list schema; scan }
+let of_fun ~name ~schema scan =
+  { name; schema = Array.of_list schema; scan; indexes = [] }
 
 let column_index t col =
   let rec go i =
@@ -37,3 +80,6 @@ let column_index t col =
     else go (i + 1)
   in
   go 0
+
+let find_index t col =
+  List.find_opt (fun ix -> String.equal ix.ix_column col) t.indexes

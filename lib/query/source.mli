@@ -2,17 +2,33 @@
 
     A source wraps a scan over an SMC collection (inside a critical section,
     in block order) or over any in-memory sequence — the query engine is
-    agnostic, like LINQ-to-objects. *)
+    agnostic, like LINQ-to-objects. A source over an SMC collection can also
+    advertise attached {!Smc_index.Hash_index}es as alternative access
+    paths; {!Planner} uses them to lower equality predicates and join build
+    sides to index probes. *)
+
+type index_info = {
+  ix_name : string;  (** index name (diagnostics, codegen) *)
+  ix_column : string;  (** the source column the index keys on *)
+  ix_probe : Value.t -> (Value.t array -> unit) -> unit;
+      (** push every live row whose indexed column equals the value; emits
+          nothing for values the index cannot hold (wrong type, [Null]) —
+          the same rows an equality predicate would reject *)
+  ix_accepts : Value.t -> bool;
+      (** whether a constant of this shape can be routed to the index *)
+}
 
 type t = {
   name : string;
   schema : string array;
   scan : (Value.t array -> unit) -> unit;  (** push a full scan *)
+  indexes : index_info list;  (** access paths advertised to the planner *)
 }
 
 val of_smc :
   ?pool:Smc_parallel.Pool.t ->
   ?domains:int ->
+  ?indexes:(string * Smc_index.Hash_index.t) list ->
   Smc.Collection.t ->
   columns:(string * (Smc_offheap.Block.t -> int -> Value.t)) list ->
   t
@@ -21,7 +37,14 @@ val of_smc :
     as a block-partitioned parallel scan ({!Smc_parallel.Par_scan}) and the
     rows are pushed to the consumer sequentially afterwards — downstream
     operators never see concurrency, but row order across blocks becomes
-    unspecified. Default is the sequential scan, unchanged. *)
+    unspecified. Default is the sequential scan, unchanged.
+
+    [?indexes] advertises attached hash indexes as access paths: each
+    [(col, ix)] pair asserts that [ix]'s key extractor agrees with the
+    [col] column extractor on every row (int/date columns need an
+    [Int_key], strings a [Str_key]). Probe results are extracted with the
+    same [columns] closures as the scan, so an index path and a scan path
+    produce identical rows for matching keys. *)
 
 val of_array : name:string -> schema:string list -> Value.t array array -> t
 
@@ -29,3 +52,6 @@ val of_fun : name:string -> schema:string list -> ((Value.t array -> unit) -> un
 
 val column_index : t -> string -> int
 (** Raises [Not_found]. *)
+
+val find_index : t -> string -> index_info option
+(** The advertised access path keyed on the given column, if any. *)

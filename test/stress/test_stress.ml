@@ -506,6 +506,156 @@ let test_queue_race mode () =
     (Smc_obs.get s Smc_obs.c_rq_pops > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Index churn: 2 writers churn keys through the Collection API (so the
+   attached hash index sees every add and remove), a prober domain
+   hammers the index concurrently, and a compactor relocates rows under
+   everything. Every round ends at a quiescent point where the index
+   audit runs on top of the structural audit and the counter balances,
+   and the index is diffed against the merged writer models: every live
+   key must probe, every removed key must miss. *)
+(* ------------------------------------------------------------------ *)
+
+module H = Smc_index.Hash_index
+
+let ix_layout =
+  Layout.create ~name:"stress_ix" [ ("key", Layout.Int); ("payload", Layout.Int) ]
+
+(* Same handle discipline as [writer_round] (writer 0 odd, writer 1 even),
+   but through the Collection API so the index hooks fire; packed refs fit
+   the int-valued [wstate] table. The critical section spans resolve+init,
+   same discipline as the Context-level writers above. *)
+let ix_writer_round coll fkey fpay st prng ops errs =
+  for _ = 1 to ops do
+    let d = Smc_util.Prng.int prng 100 in
+    if d < 55 || st.w_n = 0 then begin
+      let h = 1 + st.w_id + (2 * st.w_next) in
+      st.w_next <- st.w_next + 1;
+      let r =
+        Smc.Collection.with_read coll (fun () ->
+            Smc.Collection.add coll ~init:(fun blk slot ->
+                (* payload first: a racing prober that sees the key must
+                   never see a half-initialised payload *)
+                Smc.Field.set_int fpay blk slot (payload_of h);
+                Smc.Field.set_int fkey blk slot h))
+      in
+      Hashtbl.replace st.w_live h (Smc.Ref.to_packed r);
+      w_push st h
+    end
+    else begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Smc.Ref.of_packed (Hashtbl.find st.w_live h) in
+      if not (Smc.Collection.remove coll r) then
+        errs :=
+          Printf.sprintf "index writer %d: remove of live handle %d failed" st.w_id h :: !errs;
+      Hashtbl.remove st.w_live h;
+      w_drop st h
+    end
+  done
+
+(* Prober: random keys across the whole handle range, so probes hit live
+   keys, removed keys, and never-allocated keys alike. Any emitted row
+   must carry the probed key and its derived payload (p = 0 admits the
+   window between bucket publication and field-write visibility). *)
+let ix_prober_round ix fkey fpay ~seed:s ~sweeps ~key_bound errs =
+  let prng = Smc_util.Prng.create ~seed:s () in
+  for _ = 1 to sweeps do
+    for _ = 1 to 200 do
+      let k = 1 + Smc_util.Prng.int prng key_bound in
+      H.probe ix (H.K_int k) ~f:(fun _r blk slot ->
+          let k' = Smc.Field.get_int fkey blk slot in
+          let p = Smc.Field.get_int fpay blk slot in
+          if k' <> k then
+            errs := Printf.sprintf "prober: probe of %d surfaced key %d" k k' :: !errs
+          else if p <> 0 && p <> payload_of k then
+            errs := Printf.sprintf "prober: key %d carries payload %d" k p :: !errs)
+    done;
+    Domain.cpu_relax ()
+  done
+
+let ix_check_merged coll ix (writers : wstate array) errs =
+  let expected = Hashtbl.create 1024 in
+  Array.iter
+    (fun st -> Hashtbl.iter (fun h _ -> Hashtbl.replace expected h ()) st.w_live)
+    writers;
+  Hashtbl.iter
+    (fun h () ->
+      if not (H.contains ix (H.K_int h)) then
+        errs := Printf.sprintf "index checkpoint: live key %d missing from index" h :: !errs)
+    expected;
+  Array.iter
+    (fun st ->
+      for i = 0 to st.w_next - 1 do
+        let h = 1 + st.w_id + (2 * i) in
+        if (not (Hashtbl.mem expected h)) && H.contains ix (H.K_int h) then
+          errs := Printf.sprintf "index checkpoint: removed key %d still probes" h :: !errs
+      done)
+    writers;
+  let total = Hashtbl.length expected in
+  if Smc.Collection.count coll <> total then
+    errs :=
+      Printf.sprintf "index checkpoint: valid_count %d but writers hold %d objects"
+        (Smc.Collection.count coll) total
+      :: !errs
+
+let test_index_churn () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"stress_ix" ~layout:ix_layout ~slots_per_block:128
+      ~reclaim_threshold:0.25 ()
+  in
+  let fkey = Smc.Field.int ix_layout "key" and fpay = Smc.Field.int ix_layout "payload" in
+  let ix = H.attach ~name:"stress_ix_by_key" ~key:(H.Int_key (Smc.Field.get_int fkey)) coll in
+  let auditor = Audit.create rt in
+  let writers = [| new_wstate 0; new_wstate 1 |] in
+  let rounds = 5 in
+  let per_writer = max 200 (iters / 12) in
+  let errs = ref [] in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng = Smc_util.Prng.create ~seed:(subseed (9000 + (100 * round) + st.w_id)) () in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              ix_writer_round coll fkey fpay st prng per_writer local;
+              Epoch.release_current_domain ();
+              !local))
+        writers
+    in
+    let pd =
+      Domain.spawn (fun () ->
+          let local = ref [] in
+          ix_prober_round ix fkey fpay
+            ~seed:(subseed (9500 + round))
+            ~sweeps:(5 + (per_writer / 50))
+            ~key_bound:(2 * per_writer * round) local;
+          Epoch.release_current_domain ();
+          !local)
+    in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round coll.Smc.Collection.ctx 6;
+          Epoch.release_current_domain ())
+    in
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    errs := Domain.join pd @ !errs;
+    Domain.join cd;
+    (* Quiescent checkpoint: structural audit, counter balances, index
+       audit, then the model diff — both directions. *)
+    audit_quiescent (Printf.sprintf "index-churn round %d" round) auditor rt
+      coll.Smc.Collection.ctx;
+    assert_clean (Printf.sprintf "index audit, round %d" round) (Index_check.check [ ix ]);
+    ix_check_merged coll ix writers errs;
+    assert_clean (Printf.sprintf "index-churn checkpoint, round %d" round) !errs;
+    H.sweep ix;
+    assert_clean
+      (Printf.sprintf "index audit after sweep, round %d" round)
+      (Index_check.check [ ix ])
+  done;
+  let s = H.stats ix in
+  Alcotest.(check bool) "index populated" true (s.H.occupied > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* The balance checks and queue-race assertions need counting on. *)
@@ -541,5 +691,6 @@ let () =
             (test_queue_race Context.Indirect);
           qc "queue race: remote frees vs owner recycling (direct)"
             (test_queue_race Context.Direct);
+          qc "index churn: writers + probers + compactor" test_index_churn;
         ] );
     ]

@@ -213,6 +213,168 @@ let test_source_of_smc () =
       (Value.equal total (Value.Dec (Smc_decimal.Decimal.of_int 330)))
   | _ -> Alcotest.fail "expected a single aggregate row"
 
+(* ---- secondary indexes: transparency and slot recycling ------------- *)
+
+module H = Smc_index.Hash_index
+
+let mk_ikv n =
+  let rt = Smc_offheap.Runtime.create () in
+  let layout =
+    Smc_offheap.Layout.create ~name:"ikv"
+      [ ("k", Smc_offheap.Layout.Int); ("v", Smc_offheap.Layout.Int) ]
+  in
+  let coll = Smc.Collection.create rt ~name:"ikv" ~layout () in
+  let fk = Smc.Field.int layout "k" and fv = Smc.Field.int layout "v" in
+  let refs =
+    Array.init n (fun i ->
+        Smc.Collection.add coll ~init:(fun blk slot ->
+            Smc.Field.set_int fk blk slot i;
+            Smc.Field.set_int fv blk slot (i * 7)))
+  in
+  (coll, fk, fv, refs)
+
+let ikv_columns fk fv =
+  [
+    ("k", fun blk slot -> Value.Int (Smc.Field.get_int fk blk slot));
+    ("v", fun blk slot -> Value.Int (Smc.Field.get_int fv blk slot));
+  ]
+
+let sorted_rows rows = List.sort Stdlib.compare rows
+
+let test_index_transparency () =
+  (* Every plan shape the planner can rewrite must return exactly the
+     rows of the unrewritten plan, in both engines, whether the source
+     carries indexes or not. Rewrites preserve the bag, not the order,
+     so compare sorted. *)
+  let coll, fk, fv, _refs = mk_ikv 64 in
+  let ix = H.attach ~name:"ikv_by_k" ~key:(H.Int_key (Smc.Field.get_int fk)) coll in
+  let plain = Source.of_smc coll ~columns:(ikv_columns fk fv) in
+  let indexed = Source.of_smc coll ~indexes:[ ("k", ix) ] ~columns:(ikv_columns fk fv) in
+  let probe_side () =
+    Source.of_array ~name:"wanted" ~schema:[ "wk" ]
+      (Array.init 8 (fun i -> [| Value.Int (i * 9) |]))
+  in
+  let shapes src =
+    [
+      ("point", Plan.(where Expr.(Eq (Col "k", int 17)) (scan src)));
+      ( "residual",
+        Plan.(
+          where Expr.(And (Eq (Col "k", int 17), Gt (Col "v", int 0))) (scan src)) );
+      ("join", Plan.(join ~on:[ ("wk", "k") ] (scan (probe_side ())) (scan src)));
+    ]
+  in
+  List.iter2
+    (fun (name, p_plain) (_, p_idx) ->
+      let rewritten = Planner.choose_access_paths p_idx in
+      check Alcotest.bool (name ^ ": rewrite picked an index") true
+        (Planner.uses_index rewritten);
+      check Alcotest.bool (name ^ ": no index without indexes on source") false
+        (Planner.uses_index (Planner.choose_access_paths p_plain));
+      let expect = sorted_rows (Interp.collect p_plain) in
+      check rows_testable (name ^ ": volcano, indexed") expect
+        (sorted_rows (Interp.collect rewritten));
+      check rows_testable (name ^ ": fused, indexed") expect
+        (sorted_rows (Fuse.collect rewritten));
+      check rows_testable (name ^ ": fused, detached") expect
+        (sorted_rows (Fuse.collect p_plain)))
+    (shapes plain) (shapes indexed);
+  check (Alcotest.list Alcotest.string) "index audit clean" [] (H.audit ix)
+
+let test_index_slot_recycling () =
+  (* Remove a third of the rows, probe the removed keys (must miss —
+     stale entries never resurrect), re-add the keys with fresh payloads
+     into recycled slots, and verify probes now see exactly the new row. *)
+  let coll, fk, fv, refs = mk_ikv 60 in
+  let ix = H.attach ~name:"ikv_by_k" ~key:(H.Int_key (Smc.Field.get_int fk)) coll in
+  let src = Source.of_smc coll ~indexes:[ ("k", ix) ] ~columns:(ikv_columns fk fv) in
+  let probe_plan k =
+    Planner.choose_access_paths Plan.(where Expr.(Eq (Col "k", int k)) (scan src))
+  in
+  let removed = ref [] in
+  Array.iteri
+    (fun i r ->
+      if i mod 3 = 0 then begin
+        check Alcotest.bool "remove succeeded" true (Smc.Collection.remove coll r);
+        removed := i :: !removed
+      end)
+    refs;
+  List.iter
+    (fun k ->
+      check Alcotest.bool (Printf.sprintf "removed key %d: contains misses" k) false
+        (H.contains ix (H.K_int k));
+      check Alcotest.int (Printf.sprintf "removed key %d: plan yields no rows" k) 0
+        (List.length (Fuse.collect (probe_plan k))))
+    !removed;
+  List.iter
+    (fun k ->
+      ignore
+        (Smc.Collection.add coll ~init:(fun blk slot ->
+             Smc.Field.set_int fk blk slot k;
+             Smc.Field.set_int fv blk slot (k * 1000))
+          : Smc.Ref.t))
+    !removed;
+  List.iter
+    (fun k ->
+      match Interp.collect (probe_plan k) with
+      | [ [| Value.Int k'; Value.Int v |] ] ->
+        check Alcotest.int (Printf.sprintf "key %d re-added" k) k k';
+        check Alcotest.int (Printf.sprintf "key %d sees fresh payload" k) (k * 1000) v
+      | rows ->
+        Alcotest.fail
+          (Printf.sprintf "key %d: expected exactly one fresh row, got %d" k
+             (List.length rows)))
+    !removed;
+  H.sweep ix;
+  check (Alcotest.list Alcotest.string) "audit clean after churn" [] (H.audit ix)
+
+let test_index_attach_detach () =
+  let coll, fk, _fv, _refs = mk_ikv 8 in
+  let ix = H.attach ~name:"by_k" ~key:(H.Int_key (Smc.Field.get_int fk)) coll in
+  check (Alcotest.list Alcotest.string) "registered" [ "by_k" ]
+    (Smc.Collection.index_names coll);
+  Alcotest.check_raises "duplicate name rejected"
+    (Invalid_argument
+       "Collection.attach_index: index \"by_k\" already attached to \"ikv\"")
+    (fun () ->
+      ignore (H.attach ~name:"by_k" ~key:(H.Int_key (Smc.Field.get_int fk)) coll : H.t));
+  H.detach ix;
+  check (Alcotest.list Alcotest.string) "deregistered" []
+    (Smc.Collection.index_names coll);
+  (* after detach the name is free again *)
+  let ix2 = H.attach ~name:"by_k" ~key:(H.Int_key (Smc.Field.get_int fk)) coll in
+  check Alcotest.bool "re-attached index answers probes" true
+    (H.contains ix2 (H.K_int 3))
+
+let test_plan_validation () =
+  (* Satellite: plans fail fast at construction, not at execution. *)
+  let p = people () in
+  Alcotest.check_raises "where: unknown column"
+    (Invalid_argument
+       "Plan.Where: unknown column \"nope\" (input columns: id, name, age, balance)")
+    (fun () -> ignore (Plan.(where Expr.(Eq (Col "nope", int 1)) (scan p)) : Plan.t));
+  Alcotest.check_raises "select: unknown column"
+    (Invalid_argument
+       "Plan.Select: unknown column \"missing\" (input columns: id, name, age, balance)")
+    (fun () -> ignore (Plan.(select [ ("m", Expr.Col "missing") ] (scan p)) : Plan.t));
+  Alcotest.check_raises "join: unknown right key"
+    (Invalid_argument
+       "Plan.HashJoin(right): unknown column \"wrong\" (input columns: id, name, age, balance)")
+    (fun () ->
+      ignore
+        (Plan.(join ~on:[ ("person_id", "wrong") ] (scan (orders ())) (scan (people ())))
+          : Plan.t));
+  Alcotest.check_raises "index_scan: no such index"
+    (Invalid_argument "Plan.index_scan: source people has no index on column \"id\"")
+    (fun () ->
+      ignore (Plan.index_scan (people ()) ~column:"id" ~value:(Value.Int 1) : Plan.t));
+  (* a valid nested plan passes validate *)
+  let ok =
+    Plan.(
+      group_by ~keys:[ ("age", Expr.Col "age") ] ~aggs:[ ("n", Count) ]
+        (where Expr.(Gt (Col "id", int 0)) (scan p)))
+  in
+  Plan.validate ok
+
 let test_codegen_renders () =
   let plan =
     Plan.(
@@ -275,6 +437,13 @@ let () =
         [ Alcotest.test_case "semantics" `Quick test_expr_semantics ] );
       ( "sources",
         [ Alcotest.test_case "of_smc" `Quick test_source_of_smc ] );
+      ( "indexes",
+        [
+          Alcotest.test_case "transparency" `Quick test_index_transparency;
+          Alcotest.test_case "slot recycling" `Quick test_index_slot_recycling;
+          Alcotest.test_case "attach/detach" `Quick test_index_attach_detach;
+          Alcotest.test_case "plan validation" `Quick test_plan_validation;
+        ] );
       ( "codegen",
         [ Alcotest.test_case "renders" `Quick test_codegen_renders ] );
     ]
