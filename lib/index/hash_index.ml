@@ -159,13 +159,14 @@ let contains t k =
 
 (* ---- writes (caller holds t.lock) --------------------------------- *)
 
-(* Insert into the first reusable bucket of the probe chain. Key word is
-   written before the ref word so a bucket is never observable with a
-   fresh ref and no key at all; full safety still rests on probe-side
-   validation, not on this ordering. *)
-let insert_locked t w packed =
-  let s = t.store in
-  let h = placement t.spec w in
+(* Insert into the first reusable bucket of the probe chain of [s]. Key
+   word is written before the ref word so a bucket is never observable
+   with a fresh ref and no key at all; full safety still rests on
+   probe-side validation, not on this ordering. Takes the store as an
+   argument so a rebuild can populate a fresh, unpublished store; returns
+   whether a tombstone was reused (callers maintain the counters). *)
+let store_insert spec s w packed =
+  let h = placement spec w in
   let i = ref (h land s.mask) in
   let reuse = ref (-1) in
   let target = ref (-1) in
@@ -181,9 +182,13 @@ let insert_locked t w packed =
   done;
   let c = bucket_chunk s !target in
   let off = bucket_off !target in
-  if Bigarray.Array1.unsafe_get c off = tomb then t.tombstones <- t.tombstones - 1;
+  let reused = Bigarray.Array1.unsafe_get c off = tomb in
   Bigarray.Array1.unsafe_set c (off + 1) w;
   Bigarray.Array1.unsafe_set c off packed;
+  reused
+
+let insert_locked t w packed =
+  if store_insert t.spec t.store w packed then t.tombstones <- t.tombstones - 1;
   t.occupied <- t.occupied + 1
 
 (* Tombstone every stale entry in place. Valid->tombstone transitions are
@@ -192,6 +197,13 @@ let insert_locked t w packed =
 let sweep_locked t =
   let s = t.store in
   let purged = ref 0 in
+  (* Drain the churn counters up front (exchange, not a trailing reset):
+     probe/remove increments landing mid-sweep carry over to the next
+     trigger instead of being lost. Entries they refer to may already be
+     tombstoned by this sweep, which at worst re-arms the trigger early —
+     heuristic drift in the safe direction. *)
+  ignore (Atomic.exchange t.stale_seen 0 : int);
+  ignore (Atomic.exchange t.dead_pending 0 : int);
   Smc.Collection.with_read t.coll (fun () ->
       for i = 0 to s.cap - 1 do
         let c = bucket_chunk s i in
@@ -206,18 +218,22 @@ let sweep_locked t =
           incr purged
         end
       done);
-  Atomic.set t.stale_seen 0;
-  Atomic.set t.dead_pending 0;
   Smc_obs.add t.obs Smc_obs.c_idx_tombstones !purged
 
 let rec next_pow2 n acc = if acc >= n then acc else next_pow2 n (acc * 2)
 
 (* Collect live entries from the old store, size a fresh one to <= half
-   load, and re-place them by key word. The store swap is the publication
-   point; the old chunks stay alive for any in-flight probe that already
-   snapshotted them. *)
+   load, and re-place them by key word. The fresh store is FULLY populated
+   before the [t.store] assignment: that single write is the publication
+   point, so a lock-free probe snapshots either the old store (complete)
+   or the new one (complete) — never a half-built table that would miss
+   rows live all along. The old chunks stay alive for any in-flight probe
+   that already snapshotted them. *)
 let rebuild_locked t =
   let s = t.store in
+  (* Drain churn counters up front, same rationale as [sweep_locked]. *)
+  ignore (Atomic.exchange t.stale_seen 0 : int);
+  ignore (Atomic.exchange t.dead_pending 0 : int);
   let live = ref [] in
   let n_live = ref 0 in
   let dropped = ref 0 in
@@ -235,12 +251,10 @@ let rebuild_locked t =
       done);
   let cap = next_pow2 (max chunk_buckets (4 * !n_live)) chunk_buckets in
   let fresh = make_store cap in
+  List.iter (fun (w, r) -> ignore (store_insert t.spec fresh w r : bool)) !live;
   t.store <- fresh;
-  t.occupied <- 0;
+  t.occupied <- !n_live;
   t.tombstones <- 0;
-  Atomic.set t.stale_seen 0;
-  Atomic.set t.dead_pending 0;
-  List.iter (fun (w, r) -> insert_locked t w r) !live;
   Smc_obs.add t.obs Smc_obs.c_idx_tombstones !dropped;
   Smc_obs.incr t.obs Smc_obs.c_idx_rebuilds
 

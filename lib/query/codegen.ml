@@ -63,8 +63,11 @@ let to_ocaml_source plan =
     | Plan.IndexJoin { left; src; index; left_col } ->
       emit left depth (fun d row ->
           let m = fresh "matched" in
-          line d "(* index nested-loop join: probe %s.%s via %s, no build phase *)"
+          line d "(* index nested-loop join: probe %s.%s via %s, no build phase;"
             src.Source.name index.Source.ix_column index.Source.ix_name;
+          line d "   hits are re-checked against %s structurally; non-indexable keys"
+            left_col;
+          line d "   (Null, decimals) fall back to a lazily built hash table *)";
           line d "Hash_index.probe %s (key %s) ~f:(fun ref blk slot ->"
             index.Source.ix_name left_col;
           line (d + 1) "let %s = (blk, slot) in" m;

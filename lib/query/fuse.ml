@@ -29,13 +29,31 @@ let rec compile plan =
           List.iter
             (fun r -> emit (Array.append l r))
             (Hashtbl.find_all table (group_key lkeys l)))
-  | Plan.IndexJoin { left; index; left_col; _ } ->
+  | Plan.IndexJoin { left; src; index; left_col } ->
     (* Index nested-loop join: the probe side fuses straight into the
-       index lookup; there is no build phase to pipeline-break on. *)
+       index lookup; there is no build phase to pipeline-break on. Left
+       keys the index cannot hold (Null, decimals, booleans) still join
+       under HashJoin's structural equality, so they route through a hash
+       table built lazily on first such key — per run, since the compiled
+       pipeline may execute more than once. *)
     let lkey = Expr.compile ~schema:(Plan.schema left) (Expr.Col left_col) in
+    let ci = Source.column_index src index.Source.ix_column in
     let probe = compile left in
     fun emit ->
-      probe (fun l -> index.Source.ix_probe (lkey l) (fun r -> emit (Array.append l r)))
+      let fallback =
+        lazy
+          (let tbl = Hashtbl.create 1024 in
+           src.Source.scan (fun r -> Hashtbl.add tbl r.(ci) r);
+           tbl)
+      in
+      probe (fun l ->
+          let k = lkey l in
+          if index.Source.ix_accepts k then
+            index.Source.ix_probe k (fun r -> emit (Array.append l r))
+          else
+            List.iter
+              (fun r -> emit (Array.append l r))
+              (Hashtbl.find_all (Lazy.force fallback) k))
   | Plan.GroupBy { keys; aggs; input } ->
     let schema = Plan.schema input in
     let key_fns = List.map (fun (_, e) -> Expr.compile ~schema e) keys in

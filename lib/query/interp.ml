@@ -84,10 +84,21 @@ let rec open_cursor plan =
           pull ())
     in
     pull
-  | Plan.IndexJoin { left; index; left_col; _ } ->
+  | Plan.IndexJoin { left; src; index; left_col } ->
     (* Index nested-loop join: no build phase — each left row probes the
-       attached index, one critical section per probe. *)
+       attached index, one critical section per probe. Left keys the
+       index cannot hold (Null, decimals, booleans) still join under
+       HashJoin's structural equality — e.g. Null matches Null — so they
+       route through a hash table built lazily, only if such a key
+       actually appears. *)
     let lkey = Expr.compile ~schema:(Plan.schema left) (Expr.Col left_col) in
+    let ci = Source.column_index src index.Source.ix_column in
+    let fallback =
+      lazy
+        (let tbl = Hashtbl.create 1024 in
+         src.Source.scan (fun r -> Hashtbl.add tbl r.(ci) r);
+         tbl)
+    in
     let lnext = open_cursor left in
     let pending = ref [] in
     let current_left = ref None in
@@ -102,9 +113,13 @@ let rec open_cursor plan =
         | None -> None
         | Some l ->
           current_left := Some l;
-          let matches = ref [] in
-          index.Source.ix_probe (lkey l) (fun r -> matches := r :: !matches);
-          pending := List.rev !matches;
+          let k = lkey l in
+          (if index.Source.ix_accepts k then begin
+             let matches = ref [] in
+             index.Source.ix_probe k (fun r -> matches := r :: !matches);
+             pending := List.rev !matches
+           end
+           else pending := Hashtbl.find_all (Lazy.force fallback) k);
           pull ())
     in
     pull

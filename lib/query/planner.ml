@@ -9,36 +9,34 @@ let rec conjuncts = function
   | Expr.And (a, b) -> conjuncts a @ conjuncts b
   | e -> [ e ]
 
-let rec conj_of = function
-  | [] -> assert false
-  | [ e ] -> e
-  | e :: rest -> Expr.And (e, conj_of rest)
-
 (* [col = const] in either orientation, as an (column, value) pair. *)
 let eq_const = function
   | Expr.Eq (Expr.Col c, Expr.Const v) | Expr.Eq (Expr.Const v, Expr.Col c) -> Some (c, v)
   | _ -> None
 
-(* Pick the first conjunct the source can answer with an index probe; the
-   rest stay behind as a residual filter. The matched equality itself is
-   subsumed: a probe yields exactly the rows where the indexed column
-   equals the constant. *)
+(* Pick the first conjunct the source can answer with an index probe. The
+   whole predicate — matched equality included — stays behind as a
+   residual filter over the probe's output: the probe is an access path,
+   not the authority on the predicate. Re-checking the matched conjunct
+   is cheap relative to the probe and belt-and-braces against the cases
+   where a probe and the logical predicate can disagree (key words alias
+   across value types; a column/index association that violates the
+   [Source.of_smc] agreement contract). *)
 let rewrite_where pred src =
-  let rec split seen = function
+  let rec find = function
     | [] -> None
     | e :: rest ->
       (match eq_const e with
       | Some (c, v) ->
         (match Source.find_index src c with
         | Some index when index.Source.ix_accepts v ->
-          Some (Plan.IndexScan { src; index; value = v }, List.rev_append seen rest)
-        | _ -> split (e :: seen) rest)
-      | None -> split (e :: seen) rest)
+          Some (Plan.IndexScan { src; index; value = v })
+        | _ -> find rest)
+      | None -> find rest)
   in
-  match split [] (conjuncts pred) with
+  match find (conjuncts pred) with
   | None -> None
-  | Some (base, []) -> Some base
-  | Some (base, residual) -> Some (Plan.Where (conj_of residual, base))
+  | Some base -> Some (Plan.Where (pred, base))
 
 let rec choose_access_paths plan =
   match plan with

@@ -4,12 +4,17 @@
     indexes; this pass lowers the plan shapes they can answer onto them:
 
     - [Where (col = const, Scan src)] — including an eligible equality
-      conjunct inside an [And] tree, with the remaining conjuncts kept as
-      a residual filter — becomes {!Plan.IndexScan} when [src] has an
-      index on [col] that can hold the constant;
+      conjunct inside an [And] tree — becomes {!Plan.IndexScan} when
+      [src] has an index on [col] that can hold the constant. The whole
+      predicate (matched conjunct included) is kept as a residual filter
+      over the probe output, so the rewritten plan filters exactly like
+      the scan plan even if a probe over-matches;
     - a single-key [HashJoin] whose right (build) side is a scan of an
       indexed source becomes {!Plan.IndexJoin} (index nested-loop join),
-      skipping the build phase entirely.
+      skipping the build phase entirely. The executors preserve
+      HashJoin's structural-equality semantics: probed rows are re-checked
+      against the left key, and left keys the index cannot hold (Null,
+      decimals, booleans) fall back to a lazily built hash table.
 
     The pass is explicit: callers opt in per plan, so the same logical
     plan can be run both ways and compared. Rewrites preserve the bag of

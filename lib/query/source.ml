@@ -14,8 +14,12 @@ type t = {
 
 (* Constant values the planner may route through an index of the given key
    kind. The conversion mirrors the key encoding: ints and dates (epoch
-   days) are int keys, strings are string keys; anything else — including
-   Null, which equi-predicates never match — stays on the scan path. *)
+   days) are int keys, strings are string keys; anything else — Null,
+   decimals, booleans — is unindexable ([ix_accepts] = false), so the
+   planner leaves such predicates on the scan path and the IndexJoin
+   executors fall back to a hash build for such left keys (Null joins
+   Null under HashJoin's structural equality; an index probe could never
+   reproduce that). *)
 let key_of_value kind v =
   match (kind, v) with
   | `Int, Value.Int n -> Some (Smc_index.Hash_index.K_int n)
@@ -42,9 +46,38 @@ let of_smc ?pool ?domains ?(indexes = []) coll ~columns =
            ~combine:(fun a b -> List.rev_append b a))
     else Smc.Collection.iter coll ~f:(fun blk slot -> emit (extract blk slot))
   in
+  let schema_pos col =
+    let rec go i =
+      if i >= Array.length schema then None
+      else if String.equal schema.(i) col then Some i
+      else go (i + 1)
+    in
+    go 0
+  in
   let indexes =
     List.map
       (fun (col, ix) ->
+        (* A mispaired association would make IndexScan/IndexJoin silently
+           answer from the wrong collection; reject it here, where the
+           claim is made. The wrong-column half of the contract can't be
+           checked structurally, but the probe-side value re-check below
+           keeps it from ever emitting a non-matching row. *)
+        if Smc_index.Hash_index.collection ix != coll then
+          invalid_arg
+            (Printf.sprintf
+               "Source.of_smc: index %S is attached to collection %S, not %S"
+               (Smc_index.Hash_index.name ix)
+               (Smc_index.Hash_index.collection ix).Smc.Collection.name
+               coll.Smc.Collection.name);
+        let ci =
+          match schema_pos col with
+          | Some i -> i
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Source.of_smc: index %S declared on column %S, which is not in the source schema"
+                 (Smc_index.Hash_index.name ix) col)
+        in
         let kind = Smc_index.Hash_index.key_kind ix in
         {
           ix_name = Smc_index.Hash_index.name ix;
@@ -55,7 +88,14 @@ let of_smc ?pool ?domains ?(indexes = []) coll ~columns =
               | None -> ()
               | Some key ->
                 Smc_index.Hash_index.probe ix key ~f:(fun _r blk slot ->
-                    emit (extract blk slot)));
+                    let row = extract blk slot in
+                    (* Structural re-check against the declared column:
+                       key words alias across types ([Int n] and [Date n]
+                       both encode as [n]), and the probe only sees the
+                       word. Mirroring HashJoin's structural match keeps
+                       index paths from ever over-matching the scan
+                       plan. *)
+                    if row.(ci) = v then emit row));
           ix_accepts = (fun v -> key_of_value kind v <> None);
         })
       indexes

@@ -11,11 +11,14 @@ type index_info = {
   ix_name : string;  (** index name (diagnostics, codegen) *)
   ix_column : string;  (** the source column the index keys on *)
   ix_probe : Value.t -> (Value.t array -> unit) -> unit;
-      (** push every live row whose indexed column equals the value; emits
-          nothing for values the index cannot hold (wrong type, [Null]) —
-          the same rows an equality predicate would reject *)
+      (** push every live row whose declared column is structurally equal
+          to the value (each probe hit is re-checked against the
+          extracted column, so key-word aliasing across types — [Int n]
+          vs [Date n] — never over-matches); emits nothing for values the
+          index cannot hold (wrong type, [Null]) *)
   ix_accepts : Value.t -> bool;
-      (** whether a constant of this shape can be routed to the index *)
+      (** whether a constant of this shape can be routed to the index;
+          executors must fall back to scan-equality for rejected values *)
 }
 
 type t = {
@@ -42,9 +45,13 @@ val of_smc :
     [?indexes] advertises attached hash indexes as access paths: each
     [(col, ix)] pair asserts that [ix]'s key extractor agrees with the
     [col] column extractor on every row (int/date columns need an
-    [Int_key], strings a [Str_key]). Probe results are extracted with the
-    same [columns] closures as the scan, so an index path and a scan path
-    produce identical rows for matching keys. *)
+    [Int_key], strings a [Str_key]). Raises [Invalid_argument] when [ix]
+    is attached to a different collection than the one being scanned, or
+    when [col] is not in the declared schema — a mispaired association
+    would otherwise silently answer queries from the wrong rows. Probe
+    results are extracted with the same [columns] closures as the scan
+    and re-checked against the probe value, so an index path and a scan
+    path produce identical rows for matching keys. *)
 
 val of_array : name:string -> schema:string list -> Value.t array array -> t
 

@@ -345,6 +345,106 @@ let test_index_attach_detach () =
   check Alcotest.bool "re-attached index answers probes" true
     (H.contains ix2 (H.K_int 3))
 
+let test_source_rejects_mispaired_index () =
+  (* of_smc validates the (column, index) association at construction: an
+     index attached to another collection, or declared on a column the
+     source does not expose, would otherwise silently answer queries from
+     the wrong rows. *)
+  let coll_a, fk_a, fv_a, _refs = mk_ikv 4 in
+  let ix_a = H.attach ~name:"a_by_k" ~key:(H.Int_key (Smc.Field.get_int fk_a)) coll_a in
+  let rt = Smc_offheap.Runtime.create () in
+  let layout =
+    Smc_offheap.Layout.create ~name:"other"
+      [ ("k", Smc_offheap.Layout.Int); ("v", Smc_offheap.Layout.Int) ]
+  in
+  let other = Smc.Collection.create rt ~name:"other" ~layout () in
+  Alcotest.check_raises "foreign collection rejected"
+    (Invalid_argument
+       "Source.of_smc: index \"a_by_k\" is attached to collection \"ikv\", not \"other\"")
+    (fun () ->
+      ignore
+        (Source.of_smc other ~indexes:[ ("k", ix_a) ] ~columns:(ikv_columns fk_a fv_a)
+          : Source.t));
+  Alcotest.check_raises "unknown column rejected"
+    (Invalid_argument
+       "Source.of_smc: index \"a_by_k\" declared on column \"nope\", which is not in the source schema")
+    (fun () ->
+      ignore
+        (Source.of_smc coll_a ~indexes:[ ("nope", ix_a) ] ~columns:(ikv_columns fk_a fv_a)
+          : Source.t))
+
+let test_index_join_key_semantics () =
+  (* A planner-chosen IndexJoin must match exactly what the HashJoin it
+     replaces matches: structural equality on the key value. Key words
+     alias across types (Date d is the day-number int d), and Null left
+     keys are unindexable — neither may change the result through the
+     index path. *)
+  let rt = Smc_offheap.Runtime.create () in
+  let layout =
+    Smc_offheap.Layout.create ~name:"events"
+      [ ("d", Smc_offheap.Layout.Int); ("v", Smc_offheap.Layout.Int) ]
+  in
+  let coll = Smc.Collection.create rt ~name:"events" ~layout () in
+  let fd = Smc.Field.int layout "d" and fv = Smc.Field.int layout "v" in
+  for i = 0 to 15 do
+    ignore
+      (Smc.Collection.add coll ~init:(fun blk slot ->
+           Smc.Field.set_int fd blk slot i;
+           Smc.Field.set_int fv blk slot (i * 10))
+        : Smc.Ref.t)
+  done;
+  let ix = H.attach ~name:"events_by_d" ~key:(H.Int_key (Smc.Field.get_int fd)) coll in
+  let columns =
+    [
+      ("d", fun blk slot -> Value.Date (Smc.Field.get_int fd blk slot));
+      ("v", fun blk slot -> Value.Int (Smc.Field.get_int fv blk slot));
+    ]
+  in
+  let src = Source.of_smc coll ~indexes:[ ("d", ix) ] ~columns in
+  let left =
+    Source.of_array ~name:"keys" ~schema:[ "ld" ]
+      [| [| Value.Date 5 |]; [| Value.Int 5 |]; [| Value.Null |] |]
+  in
+  let plan = Plan.(join ~on:[ ("ld", "d") ] (scan left) (scan src)) in
+  let rewritten = Planner.choose_access_paths plan in
+  check Alcotest.bool "join rewrote to IndexJoin" true (Planner.uses_index rewritten);
+  let expect = sorted_rows (Interp.collect plan) in
+  check Alcotest.int "hash join matches only the exactly-typed key" 1 (List.length expect);
+  check rows_testable "volcano index join agrees" expect
+    (sorted_rows (Interp.collect rewritten));
+  check rows_testable "fused index join agrees" expect
+    (sorted_rows (Fuse.collect rewritten));
+  (* the point-probe path re-checks types too: an Int constant shares the
+     date-keyed index's key word but not the column value *)
+  check Alcotest.int "index_scan Date const hits" 1
+    (List.length (Fuse.collect (Plan.index_scan src ~column:"d" ~value:(Value.Date 5))));
+  check Alcotest.int "index_scan Int const misses despite aliased key word" 0
+    (List.length (Fuse.collect (Plan.index_scan src ~column:"d" ~value:(Value.Int 5))))
+
+let test_index_rebuild_probe_race () =
+  (* Regression: rebuild must fully populate the fresh store before
+     publishing it. A lock-free probe racing the swap snapshots either the
+     old store or the complete new one; a key live throughout must never
+     read as absent. *)
+  let coll, fk, _fv, _refs = mk_ikv 4096 in
+  let ix = H.attach ~name:"ikv_by_k" ~key:(H.Int_key (Smc.Field.get_int fk)) coll in
+  let stop = Atomic.make false in
+  let misses = Atomic.make 0 in
+  let prober =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          if not (H.contains ix (H.K_int 17)) then Atomic.incr misses
+        done)
+  in
+  for _ = 1 to 200 do
+    H.rebuild ix
+  done;
+  Atomic.set stop true;
+  Domain.join prober;
+  check Alcotest.int "no probe missed a continuously-live key across rebuilds" 0
+    (Atomic.get misses);
+  check (Alcotest.list Alcotest.string) "audit clean after rebuild storm" [] (H.audit ix)
+
 let test_plan_validation () =
   (* Satellite: plans fail fast at construction, not at execution. *)
   let p = people () in
@@ -442,6 +542,10 @@ let () =
           Alcotest.test_case "transparency" `Quick test_index_transparency;
           Alcotest.test_case "slot recycling" `Quick test_index_slot_recycling;
           Alcotest.test_case "attach/detach" `Quick test_index_attach_detach;
+          Alcotest.test_case "mispaired source rejected" `Quick
+            test_source_rejects_mispaired_index;
+          Alcotest.test_case "join key semantics" `Quick test_index_join_key_semantics;
+          Alcotest.test_case "rebuild/probe race" `Quick test_index_rebuild_probe_race;
           Alcotest.test_case "plan validation" `Quick test_plan_validation;
         ] );
       ( "codegen",
