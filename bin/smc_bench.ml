@@ -213,6 +213,22 @@ let run_index quick rows sf =
     exit 1
   end
 
+(* Persistence throughput, doubling as the durability self-check: the
+   recovered collection must pass the full audit sweep and answer Q1/Q6
+   bit-identically to the original — violations are fatal, like
+   [run_index]. Artifacts default to a temporary directory and are removed
+   afterwards; pass --dir to keep the .smcsnap/.wal files. *)
+let run_persist quick sf dir =
+  meta_bool "quick" quick;
+  meta_num "sf" sf;
+  let sf = if quick then Float.min sf 0.01 else sf in
+  let points, violations = E.Persist_bench.run ~sf ?dir () in
+  print_table (E.Persist_bench.table points);
+  if violations <> [] then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
 let run_all sf quick =
   meta_num "sf" sf;
   meta_bool "quick" quick;
@@ -342,6 +358,19 @@ let index_cmd =
       const (fun quick rows sf () -> run_index quick rows sf)
       $ quick_arg $ rows_arg $ sf_arg 0.01)
 
+let dir_arg =
+  let doc =
+    "Directory to keep the snapshot/WAL artifacts in (default: a temporary \
+     directory, removed after the run)."
+  in
+  Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let persist_cmd =
+  cmd "persist" "Snapshot/restore/WAL-replay throughput (self-checking: audits are fatal)"
+    Term.(
+      const (fun quick sf dir () -> run_persist quick sf dir)
+      $ quick_arg $ sf_arg 0.1 $ dir_arg)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(const (fun sf quick () -> run_all sf quick) $ sf_arg 0.05 $ quick_arg)
@@ -352,7 +381,8 @@ let () =
     Cmd.group info
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
-        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; all_cmd;
+        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; persist_cmd;
+        all_cmd;
       ]
   in
   exit (Cmd.eval group)

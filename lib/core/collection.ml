@@ -6,17 +6,24 @@ type index_hook = {
   ih_on_remove : Ref.t -> unit;
 }
 
+type wal_hook = {
+  wh_name : string;
+  wh_on_add : Ref.t -> Block.t -> int -> unit;
+  wh_on_remove : Ref.t -> unit;
+}
+
 type t = {
   name : string;
   layout : Layout.t;
   ctx : Context.t;
   rt : Runtime.t;
   mutable hooks : index_hook list;
+  mutable wal : wal_hook option;
 }
 
 let create rt ~name ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () =
   let ctx = Context.create rt ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () in
-  { name; layout; ctx; rt; hooks = [] }
+  { name; layout; ctx; rt; hooks = []; wal = None }
 
 let add t ~init =
   let packed = Context.alloc t.ctx in
@@ -26,17 +33,38 @@ let add t ~init =
       init blk slot;
       (match t.hooks with
       | [] -> ()
-      | hooks -> List.iter (fun h -> h.ih_on_add r blk slot) hooks)
+      | hooks -> List.iter (fun h -> h.ih_on_add r blk slot) hooks);
+      (match t.wal with None -> () | Some w -> w.wh_on_add r blk slot)
   | None -> assert false (* a freshly allocated object cannot be dead *));
   r
 
 let remove t r =
-  let removed = Context.free t.ctx (Ref.to_packed r) in
-  (if removed then
-     match t.hooks with
-     | [] -> ()
-     | hooks -> List.iter (fun h -> h.ih_on_remove r) hooks);
-  removed
+  match t.wal with
+  | None ->
+    let removed = Context.free t.ctx (Ref.to_packed r) in
+    (if removed then
+       match t.hooks with
+       | [] -> ()
+       | hooks -> List.iter (fun h -> h.ih_on_remove r) hooks);
+    removed
+  | Some w ->
+    (* Pin the epoch across free + log append: while this domain stays in
+       a critical section the freed slot cannot clear its grace period, so
+       no other domain can recycle the entry and log a later incarnation's
+       Add before this Remove record lands — replay order stays sound. *)
+    let em = t.rt.Runtime.epoch in
+    Epoch.enter_critical em;
+    Fun.protect
+      ~finally:(fun () -> Epoch.exit_critical em)
+      (fun () ->
+        let removed = Context.free t.ctx (Ref.to_packed r) in
+        if removed then begin
+          (match t.hooks with
+          | [] -> ()
+          | hooks -> List.iter (fun h -> h.ih_on_remove r) hooks);
+          w.wh_on_remove r
+        end;
+        removed)
 
 let attach_index t hook =
   (match t.ctx.Context.mode with
@@ -60,6 +88,30 @@ let detach_index t name =
   t.hooks <- List.filter (fun h -> not (String.equal h.ih_name name)) t.hooks
 
 let index_names t = List.rev_map (fun h -> h.ih_name) t.hooks
+
+let attach_wal t hook =
+  (match t.ctx.Context.mode with
+  | Context.Direct ->
+      invalid_arg
+        (Printf.sprintf
+           "Collection.attach_wal: collection %S uses direct references; \
+            WAL capture requires indirect mode (logged refs must stay \
+            stable across compaction)"
+           t.name)
+  | Context.Indirect -> ());
+  (match t.wal with
+  | Some w ->
+      invalid_arg
+        (Printf.sprintf "Collection.attach_wal: WAL %S already attached to %S" w.wh_name t.name)
+  | None -> ());
+  t.wal <- Some hook
+
+let detach_wal t =
+  match t.wal with
+  | None -> invalid_arg (Printf.sprintf "Collection.detach_wal: no WAL attached to %S" t.name)
+  | Some _ -> t.wal <- None
+
+let wal_name t = Option.map (fun w -> w.wh_name) t.wal
 
 let deref_opt t r = Context.resolve t.ctx (Ref.to_packed r)
 

@@ -21,12 +21,25 @@ type index_hook = {
 (** Incremental-maintenance callbacks for an attached secondary index
     ([Smc_index] builds these; the collection layer only fires them). *)
 
+type wal_hook = {
+  wh_name : string;
+  wh_on_add : Ref.t -> Smc_offheap.Block.t -> int -> unit;
+      (** Fired by {!add} after field init and index hooks, with the new
+          reference and its location — the WAL serialises the slot image. *)
+  wh_on_remove : Ref.t -> unit;
+      (** Fired by {!remove} after a successful free. *)
+}
+(** Redo-logging callbacks for an attached write-ahead log ([Smc_persist]
+    builds these; the collection layer only fires them). At most one WAL
+    may be attached at a time. *)
+
 type t = {
   name : string;
   layout : Smc_offheap.Layout.t;
   ctx : Smc_offheap.Context.t;
   rt : Smc_offheap.Runtime.t;
   mutable hooks : index_hook list;
+  mutable wal : wal_hook option;
 }
 
 val create :
@@ -64,6 +77,21 @@ val detach_index : t -> string -> unit
 
 val index_names : t -> string list
 (** Names of currently attached indexes, in attachment order. *)
+
+val attach_wal : t -> wal_hook -> unit
+(** Registers a write-ahead log's redo callbacks so every {!add}/{!remove}
+    is captured. Attachment is a quiescent-point operation. Raises
+    [Invalid_argument] when a WAL is already attached, or when the
+    collection uses {!Smc_offheap.Context.Direct} references — the log
+    records [Ref.t]s and relies on indirect mode keeping them stable
+    across compaction. *)
+
+val detach_wal : t -> unit
+(** Unregisters the attached WAL's callbacks (quiescent-point operation).
+    Raises [Invalid_argument] if no WAL is attached. *)
+
+val wal_name : t -> string option
+(** Name of the currently attached WAL, if any. *)
 
 val deref : t -> Ref.t -> Smc_offheap.Block.t * int
 (** Current location of the object. Raises

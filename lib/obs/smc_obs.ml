@@ -55,6 +55,14 @@ let c_idx_hits = 34 (* validated (live) entries yielded by probes *)
 let c_idx_stale = 35 (* stale entries observed (probe sightings + purges) *)
 let c_idx_tombstones = 36 (* stale entries tombstoned or dropped by sweeps/rebuilds *)
 let c_idx_rebuilds = 37 (* index rebuilds (load-factor or churn triggered) *)
+let c_persist_snapshots = 38 (* snapshot files written *)
+let c_persist_snapshot_bytes = 39 (* bytes streamed into snapshot files *)
+let c_persist_restores = 40 (* collections restored from snapshot files *)
+let c_persist_restore_bytes = 41 (* bytes read back while restoring *)
+let c_persist_wal_appends = 42 (* records appended to write-ahead logs *)
+let c_persist_wal_syncs = 43 (* fsync batches issued by write-ahead logs *)
+let c_persist_wal_replayed = 44 (* records replayed during recovery *)
+let c_persist_torn_drops = 45 (* torn final WAL records discarded at recovery *)
 
 let all =
   [|
@@ -96,6 +104,14 @@ let all =
     ("idx_stale", c_idx_stale);
     ("idx_tombstones", c_idx_tombstones);
     ("idx_rebuilds", c_idx_rebuilds);
+    ("persist_snapshots", c_persist_snapshots);
+    ("persist_snapshot_bytes", c_persist_snapshot_bytes);
+    ("persist_restores", c_persist_restores);
+    ("persist_restore_bytes", c_persist_restore_bytes);
+    ("persist_wal_appends", c_persist_wal_appends);
+    ("persist_wal_syncs", c_persist_wal_syncs);
+    ("persist_wal_replayed", c_persist_wal_replayed);
+    ("persist_torn_drops", c_persist_torn_drops);
   |]
 
 let n_counters = Array.length all

@@ -47,6 +47,14 @@ val c_idx_hits : int
 val c_idx_stale : int
 val c_idx_tombstones : int
 val c_idx_rebuilds : int
+val c_persist_snapshots : int
+val c_persist_snapshot_bytes : int
+val c_persist_restores : int
+val c_persist_restore_bytes : int
+val c_persist_wal_appends : int
+val c_persist_wal_syncs : int
+val c_persist_wal_replayed : int
+val c_persist_torn_drops : int
 
 val n_counters : int
 val name : int -> string

@@ -136,6 +136,20 @@ let set_ptr t idx v =
 
 let capacity t = Atomic.get t.bump
 
+(* Restore-time only: raise the never-used watermark so the entry indices
+   named by a snapshot (and by WAL records logged after it) can be assigned
+   verbatim without ever colliding with freshly minted entries. The table
+   must still be private to the restoring thread. *)
+let restore_reserve t ~capacity:cap =
+  if cap > 0 then begin
+    ensure_chunk t (cap - 1);
+    let rec raise_to () =
+      let cur = Atomic.get t.bump in
+      if cur < cap && not (Atomic.compare_and_set t.bump cur cap) then raise_to ()
+    in
+    raise_to ()
+  end
+
 let words t = 2 * Array.length t.chunks * (1 lsl t.chunk_bits)
 
 (* Audit accessors: enumerate every recycled-but-unallocated entry (global

@@ -47,6 +47,12 @@ val set_ptr : t -> int -> int -> unit
 val capacity : t -> int
 (** Total entries ever materialised (for memory accounting). *)
 
+val restore_reserve : t -> capacity:int -> unit
+(** Restore-time only: materialise chunks for entries [0, capacity) and
+    raise the never-used watermark to at least [capacity], so entry indices
+    named by a snapshot or WAL can be assigned verbatim without colliding
+    with freshly minted entries. The table must not be shared yet. *)
+
 val words : t -> int
 (** Off-heap words consumed by the table. *)
 

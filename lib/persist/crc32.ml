@@ -1,0 +1,22 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc bytes ~pos ~len =
+  let table = Lazy.force table in
+  let crc = ref crc in
+  for i = pos to pos + len - 1 do
+    let byte = Char.code (Bytes.unsafe_get bytes i) in
+    crc := Array.unsafe_get table ((!crc lxor byte) land 0xFF) lxor (!crc lsr 8)
+  done;
+  !crc
+
+let digest bytes ~pos ~len = update 0xFFFFFFFF bytes ~pos ~len lxor 0xFFFFFFFF
+
+let digest_string s =
+  digest (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

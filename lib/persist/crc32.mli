@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+
+    Every section of a snapshot file and every WAL record carries one of
+    these digests, so a flipped bit anywhere in the payload is detected
+    before any of it is interpreted. Table-driven, no dependencies. *)
+
+val digest : Bytes.t -> pos:int -> len:int -> int
+(** Finalised CRC of [len] bytes starting at [pos], in [0, 2^32). *)
+
+val digest_string : string -> int

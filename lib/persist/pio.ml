@@ -1,0 +1,67 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let add_int buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+let add_str buf s =
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let add_float buf v = Buffer.add_int64_le buf (Int64.bits_of_float v)
+
+let write_section oc buf =
+  let payload = Buffer.to_bytes buf in
+  let len = Bytes.length payload in
+  let crc = Crc32.digest payload ~pos:0 ~len in
+  let header = Buffer.create 16 in
+  add_int header len;
+  add_int header crc;
+  Buffer.output_buffer oc header;
+  output_bytes oc payload;
+  16 + len
+
+type reader = { bytes : Bytes.t; mutable pos : int; what : string }
+
+let really_read ic n ~what =
+  let b = Bytes.create n in
+  (try really_input ic b 0 n
+   with End_of_file -> corrupt "%s: truncated (wanted %d more bytes)" what n);
+  b
+
+let int_of_bytes b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let read_section ic ~what ?(max_len = 1 lsl 31) () =
+  let header = really_read ic 16 ~what in
+  let len = int_of_bytes header 0 in
+  let crc = int_of_bytes header 8 in
+  if len < 0 || len > max_len then corrupt "%s: implausible section length %d" what len;
+  let payload = really_read ic len ~what in
+  let actual = Crc32.digest payload ~pos:0 ~len in
+  if actual <> crc then
+    corrupt "%s: checksum mismatch (stored %08x, computed %08x)" what crc actual;
+  ({ bytes = payload; pos = 0; what }, 16 + len)
+
+let get_int r =
+  if r.pos + 8 > Bytes.length r.bytes then corrupt "%s: truncated int field" r.what;
+  let v = int_of_bytes r.bytes r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r =
+  if r.pos + 8 > Bytes.length r.bytes then corrupt "%s: truncated float field" r.what;
+  let v = Int64.float_of_bits (Bytes.get_int64_le r.bytes r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_str r =
+  let n = get_int r in
+  if n < 0 || r.pos + n > Bytes.length r.bytes then
+    corrupt "%s: truncated string field (claimed %d bytes)" r.what n;
+  let s = Bytes.sub_string r.bytes r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let expect_end r =
+  if r.pos <> Bytes.length r.bytes then
+    corrupt "%s: %d trailing bytes after payload" r.what (Bytes.length r.bytes - r.pos)

@@ -656,6 +656,119 @@ let test_index_churn () =
   Alcotest.(check bool) "index populated" true (s.H.occupied > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Persistence under churn: 2 writers churn keys through the Collection
+   API with a WAL attached and a compactor relocating rows underneath.
+   Every round ends at a quiescent checkpoint where the previous round's
+   snapshot is restored with the WAL tail replayed over it — the recovered
+   image must pass the structural audit and the counter balances on its
+   own fresh runtime, and must diff exactly against the merged writer
+   models (the live state the log's history leads to). A new snapshot
+   (recording the current cut) then covers the next round. *)
+(* ------------------------------------------------------------------ *)
+
+module Snapshot = Smc_persist.Snapshot
+module Wal = Smc_persist.Wal
+
+let persist_layout =
+  Layout.create ~name:"stress_persist" [ ("key", Layout.Int); ("payload", Layout.Int) ]
+
+let persist_check_restored (r : Snapshot.restored) (writers : wstate array) round errs =
+  let coll = r.Snapshot.r_coll in
+  let fkey = Smc.Field.int persist_layout "key" in
+  let fpay = Smc.Field.int persist_layout "payload" in
+  let expected = Hashtbl.create 1024 in
+  Array.iter
+    (fun st -> Hashtbl.iter (fun h _ -> Hashtbl.replace expected h ()) st.w_live)
+    writers;
+  let seen = Hashtbl.create 1024 in
+  Smc.Collection.iter coll ~f:(fun blk slot ->
+      let k = Smc.Field.get_int fkey blk slot in
+      let p = Smc.Field.get_int fpay blk slot in
+      if not (Hashtbl.mem expected k) then
+        errs := Printf.sprintf "restored round %d: unexpected key %d" round k :: !errs
+      else if p <> payload_of k then
+        errs := Printf.sprintf "restored round %d: key %d carries payload %d" round k p :: !errs;
+      if Hashtbl.mem seen k then
+        errs := Printf.sprintf "restored round %d: key %d enumerated twice" round k :: !errs;
+      Hashtbl.replace seen k ());
+  Hashtbl.iter
+    (fun h () ->
+      if not (Hashtbl.mem seen h) then
+        errs := Printf.sprintf "restored round %d: live key %d missing" round h :: !errs)
+    expected;
+  (* The recovered runtime is a fresh one: audit it end to end. *)
+  errs :=
+    Smc_check.Audit.check_once r.Snapshot.r_rt
+      ~contexts:[ coll.Smc.Collection.ctx ]
+    @ Smc_check.Obs_check.check r.Snapshot.r_rt ~contexts:[ coll.Smc.Collection.ctx ]
+    @ !errs
+
+let test_persist_under_churn () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"stress_persist" ~layout:persist_layout
+      ~slots_per_block:128 ~reclaim_threshold:0.25 ()
+  in
+  let fkey = Smc.Field.int persist_layout "key" in
+  let fpay = Smc.Field.int persist_layout "payload" in
+  let dir = Filename.temp_file "smc_stress_persist" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let snap_path round = Filename.concat dir (Printf.sprintf "round%d.smcsnap" round) in
+  let wal_path = Filename.concat dir "churn.wal" in
+  let wal = Wal.create ~path:wal_path ~name:"stress_persist" () in
+  Wal.attach wal coll;
+  let auditor = Audit.create rt in
+  let writers = [| new_wstate 0; new_wstate 1 |] in
+  let rounds = 4 in
+  let per_writer = max 200 (iters / 12) in
+  let errs = ref [] in
+  (* Round 0 snapshot: empty image, so round 1's restore replays the whole
+     first round from the log alone. *)
+  let (_ : Snapshot.manifest * int) = Snapshot.write ~wal ~path:(snap_path 0) coll in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng =
+            Smc_util.Prng.create ~seed:(subseed (11_000 + (100 * round) + st.w_id)) ()
+          in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              ix_writer_round coll fkey fpay st prng per_writer local;
+              Epoch.release_current_domain ();
+              !local))
+        writers
+    in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round coll.Smc.Collection.ctx 6;
+          Epoch.release_current_domain ())
+    in
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    Domain.join cd;
+    (* Quiescent checkpoint: audit the live runtime, then recover the
+       previous snapshot + log tail and hold it to the same standard. *)
+    audit_quiescent (Printf.sprintf "persist-churn round %d" round) auditor rt
+      coll.Smc.Collection.ctx;
+    Wal.flush wal;
+    let r = Snapshot.restore ~wal:wal_path ~path:(snap_path (round - 1)) () in
+    persist_check_restored r writers round errs;
+    assert_clean (Printf.sprintf "persist-churn checkpoint, round %d" round) !errs;
+    let (_ : Snapshot.manifest * int) = Snapshot.write ~wal ~path:(snap_path round) coll in
+    Sys.remove (snap_path (round - 1))
+  done;
+  Wal.close wal;
+  Sys.remove (snap_path rounds);
+  Sys.remove wal_path;
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let s = Smc_obs.snapshot rt.Runtime.obs in
+  Alcotest.(check bool) "snapshots taken" true
+    (Smc_obs.get s Smc_obs.c_persist_snapshots >= rounds);
+  Alcotest.(check bool) "wal captured the churn" true
+    (Smc_obs.get s Smc_obs.c_persist_wal_appends > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* The balance checks and queue-race assertions need counting on. *)
@@ -692,5 +805,6 @@ let () =
           qc "queue race: remote frees vs owner recycling (direct)"
             (test_queue_race Context.Direct);
           qc "index churn: writers + probers + compactor" test_index_churn;
+          qc "persistence: snapshots + WAL recovery under churn" test_persist_under_churn;
         ] );
     ]

@@ -1,0 +1,85 @@
+(* CLI contract of the bench harness: unknown subcommands and flags must
+   exit non-zero with a usage message that lists every subcommand, so a
+   typo'd bench invocation in CI can never silently pass. The binary under
+   test is handed in via SMC_BENCH_EXE (see test/dune). *)
+
+let check = Alcotest.check
+
+let exe =
+  match Sys.getenv_opt "SMC_BENCH_EXE" with
+  | Some e -> e
+  | None -> Alcotest.fail "SMC_BENCH_EXE not set (run via dune)"
+
+(* Run the binary, returning (exit code, combined stdout+stderr). *)
+let run_bench args =
+  let out = Filename.temp_file "smc_cli_test" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1"
+          (Filename.quote exe)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out)
+      in
+      let code =
+        match Unix.system cmd with
+        | Unix.WEXITED n -> n
+        | Unix.WSIGNALED n | Unix.WSTOPPED n -> 128 + n
+      in
+      let ic = open_in out in
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      (code, text))
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let subcommands =
+  [
+    "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "linq"; "ext";
+    "qscale"; "ablations"; "stats"; "index"; "persist"; "all";
+  ]
+
+let test_unknown_subcommand () =
+  let code, text = run_bench [ "frobnicate" ] in
+  check Alcotest.bool "non-zero exit" true (code <> 0);
+  check Alcotest.bool "names the bad command" true (contains_sub ~sub:"frobnicate" text);
+  List.iter
+    (fun sc ->
+      check Alcotest.bool (Printf.sprintf "usage lists %s" sc) true
+        (contains_sub ~sub:(Printf.sprintf "'%s'" sc) text))
+    subcommands
+
+let test_unknown_flag () =
+  let code, text = run_bench [ "persist"; "--bogus-flag" ] in
+  check Alcotest.bool "non-zero exit" true (code <> 0);
+  check Alcotest.bool "names the bad flag" true (contains_sub ~sub:"--bogus-flag" text)
+
+let test_missing_command () =
+  let code, text = run_bench [] in
+  check Alcotest.bool "non-zero exit" true (code <> 0);
+  check Alcotest.bool "explains a command is required" true
+    (contains_sub ~sub:"COMMAND" text)
+
+let test_help_lists_persist () =
+  let code, text = run_bench [ "--help=plain" ] in
+  check Alcotest.int "help exits zero" 0 code;
+  check Alcotest.bool "help lists persist" true (contains_sub ~sub:"persist" text)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "smc_bench",
+        [
+          Alcotest.test_case "unknown subcommand rejected" `Quick test_unknown_subcommand;
+          Alcotest.test_case "unknown flag rejected" `Quick test_unknown_flag;
+          Alcotest.test_case "missing command rejected" `Quick test_missing_command;
+          Alcotest.test_case "--help lists persist" `Quick test_help_lists_persist;
+        ] );
+    ]
