@@ -51,3 +51,7 @@ let with_alloc_failures rt ~prng ~fail_one_in f =
 let with_compaction_hook rt ~hook f =
   rt.Runtime.on_compaction_phase <- Some hook;
   Fun.protect ~finally:(fun () -> rt.Runtime.on_compaction_phase <- None) f
+
+let with_txn_hook rt ~hook f =
+  rt.Runtime.on_txn_phase <- Some hook;
+  Fun.protect ~finally:(fun () -> rt.Runtime.on_txn_phase <- None) f

@@ -34,3 +34,8 @@ val with_alloc_failures :
 val with_compaction_hook :
   Runtime.t -> hook:(Runtime.compaction_phase -> unit) -> (unit -> 'a) -> 'a
 (** [hook] fires on the compacting thread at every §5.1 phase boundary. *)
+
+val with_txn_hook : Runtime.t -> hook:(Runtime.txn_phase -> unit) -> (unit -> 'a) -> 'a
+(** [hook] fires on the committing thread at every transaction-commit
+    boundary (staged / validated / applied / logged) — the crash harness
+    snapshots WAL images there. *)

@@ -71,6 +71,14 @@ let check (rt : Runtime.t) ~(contexts : Context.t list) =
     eq "thread-slot balance (registers - releases = live threads)"
       (g Smc_obs.c_thread_registers - g Smc_obs.c_thread_releases)
       (Epoch.live_threads rt.Runtime.epoch);
+    (* Every opened transaction ends exactly one way. At a quiescent point
+       nothing is still staging, so the three outcomes partition begins. *)
+    eq "transaction outcome balance (begins = commits + aborts + conflicts)"
+      (g Smc_obs.c_txn_begins)
+      (g Smc_obs.c_txn_commits + g Smc_obs.c_txn_aborts + g Smc_obs.c_txn_conflicts);
+    eq "snapshot-view balance (opens - closes = runtime active_views)"
+      (g Smc_obs.c_txn_views - g Smc_obs.c_txn_view_closes)
+      (Atomic.get rt.Runtime.active_views);
     List.rev !out
   end
 

@@ -1,0 +1,69 @@
+(** Model checking for atomic transactions and snapshot-isolation reads.
+
+    Drives seeded multi-op transactions against a plain-OCaml reference
+    model that is updated only at commit, and checks:
+
+    - {b Atomicity under crashes} — the chaos transaction hook copies the
+      WAL file at every commit-phase boundary (staged / validated /
+      applied / logged); each image is recovered and must reproduce the
+      model at a whole-transaction boundary, never a partial batch. With
+      the checker's [Always] sync policy the expected boundary is exact:
+      pre-transaction before [Txn_logged], post-transaction at it.
+    - {b Isolation} — snapshot views opened before a commit keep reading
+      the pre-commit state after it lands; forced write-write conflict
+      pairs resolve first-committer-wins with the loser invisible to
+      rows, index probes and crash images.
+    - {b Structural sanity} — runtime audit, Obs counter balances, index
+      sweep, CSN-stamp invariants, and a final whole-log recovery diff.
+
+    Violations are recorded, not raised, so harnesses can aggregate
+    across seeds. Single-domain: the checker is its own mutator; the
+    multi-domain interleavings are the stress harness's job, which calls
+    {!check_quiescent} at its checkpoints. *)
+
+type config = {
+  txns : int;
+  max_ops : int;
+  slots_per_block : int;
+  crash_every : int;  (** capture + recover WAL crash images every n txns; 0 disables *)
+  view_every : int;  (** hold a snapshot view across every nth commit; 0 disables *)
+  conflict_every : int;  (** force a write-write conflict pair every nth txn; 0 disables *)
+  abort_every : int;  (** stage-then-abort every nth txn; 0 disables *)
+  compact_every : int;  (** run a compaction pass every nth txn; 0 disables *)
+  bare_every : int;  (** interleave a bare op every nth txn; 0 disables *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?seed:int64 -> unit -> t
+(** Fresh runtime, collection (two int fields: key, payload), attached
+    hash index on [key], WAL at [Always] sync, and an empty base snapshot
+    cut at LSN 0 — recovery state is a pure function of the log bytes.
+    Temp files are cleaned up at process exit. *)
+
+val run : t -> unit
+(** Drives [config.txns] transactions with all enabled probes. Callable
+    repeatedly before {!finish} for longer runs. *)
+
+val finish : t -> string list
+(** Final sweeps (audit, obs balances, index, stamps) plus a whole-log
+    recovery diff against the model; closes the WAL and returns all
+    recorded violations, oldest first. Idempotent. *)
+
+val violations : t -> string list
+(** Violations recorded so far, without finishing. *)
+
+val stats : t -> string
+(** One-line run summary (commits / conflicts / crash recoveries / ...). *)
+
+val run_violations : ?config:config -> ?seed:int64 -> unit -> string list
+(** [create] + [run] + [finish] in one call; [[]] means every property
+    held. *)
+
+val check_quiescent : Smc.Collection.t -> string list
+(** CSN-stamp invariants over any collection at a quiescent point: valid
+    slots' stamps are ordered ([born <= write <= frontier]) and a view
+    opened now enumerates exactly the rows the current-state scan does.
+    Usable from the stress harness alongside {!Audit} and {!Obs_check}. *)

@@ -6,10 +6,20 @@ type index_hook = {
   ih_on_remove : Ref.t -> unit;
 }
 
+(* One published mutation of a committed transaction, handed to the WAL
+   hook as a batch so the log frames the whole transaction atomically. Adds
+   carry their location for slot-image serialisation (the batch is emitted
+   inside the commit's critical section, so locations are stable). *)
+type logged_op =
+  | L_add of Ref.t * Block.t * int
+  | L_remove of Ref.t
+  | L_store of Ref.t * int * int
+
 type wal_hook = {
   wh_name : string;
   wh_on_add : Ref.t -> Block.t -> int -> unit;
   wh_on_remove : Ref.t -> unit;
+  wh_on_txn : txn_id:int -> logged_op list -> unit;
 }
 
 type t = {
@@ -19,11 +29,12 @@ type t = {
   rt : Runtime.t;
   mutable hooks : index_hook list;
   mutable wal : wal_hook option;
+  txn_lock : Mutex.t;
 }
 
 let create rt ~name ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () =
   let ctx = Context.create rt ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () in
-  { name; layout; ctx; rt; hooks = []; wal = None }
+  { name; layout; ctx; rt; hooks = []; wal = None; txn_lock = Mutex.create () }
 
 let add t ~init =
   let packed = Context.alloc t.ctx in
@@ -151,3 +162,250 @@ let compact t ?occupancy_threshold () = Compaction.run t.ctx ?occupancy_threshol
 let memory_words t = Context.off_heap_words t.ctx
 let block_count t = Context.block_count t.ctx
 let limbo_count t = Context.stats_limbo t.ctx
+
+(* ---- Atomic multi-op transactions -------------------------------------
+   A transaction stages adds/removes/stores privately, then commits them as
+   one unit: write-write conflicts are validated against the staging-time
+   CSN frontier (first committer wins), the whole batch is published under
+   the collection's transaction lock with a single commit CSN — so snapshot
+   views observe all of it or none of it — and the attached WAL receives
+   the batch as one [wh_on_txn] call, framed so recovery replays it
+   atomically.
+
+   The transaction lock is deliberately separate from the context lock:
+   applying the batch calls [Context.alloc]/[Context.free], which take the
+   context lock internally (reclamation queue, view publication), and OCaml
+   mutexes are not reentrant. Bare [add]/[remove] calls do not take the
+   transaction lock — they stay lock-free as before. The cost is that a
+   bare mutation is a single-op unit with its own CSN: it can land between
+   a view's frontier and a transaction's commit CSN, and a bare store
+   (direct [Block.set_word], no CSN stamp) is invisible to conflict
+   validation. Use transactions for multi-op consistency. *)
+
+type staged_op =
+  | S_add of (Block.t -> int -> unit)
+  | S_remove of Ref.t
+  | S_store of Ref.t * int * int
+
+type txn = {
+  tx_coll : t;
+  tx_begin_csn : int;
+  mutable tx_ops : staged_op list; (* newest first *)
+  mutable tx_done : bool;
+}
+
+type txn_result = Committed of Ref.t list | Conflict
+
+let obs_incr t c = Smc_obs.incr t.rt.Runtime.obs c
+
+let txn t =
+  (* Transactions lean on the indirection layer twice over: commit-time
+     validation resolves staged references, and copy-on-write stores swing
+     entries to updated copies. Direct mode has neither (same restriction
+     as WAL attachment). *)
+  if t.ctx.Context.mode <> Context.Indirect then
+    invalid_arg
+      (Printf.sprintf "Collection.txn: %S uses direct references; transactions need indirect \
+                       mode" t.name);
+  obs_incr t Smc_obs.c_txn_begins;
+  { tx_coll = t; tx_begin_csn = Context.csn_now t.ctx; tx_ops = []; tx_done = false }
+
+let check_open tx what =
+  if tx.tx_done then
+    invalid_arg (Printf.sprintf "Collection.%s: transaction already committed or aborted" what)
+
+let stage_add tx ~init =
+  check_open tx "stage_add";
+  tx.tx_ops <- S_add init :: tx.tx_ops
+
+let stage_remove tx r =
+  check_open tx "stage_remove";
+  tx.tx_ops <- S_remove r :: tx.tx_ops
+
+let stage_store tx r ~word ~value =
+  check_open tx "stage_store";
+  if word < 0 || word >= tx.tx_coll.layout.Layout.slot_words then
+    invalid_arg "Collection.stage_store: word offset outside the layout";
+  tx.tx_ops <- S_store (r, word, value) :: tx.tx_ops
+
+let abort tx =
+  check_open tx "abort";
+  tx.tx_done <- true;
+  tx.tx_ops <- [];
+  obs_incr tx.tx_coll Smc_obs.c_txn_aborts
+
+(* Write-write validation (first committer wins): every ref this
+   transaction removes or stores must still resolve, and its slot's last
+   write CSN must not exceed the transaction's begin frontier — a later
+   stamp means some other unit committed a write to the row after we
+   staged against it. Runs inside the commit critical section, so resolved
+   locations stay stable for the subsequent apply. *)
+let validate_locked tx =
+  let ctx = tx.tx_coll.ctx in
+  let seen = Hashtbl.create 8 in
+  let check r what =
+    let packed = Ref.to_packed r in
+    if Hashtbl.mem seen packed then
+      invalid_arg
+        (Printf.sprintf "Collection.commit: reference staged for %s twice in one transaction"
+           what);
+    Hashtbl.add seen packed ();
+    match Context.resolve ctx packed with
+    | None -> false
+    | Some (blk, slot) ->
+      Bigarray.Array1.unsafe_get blk.Block.csn_write slot <= tx.tx_begin_csn
+  in
+  List.for_all
+    (fun op ->
+      match op with
+      | S_add _ -> true
+      | S_remove r -> check r "removal"
+      | S_store (r, _, _) -> check r "store")
+    tx.tx_ops
+
+let apply_locked tx ~csn =
+  let t = tx.tx_coll in
+  let ctx = t.ctx in
+  let adds = ref [] and logged = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | S_add init ->
+        let packed = Context.alloc ~csn ctx in
+        let r = Ref.of_packed packed in
+        (match Context.resolve ctx packed with
+        | Some (blk, slot) ->
+          init blk slot;
+          List.iter (fun h -> h.ih_on_add r blk slot) t.hooks;
+          adds := r :: !adds;
+          logged := L_add (r, blk, slot) :: !logged
+        | None -> assert false)
+      | S_remove r ->
+        if not (Context.free ~csn ctx (Ref.to_packed r)) then
+          (* Validation saw the row alive moments ago inside this same
+             critical section; only a concurrent bare [remove] can have
+             killed it since. That interleaving voids the atomicity
+             contract, so fail loudly rather than publish half a batch. *)
+          failwith
+            (Printf.sprintf
+               "Collection.commit: reference vanished between validation and apply in %S \
+                (concurrent bare remove of a transactionally-written row)"
+               t.name);
+        List.iter (fun h -> h.ih_on_remove r) t.hooks;
+        logged := L_remove r :: !logged
+      | S_store (r, word, value) ->
+        (* Copy-on-write: the updated row is published in a fresh slot and
+           the old copy retired to limbo with death stamp [csn], so open
+           snapshot views keep reading the pre-commit payload. *)
+        if not (Context.store_versioned ctx (Ref.to_packed r) ~csn ~word ~value) then
+          failwith
+            (Printf.sprintf
+               "Collection.commit: reference vanished between validation and apply in %S \
+                (concurrent bare remove of a transactionally-written row)"
+               t.name);
+        logged := L_store (r, word, value) :: !logged)
+    (List.rev tx.tx_ops);
+  (List.rev !adds, List.rev !logged)
+
+let commit tx =
+  check_open tx "commit";
+  tx.tx_done <- true;
+  let t = tx.tx_coll in
+  let rt = t.rt in
+  let em = rt.Runtime.epoch in
+  Runtime.fire_txn_hook rt Runtime.Txn_staged;
+  Mutex.lock t.txn_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.txn_lock)
+    (fun () ->
+      (* One critical section around validate + apply + log: resolved
+         locations stay stable, freed slots cannot clear their grace period
+         before the WAL batch lands (same discipline as bare [remove]'s
+         free-then-append pinning), and the commit CSN stays adjacent to
+         the published stamps. *)
+      Epoch.enter_critical em;
+      Fun.protect
+        ~finally:(fun () -> Epoch.exit_critical em)
+        (fun () ->
+          if not (validate_locked tx) then begin
+            obs_incr t Smc_obs.c_txn_conflicts;
+            Conflict
+          end
+          else begin
+            Runtime.fire_txn_hook rt Runtime.Txn_validated;
+            let csn = Context.next_csn t.ctx in
+            let adds, logged = apply_locked tx ~csn in
+            Runtime.fire_txn_hook rt Runtime.Txn_applied;
+            (match t.wal with
+            | None -> ()
+            | Some w -> w.wh_on_txn ~txn_id:csn logged);
+            Runtime.fire_txn_hook rt Runtime.Txn_logged;
+            obs_incr t Smc_obs.c_txn_commits;
+            Committed adds
+          end))
+
+let transact t f =
+  let tx = txn t in
+  (match f tx with
+  | () -> ()
+  | exception e ->
+    if not tx.tx_done then abort tx;
+    raise e);
+  if tx.tx_done then invalid_arg "Collection.transact: body committed or aborted the transaction"
+  else commit tx
+
+(* ---- Snapshot views ---------------------------------------------------
+   A view pins (a) the current epoch, by holding a critical section for the
+   view's lifetime — so limbo rows it can still see are never recycled or
+   compacted away — and (b) a CSN frontier read under the transaction lock,
+   so the frontier never splits a committed batch. Row visibility is then
+   pure stamp arithmetic ({!Context.slot_visible_at}). Views are bound to
+   the opening domain (the critical section is thread-local) and must be
+   closed; [with_view] brackets the common case. *)
+
+type view = { vw_coll : t; vw_csn : int; mutable vw_open : bool }
+
+let snapshot_view t =
+  let rt = t.rt in
+  Epoch.enter_critical rt.Runtime.epoch;
+  (* Store-load pairing with the compactor (see {!Runtime.t.active_views}):
+     publish the view before checking for a moving phase, and wait out any
+     pass already moving — its group completion drops limbo rows wholesale,
+     with no per-row stamp to test against. *)
+  ignore (Atomic.fetch_and_add rt.Runtime.active_views 1 : int);
+  while Atomic.get rt.Runtime.in_moving_phase do
+    Domain.cpu_relax ()
+  done;
+  Mutex.lock t.txn_lock;
+  let csn = Context.csn_now t.ctx in
+  Mutex.unlock t.txn_lock;
+  obs_incr t Smc_obs.c_txn_views;
+  { vw_coll = t; vw_csn = csn; vw_open = true }
+
+let close_view v =
+  if v.vw_open then begin
+    v.vw_open <- false;
+    ignore (Atomic.fetch_and_add v.vw_coll.rt.Runtime.active_views (-1) : int);
+    Epoch.exit_critical v.vw_coll.rt.Runtime.epoch;
+    obs_incr v.vw_coll Smc_obs.c_txn_view_closes
+  end
+
+let view_csn v = v.vw_csn
+
+let check_view v what =
+  if not v.vw_open then invalid_arg (Printf.sprintf "Collection.%s: view already closed" what)
+
+let view_iter v ~f =
+  check_view v "view_iter";
+  Context.iter_visible v.vw_coll.ctx ~csn:v.vw_csn ~f
+
+let view_fold v ~init ~f =
+  let acc = ref init in
+  view_iter v ~f:(fun blk slot -> acc := f !acc blk slot);
+  !acc
+
+let view_count v = view_fold v ~init:0 ~f:(fun acc _ _ -> acc + 1)
+
+let with_view t f =
+  let v = snapshot_view t in
+  Fun.protect ~finally:(fun () -> close_view v) (fun () -> f v)

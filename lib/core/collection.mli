@@ -21,6 +21,15 @@ type index_hook = {
 (** Incremental-maintenance callbacks for an attached secondary index
     ([Smc_index] builds these; the collection layer only fires them). *)
 
+type logged_op =
+  | L_add of Ref.t * Smc_offheap.Block.t * int
+  | L_remove of Ref.t
+  | L_store of Ref.t * int * int
+      (** One published mutation of a committed transaction, in commit
+          order. Adds carry their location for slot-image serialisation;
+          the batch is handed over inside the commit's critical section, so
+          locations are stable while the hook runs. *)
+
 type wal_hook = {
   wh_name : string;
   wh_on_add : Ref.t -> Smc_offheap.Block.t -> int -> unit;
@@ -28,6 +37,10 @@ type wal_hook = {
           reference and its location — the WAL serialises the slot image. *)
   wh_on_remove : Ref.t -> unit;
       (** Fired by {!remove} after a successful free. *)
+  wh_on_txn : txn_id:int -> logged_op list -> unit;
+      (** Fired once per committed transaction with the whole batch, inside
+          the commit critical section — the WAL frames it atomically
+          ([Txn_begin]/[Txn_commit]) so recovery applies all or none. *)
 }
 (** Redo-logging callbacks for an attached write-ahead log ([Smc_persist]
     builds these; the collection layer only fires them). At most one WAL
@@ -40,6 +53,9 @@ type t = {
   rt : Smc_offheap.Runtime.t;
   mutable hooks : index_hook list;
   mutable wal : wal_hook option;
+  txn_lock : Mutex.t;
+      (** serialises transaction commits and view-frontier reads; never
+          held together with the context lock *)
 }
 
 val create :
@@ -141,7 +157,101 @@ val ref_of_slot : t -> Smc_offheap.Block.t -> int -> Ref.t
 (** Reference for an enumerated slot. *)
 
 val compact : t -> ?occupancy_threshold:float -> unit -> Smc_offheap.Compaction.report
-(** Runs a §5 compaction pass over the collection's context. *)
+(** Runs a §5 compaction pass over the collection's context. A pass aborts
+    (without moving anything) while snapshot views are open — their limbo
+    rows must survive; retry after the views close. *)
+
+(** {2 Atomic multi-op transactions}
+
+    A transaction stages mutations privately and commits them as one unit:
+    write-write conflicts are validated against the staging-time CSN
+    frontier (first committer wins), the batch is published under the
+    collection's transaction lock with a single commit CSN — snapshot views
+    see all of it or none of it — and an attached WAL logs it as one framed
+    batch that recovery replays atomically.
+
+    Bare {!add}/{!remove} calls and direct field stores bypass the
+    transaction lock: each is its own single-op unit with its own CSN, and
+    a bare store carries no CSN stamp at all, so it is invisible to
+    conflict validation. Rows written by a transaction must not be
+    concurrently bare-removed — that interleaving voids the atomicity
+    contract and [commit] fails loudly ([Failure]) if it detects it. *)
+
+type txn
+(** An open transaction on one collection. Not thread-safe: stage and
+    commit from one domain. *)
+
+type txn_result =
+  | Committed of Ref.t list
+      (** references of the staged adds, in staging order *)
+  | Conflict
+      (** write-write validation failed; nothing was published, the
+          transaction is closed, and the refs it staged are untouched *)
+
+val txn : t -> txn
+(** Opens a transaction whose conflict frontier is the current CSN.
+    Raises [Invalid_argument] on direct-mode collections — validation and
+    copy-on-write stores need the indirection layer (same restriction as
+    WAL attachment). *)
+
+val stage_add : txn -> init:(Smc_offheap.Block.t -> int -> unit) -> unit
+(** Stages an allocation; [init] runs at commit on the fresh slot. *)
+
+val stage_remove : txn -> Ref.t -> unit
+(** Stages a removal. Staging the same reference twice in one transaction
+    (for removal or store) is rejected at commit with [Invalid_argument]. *)
+
+val stage_store : txn -> Ref.t -> word:int -> value:int -> unit
+(** Stages a word store (the transactional counterpart of a direct field
+    store; pair with [Layout] word offsets). Applied copy-on-write at
+    commit ({!Smc_offheap.Context.store_versioned}): the reference keeps
+    its identity but the row moves to a fresh slot, while open snapshot
+    views keep reading the pre-commit payload from the retired copy. Do
+    not store to indexed key fields — index entries are keyed at add
+    time. *)
+
+val commit : txn -> txn_result
+(** Validates and publishes the batch, fires index hooks per op and the WAL
+    hook once, and closes the transaction. *)
+
+val abort : txn -> unit
+(** Discards the staged batch and closes the transaction. *)
+
+val transact : t -> (txn -> unit) -> txn_result
+(** [transact t f] opens a transaction, runs [f] to stage its operations,
+    and commits. If [f] raises, the transaction aborts and the exception
+    is re-raised. *)
+
+(** {2 Snapshot views}
+
+    A view pins the current epoch (it holds a critical section for its
+    lifetime, so rows it can still see are never recycled or compacted
+    away) and a CSN frontier read under the transaction lock (so the
+    frontier never splits a committed batch). Reads against the view are
+    stable: concurrent commits and bare mutations do not change what it
+    yields. Views are bound to the opening domain and block the compactor's
+    moving phase while open — close them promptly. *)
+
+type view
+
+val snapshot_view : t -> view
+(** Opens a view at the current commit frontier. *)
+
+val close_view : view -> unit
+(** Releases the epoch pin; idempotent. Reading a closed view raises
+    [Invalid_argument]. *)
+
+val with_view : t -> (view -> 'a) -> 'a
+(** Brackets {!snapshot_view}/{!close_view} around [f]. *)
+
+val view_csn : view -> int
+(** The view's CSN frontier. *)
+
+val view_iter : view -> f:(Smc_offheap.Block.t -> int -> unit) -> unit
+(** Enumerates the rows visible at the view's frontier, in block order. *)
+
+val view_fold : view -> init:'a -> f:('a -> Smc_offheap.Block.t -> int -> 'a) -> 'a
+val view_count : view -> int
 
 val memory_words : t -> int
 (** Off-heap words held by the collection (blocks only). *)

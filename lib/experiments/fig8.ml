@@ -32,6 +32,10 @@ let run ?(sf = 0.02) ?(pairs_per_thread = 3) ?(thread_counts = [ 1; 2; 4 ]) () =
           ("List", Smc_tpch.Refresh.vector_ops ds, Some (Mutex.create ()));
           ("C. Dictionary", Smc_tpch.Refresh.dict_ops ds, None);
           ("SMC", Smc_tpch.Refresh.smc_ops (Smc_tpch.Db_smc.load ds) ds, None);
+          (* Beyond the paper: the same stream pairs as atomic multi-op
+             transactions (docs/transactions.md) — the price of all-or-
+             nothing refresh halves relative to bare SMC ops. *)
+          ("SMC txn", Smc_tpch.Refresh.smc_txn_ops (Smc_tpch.Db_smc.load ds) ds, None);
         ]
       in
       List.map

@@ -63,6 +63,14 @@ let c_persist_wal_appends = 42 (* records appended to write-ahead logs *)
 let c_persist_wal_syncs = 43 (* fsync batches issued by write-ahead logs *)
 let c_persist_wal_replayed = 44 (* records replayed during recovery *)
 let c_persist_torn_drops = 45 (* torn final WAL records discarded at recovery *)
+let c_txn_begins = 46 (* transactions opened by Collection.txn *)
+let c_txn_commits = 47 (* transactions committed (validation passed) *)
+let c_txn_aborts = 48 (* transactions explicitly aborted *)
+let c_txn_conflicts = 49 (* commits refused by write-write validation *)
+let c_txn_replayed = 50 (* committed transactions re-applied at recovery *)
+let c_txn_replay_skips = 51 (* uncommitted transaction bodies discarded at recovery *)
+let c_txn_views = 52 (* snapshot views opened *)
+let c_txn_view_closes = 53 (* snapshot views closed *)
 
 let all =
   [|
@@ -112,6 +120,14 @@ let all =
     ("persist_wal_syncs", c_persist_wal_syncs);
     ("persist_wal_replayed", c_persist_wal_replayed);
     ("persist_torn_drops", c_persist_torn_drops);
+    ("txn_begins", c_txn_begins);
+    ("txn_commits", c_txn_commits);
+    ("txn_aborts", c_txn_aborts);
+    ("txn_conflicts", c_txn_conflicts);
+    ("txn_replayed", c_txn_replayed);
+    ("txn_replay_skips", c_txn_replay_skips);
+    ("txn_views", c_txn_views);
+    ("txn_view_closes", c_txn_view_closes);
   |]
 
 let n_counters = Array.length all

@@ -55,6 +55,14 @@ val c_persist_wal_appends : int
 val c_persist_wal_syncs : int
 val c_persist_wal_replayed : int
 val c_persist_torn_drops : int
+val c_txn_begins : int
+val c_txn_commits : int
+val c_txn_aborts : int
+val c_txn_conflicts : int
+val c_txn_replayed : int
+val c_txn_replay_skips : int
+val c_txn_views : int
+val c_txn_view_closes : int
 
 val n_counters : int
 val name : int -> string

@@ -29,6 +29,8 @@ and t = {
   dir : int_ba;
   backptr : int_ba;
   slot_inc : int_ba;
+  csn_born : int_ba;
+  csn_write : int_ba;
   valid_count : int Atomic.t;
   limbo_count : int Atomic.t;
   mutable scan_pos : int;
@@ -64,6 +66,8 @@ let create ~id ~layout ~placement ~nslots =
     dir = int_ba nslots;
     backptr;
     slot_inc = int_ba nslots;
+    csn_born = int_ba nslots;
+    csn_write = int_ba nslots;
     valid_count = Atomic.make 0;
     limbo_count = Atomic.make 0;
     scan_pos = 0;
@@ -168,6 +172,7 @@ let occupancy t = float_of_int (Atomic.get t.valid_count) /. float_of_int t.nslo
 let off_heap_words t =
   Bigarray.Array1.dim t.data + Bigarray.Array1.dim t.dir
   + Bigarray.Array1.dim t.backptr + Bigarray.Array1.dim t.slot_inc
+  + Bigarray.Array1.dim t.csn_born + Bigarray.Array1.dim t.csn_write
 
 let find_reloc t ~slot =
   match t.reloc with

@@ -49,6 +49,13 @@ and t = {
   dir : int_ba;
   backptr : int_ba;
   slot_inc : int_ba;
+  csn_born : int_ba;
+      (** commit sequence number at which the slot's current row became
+          visible; 0 for rows that predate CSN stamping (always visible) *)
+  csn_write : int_ba;
+      (** commit sequence number of the last write (store or removal) to
+          the slot's current row; doubles as the removal stamp read by
+          snapshot views *)
   valid_count : int Atomic.t;
   limbo_count : int Atomic.t;
   mutable scan_pos : int;  (** allocator's next slot to examine (§3.5) *)

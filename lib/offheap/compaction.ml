@@ -303,6 +303,12 @@ let run_pass (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 5
   if Epoch.in_critical em then
     invalid_arg "Compaction.run: must not run inside a critical section";
   let tid = Runtime.tid rt in
+  if Atomic.get rt.Runtime.active_views > 0 then
+    (* An open snapshot view still reads limbo rows the moving phase would
+       destroy; don't even reserve candidates — the pass would abort at the
+       epoch wait anyway (the view holds a critical section). *)
+    { empty_report with aborted = true }
+  else begin
   let candidates = select_candidates ctx occupancy_threshold in
   let n_candidates = List.length candidates in
   if n_candidates = 0 then { empty_report with candidates = 0 }
@@ -350,8 +356,16 @@ let run_pass (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 5
             && Epoch.wait_all_reached em ~except:tid ~epoch:(e0 + 2) ~max_spins:max_wait_spins ())
         then abort ()
         else begin
-          (* Moving phase. *)
+          (* Moving phase. The store of [in_moving_phase] followed by the
+             load of [active_views] pairs with the snapshot-view side (incr
+             [active_views], then spin while [in_moving_phase]): whichever
+             order the two races resolve in, either the view spins until
+             this pass finishes or aborts, or we see its count and abort —
+             limbo rows the view still reads are never destroyed. Views
+             that predate the pass already failed the epoch waits above. *)
           Atomic.set rt.Runtime.in_moving_phase true;
+          if Atomic.get rt.Runtime.active_views > 0 then abort ()
+          else begin
           Runtime.fire_compaction_hook rt Runtime.Phase_moving;
           let moved = ref 0 and skipped = ref 0 and retired = ref 0 in
           let completed = ref [] in
@@ -430,9 +444,11 @@ let run_pass (ctx : Context.t) ?(occupancy_threshold = 0.3) ?(max_wait_spins = 5
             fixed_pointers = fixed;
             aborted = false;
           }
+          end
         end
       end
     end
+  end
   end
 
 let run (ctx : Context.t) ?occupancy_threshold ?max_wait_spins () =

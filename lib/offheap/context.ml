@@ -25,6 +25,11 @@ type t = {
   local_block : Block.t option array;
   mutable direct_referrers : (t * Layout.field) list;
   compaction_requested : bool Atomic.t;
+  (* Commit sequence number: the logical clock snapshot views read against.
+     Bare (non-transactional) mutations take a fresh CSN per operation;
+     [Collection.transact] stamps a whole batch with one CSN so a view
+     frontier can never split it. *)
+  csn : int Atomic.t;
 }
 
 let max_threads = 128
@@ -48,11 +53,18 @@ let create rt ~layout ?(placement = Block.Row) ?(mode = Indirect) ?(slots_per_bl
     local_block = Array.make max_threads None;
     direct_referrers = [];
     compaction_requested = Atomic.make false;
+    csn = Atomic.make 0;
   }
 
 let with_lock t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let csn_now t = Atomic.get t.csn
+let next_csn t = Atomic.fetch_and_add t.csn 1 + 1
+
+let stamp_write blk slot ~csn =
+  Bigarray.Array1.unsafe_set blk.Block.csn_write slot csn
 
 let append_block_locked t blk =
   let { v_blocks; v_n } = t.view in
@@ -222,7 +234,7 @@ let scan_for_slot t tid blk =
   go n blk.Block.scan_pos
   end
 
-let rec alloc t =
+let rec alloc ?csn t =
   Runtime.fire_alloc_hook t.rt;
   let tid = Runtime.tid t.rt in
   let blk =
@@ -236,10 +248,16 @@ let rec alloc t =
   match scan_for_slot t tid blk with
   | None ->
     release_local t tid blk;
-    alloc t
+    alloc ?csn t
   | Some slot ->
     let ind = t.rt.Runtime.ind in
     Block.clear_slot_words blk ~slot;
+    (* Stamp the row's CSN before the directory flips the slot valid: a
+       snapshot view that sees [state_valid] must also see a birth stamp,
+       never a stale one left by the slot's previous incarnation. *)
+    let c = match csn with Some c -> c | None -> next_csn t in
+    Bigarray.Array1.unsafe_set blk.Block.csn_born slot c;
+    Bigarray.Array1.unsafe_set blk.Block.csn_write slot c;
     let entry = Indirection.alloc ind ~tid in
     Indirection.set_ptr ind entry (pack_ptr ~block:blk.Block.id ~slot);
     Bigarray.Array1.unsafe_set blk.Block.backptr slot entry;
@@ -294,7 +312,7 @@ let mark_reloc_failed blk slot =
   | None -> ()
   | Some r -> if r.Block.status = Block.Pending then r.Block.status <- Block.Failed
 
-let free t packed =
+let free ?csn t packed =
   if packed < 0 then false
   else begin
     let entry = ref_entry packed and inc = ref_inc packed in
@@ -306,6 +324,10 @@ let free t packed =
           let p = Indirection.ptr ind entry in
           let blk = Registry.get t.rt.Runtime.registry (ptr_block p) in
           let slot = ptr_slot p in
+          (* Death stamp before the directory flips to limbo/quarantined:
+             a view at frontier [v] keeps reading rows with write > v. *)
+          let c = match csn with Some c -> c | None -> next_csn t in
+          Bigarray.Array1.unsafe_set blk.Block.csn_write slot c;
           if w land frozen_bit <> 0 then mark_reloc_failed blk slot;
           (* Bump the incarnation (clearing protocol flags): all outstanding
              references now read as null. In direct mode the slot's own
@@ -323,6 +345,70 @@ let free t packed =
           obs_incr t Smc_obs.c_frees;
           true
         end)
+  end
+
+(* Copy-on-write store for transactional commits: re-point the reference's
+   indirection entry at a fresh copy of the row carrying the updated word,
+   and retire the old copy to limbo with death stamp [csn]. Open snapshot
+   views at frontiers below [csn] keep reading the old copy through the
+   ordinary limbo-visibility rule; the reference (same entry, same
+   incarnation) reaches the new copy, so live and stored refs are
+   unaffected. Indirect mode only — there is no entry to swing in direct
+   mode. Returns false when the reference no longer resolves. *)
+let store_versioned t packed ~csn ~word ~value =
+  if t.mode <> Indirect then invalid_arg "Context.store_versioned: indirect mode only";
+  if packed < 0 then false
+  else begin
+    (* The fresh slot first, outside any entry lock: [alloc] may take the
+       context lock or create blocks. Its private entry [e2] is published
+       to no one; we own both the slot and the entry outright. *)
+    let fresh = alloc ~csn t in
+    let ind = t.rt.Runtime.ind in
+    let e1 = ref_entry packed and inc = ref_inc packed in
+    let e2 = ref_entry fresh in
+    let swapped =
+      Runtime.with_entry_lock t.rt e1 (fun () ->
+          let w = Indirection.inc_word ind e1 in
+          if w land inc_mask <> inc then false
+          else begin
+            let p1 = Indirection.ptr ind e1 in
+            let src_blk = Registry.get t.rt.Runtime.registry (ptr_block p1) in
+            let src_slot = ptr_slot p1 in
+            let p2 = Indirection.ptr ind e2 in
+            let dst_blk = Registry.get t.rt.Runtime.registry (ptr_block p2) in
+            let dst_slot = ptr_slot p2 in
+            (* A pending relocation of the old copy is cancelled exactly as
+               [free] cancels one for a dying frozen object: the compactor
+               re-checks the status and bails. *)
+            if w land frozen_bit <> 0 then begin
+              mark_reloc_failed src_blk src_slot;
+              Indirection.set_inc_word ind e1 (w land lnot frozen_bit)
+            end;
+            Block.copy_slot ~src:src_blk ~src_slot ~dst:dst_blk ~dst_slot;
+            Block.set_word dst_blk ~slot:dst_slot ~word value;
+            (* [alloc ~csn] already stamped the new copy born = write = csn:
+               the version interval starts at this commit, so frontiers
+               below [csn] see only the limbo original. Swap the pointers
+               and back-pointers — [packed] now reaches the updated copy,
+               the private entry owns the old one. *)
+            Indirection.set_ptr ind e1 p2;
+            Indirection.set_ptr ind e2 p1;
+            Bigarray.Array1.unsafe_set dst_blk.Block.backptr dst_slot e1;
+            Bigarray.Array1.unsafe_set src_blk.Block.backptr src_slot e2;
+            true
+          end)
+    in
+    if swapped then begin
+      (* Retire the old copy through the ordinary free path (limbo, death
+         stamp [csn], grace period). [e2]'s incarnation bump is harmless —
+         the reference never escaped. *)
+      ignore (free ~csn t fresh : bool);
+      true
+    end
+    else begin
+      ignore (free t fresh : bool);
+      false
+    end
   end
 
 (* Perform one relocation under the entry stripe lock: copy the object
@@ -345,6 +431,12 @@ let perform_relocation t entry (r : Block.relocation) src =
        matching after the move. *)
     Bigarray.Array1.unsafe_set tgt.Block.slot_inc dst_slot
       (Bigarray.Array1.unsafe_get src.Block.slot_inc r.Block.from_slot land lnot flags_mask);
+    (* The CSN stamps travel with the row: a relocated row must stay
+       visible to exactly the frontiers that saw it at the source. *)
+    Bigarray.Array1.unsafe_set tgt.Block.csn_born dst_slot
+      (Bigarray.Array1.unsafe_get src.Block.csn_born r.Block.from_slot);
+    Bigarray.Array1.unsafe_set tgt.Block.csn_write dst_slot
+      (Bigarray.Array1.unsafe_get src.Block.csn_write r.Block.from_slot);
     Block.set_dir_entry tgt dst_slot (dir_entry ~state:state_valid ~stamp:0);
     ignore (Atomic.fetch_and_add tgt.Block.valid_count 1 : int);
     Indirection.set_ptr ind entry (pack_ptr ~block:tgt.Block.id ~slot:dst_slot);
@@ -506,6 +598,27 @@ let scan_block blk ~f =
       f blk slot
   done
 
+(* Snapshot visibility at CSN frontier [csn]: a valid row is visible when it
+   was born at or before the frontier; a limbo/quarantined row is still
+   visible when it was born before and died after — removal stamps
+   ([stamp_write]/[free]) are written before the directory flip, so a state
+   observed as dead always comes with its death CSN. Free slots carry no
+   row. Epoch pinning (the view holds a critical section opened before the
+   frontier was read) keeps visible limbo rows from being recycled. *)
+let slot_visible_at blk slot ~csn =
+  let state = Constants.dir_state (Bigarray.Array1.unsafe_get blk.Block.dir slot) in
+  if state = state_valid then Bigarray.Array1.unsafe_get blk.Block.csn_born slot <= csn
+  else if state = state_limbo || state = state_quarantined then
+    Bigarray.Array1.unsafe_get blk.Block.csn_born slot <= csn
+    && Bigarray.Array1.unsafe_get blk.Block.csn_write slot > csn
+  else false
+
+let scan_block_at blk ~csn ~f =
+  let n = blk.Block.nslots in
+  for slot = 0 to n - 1 do
+    if slot_visible_at blk slot ~csn then f blk slot
+  done
+
 (* Compaction-group claim tickets (§5.2). An enumeration — sequential or
    partitioned across domains — must process each group exactly once and as
    a whole. The ticket is a CAS-maintained list of claimed groups shared by
@@ -584,6 +697,8 @@ let iter_blocks_scanned ?(wrap = fun f -> f ()) t ~scan =
   done
 
 let iter_valid t ~f = iter_blocks_scanned t ~scan:(fun blk -> scan_block blk ~f)
+
+let iter_visible t ~csn ~f = iter_blocks_scanned t ~scan:(fun blk -> scan_block_at blk ~csn ~f)
 
 (* §4: the query compiler chooses the critical-section granularity — the
    whole query (default; allows holding raw pointers in intermediates) or a

@@ -48,6 +48,9 @@ type t = {
   mutable direct_referrers : (t * Layout.field) list;
       (** contexts holding direct references into this one (§6 fixup) *)
   compaction_requested : bool Atomic.t;
+  csn : int Atomic.t;
+      (** commit sequence number — the logical clock snapshot views read
+          against; see {!csn_now}/{!next_csn} *)
 }
 
 val create :
@@ -62,17 +65,66 @@ val create :
 (** Defaults: [Row] placement, [Indirect] mode, 4096 slots per block,
     0.05 reclamation threshold (the paper's pick from Figure 6). *)
 
-val alloc : t -> int
+val alloc : ?csn:int -> t -> int
 (** Allocates a slot, wires its indirection entry and back-pointer, zeroes
     the object words and returns a packed indirect reference. The caller
-    (the collection layer's [add]) initialises fields through it. *)
+    (the collection layer's [add]) initialises fields through it. The row's
+    birth CSN is [csn] when given (transaction commit), else a fresh
+    {!next_csn} — stamped before the slot turns valid. *)
 
-val free : t -> int -> bool
+val free : ?csn:int -> t -> int -> bool
 (** Frees the object behind a packed indirect reference: bumps the
     incarnation(s) so all outstanding references read as null, marks the
     slot limbo with the current epoch, and queues the block for reclamation
     when it crosses the threshold. Returns [false] if the reference was
-    already dead. Safe concurrently with enumeration and allocation. *)
+    already dead. The row's death CSN is [csn] when given, else a fresh
+    {!next_csn} — stamped before the slot leaves the valid state. Safe
+    concurrently with enumeration and allocation. *)
+
+(** {2 Commit sequence numbers and snapshot visibility}
+
+    Every row carries a birth CSN and a last-write CSN in its block's stamp
+    planes. A snapshot view reads at frontier [v]: valid rows born at or
+    before [v] plus limbo/quarantined rows born at or before and dead after
+    [v]. Stamps are always written before the directory state flips, so an
+    observed state change comes with its CSN; the view's epoch critical
+    section keeps visible limbo rows from being recycled underneath it. *)
+
+val csn_now : t -> int
+(** Current commit frontier: every CSN ≤ this has been assigned. *)
+
+val next_csn : t -> int
+(** Mint the next CSN (atomic increment). *)
+
+val stamp_write : Block.t -> int -> csn:int -> unit
+(** Record a write CSN on a slot (in-place [store] path); call before the
+    stored words change so a view frontier between stamp and store reads
+    either version but never attributes the new words to the old CSN. *)
+
+val store_versioned : t -> int -> csn:int -> word:int -> value:int -> bool
+(** Copy-on-write store for transactional commits: copies the row behind
+    the packed reference into a fresh slot stamped born = write = [csn],
+    applies the word update to the copy, swings the reference's
+    indirection entry to it, and retires the old copy to limbo with death
+    stamp [csn]. The reference keeps its identity (same entry, same
+    incarnation), current readers see the new payload, and snapshot views
+    at frontiers below [csn] keep reading the old copy through the limbo
+    visibility rule. A pending relocation of the old copy is cancelled the
+    way {!free} cancels one. Returns false when the reference no longer
+    resolves. Indirect mode only — raises [Invalid_argument] in direct
+    mode. *)
+
+val slot_visible_at : Block.t -> int -> csn:int -> bool
+(** Whether the slot holds a row visible at frontier [csn]. *)
+
+val scan_block_at : Block.t -> csn:int -> f:(Block.t -> int -> unit) -> unit
+(** Apply [f] to every slot of one block visible at [csn] (no group
+    handling) — the snapshot-view counterpart of {!scan_block}. *)
+
+val iter_visible : t -> csn:int -> f:(Block.t -> int -> unit) -> unit
+(** Enumerates every slot visible at frontier [csn], honouring the
+    compaction group protocol. Call inside a critical section that was
+    entered before the frontier was read. *)
 
 val resolve : t -> int -> (Block.t * int) option
 (** Current (block, slot) behind a packed indirect reference, or [None] if

@@ -7,6 +7,14 @@ type compaction_phase =
   | Phase_moving (* relocation sweep in progress *)
   | Phase_completed (* groups done, sources dead, before pointer fixup *)
 
+(* Transaction-commit boundaries at which the chaos harness may inject
+   crashes (snapshot the WAL image) or concurrent work. *)
+type txn_phase =
+  | Txn_staged (* operations staged privately, before validation *)
+  | Txn_validated (* write-write validation passed, before apply *)
+  | Txn_applied (* mutations published, before the WAL batch append *)
+  | Txn_logged (* WAL commit record appended (per group-commit policy) *)
+
 type t = {
   epoch : Epoch.t;
   ind : Indirection.t;
@@ -14,6 +22,12 @@ type t = {
   locks : Smc_util.Striped_lock.t;
   next_relocation_epoch : int Atomic.t;
   in_moving_phase : bool Atomic.t;
+  active_views : int Atomic.t;
+  (* Open snapshot views across the runtime. A non-zero count vetoes the
+     compactor's moving phase (which destroys limbo rows a view may still
+     read); the view side increments and then spins while [in_moving_phase]
+     is set, the compactor sets [in_moving_phase] and then checks this —
+     the store-load pairing means one of them always sees the other. *)
   next_context_id : int Atomic.t;
   mutable inc_quarantine_limit : int;
   quarantined_slots : int Atomic.t;
@@ -28,6 +42,9 @@ type t = {
       (* Fault-injection hook, fired by Context.maybe_queue between its
          unlocked pre-check and taking the context lock — the TOCTOU
          window a writer re-acquiring the block races through. *)
+  mutable on_txn_phase : (txn_phase -> unit) option;
+      (* Fault-injection hook, fired by Collection.transact at commit
+         boundaries; the crash harness snapshots WAL images here. *)
 }
 
 let create ?max_threads () =
@@ -39,6 +56,7 @@ let create ?max_threads () =
     locks = Smc_util.Striped_lock.create ~stripes:256 ();
     next_relocation_epoch = Atomic.make (-1);
     in_moving_phase = Atomic.make false;
+    active_views = Atomic.make 0;
     next_context_id = Atomic.make 0;
     inc_quarantine_limit = Constants.inc_mask;
     quarantined_slots = Atomic.make 0;
@@ -46,6 +64,7 @@ let create ?max_threads () =
     on_alloc = None;
     on_compaction_phase = None;
     on_queue_check = None;
+    on_txn_phase = None;
   }
 
 let fire_alloc_hook t = match t.on_alloc with None -> () | Some f -> f ()
@@ -56,6 +75,8 @@ let fire_compaction_hook t phase =
 
 let fire_queue_hook t blk =
   match t.on_queue_check with None -> () | Some f -> f blk
+
+let fire_txn_hook t phase = match t.on_txn_phase with None -> () | Some f -> f phase
 
 let tid t = Epoch.thread_id t.epoch
 

@@ -15,6 +15,14 @@ type compaction_phase =
       (** Compaction-pass boundaries at which the chaos harness may inject
           work (frees, epoch churn, queries) to exercise bail-out paths. *)
 
+type txn_phase =
+  | Txn_staged  (** operations staged privately, before validation *)
+  | Txn_validated  (** write-write validation passed, before apply *)
+  | Txn_applied  (** mutations published, before the WAL batch append *)
+  | Txn_logged  (** WAL commit record appended (per group-commit policy) *)
+      (** Transaction-commit boundaries at which the chaos harness may
+          snapshot WAL images (crash injection) or inject concurrent work. *)
+
 type t = {
   epoch : Epoch.t;
   ind : Indirection.t;
@@ -22,6 +30,12 @@ type t = {
   locks : Smc_util.Striped_lock.t;
   next_relocation_epoch : int Atomic.t;  (** -1 when no compaction pending *)
   in_moving_phase : bool Atomic.t;
+  active_views : int Atomic.t;
+      (** open snapshot views; non-zero vetoes the compactor's moving phase
+          (limbo rows a view still reads must not be destroyed). The view
+          increments then spins while [in_moving_phase]; the compactor sets
+          [in_moving_phase] then checks this — the store-load pairing means
+          one side always observes the other. *)
   next_context_id : int Atomic.t;
   mutable inc_quarantine_limit : int;
       (** incarnation value beyond which a slot is quarantined instead of
@@ -41,6 +55,9 @@ type t = {
       (** fault-injection hook, fired by [Context.maybe_queue] between its
           unlocked pre-check and taking the context lock; [None] in
           production *)
+  mutable on_txn_phase : (txn_phase -> unit) option;
+      (** fault-injection hook, fired by [Collection.transact] at commit
+          boundaries; [None] in production *)
 }
 
 val create : ?max_threads:int -> unit -> t
@@ -48,6 +65,7 @@ val create : ?max_threads:int -> unit -> t
 val fire_alloc_hook : t -> unit
 val fire_compaction_hook : t -> compaction_phase -> unit
 val fire_queue_hook : t -> Block.t -> unit
+val fire_txn_hook : t -> txn_phase -> unit
 
 val tid : t -> int
 (** The calling domain's thread slot (registers on first use). *)

@@ -74,41 +74,57 @@ let drive ?pool ?(domains = 0) (ctx : Context.t) ~init ~scan ~combine =
     match !acc with Some a -> a | None -> init ()
   end
 
-let fold_valid_par ?pool ?domains ctx ~init ~f ~combine =
+(* With [?csn], slots are filtered by snapshot visibility at that frontier
+   instead of current directory state — the parallel read path of a
+   [Collection.snapshot_view]. The view's owning domain holds the epoch
+   pin for the scan's whole duration, so visible limbo rows cannot be
+   recycled under any worker. *)
+let scan_slots ?csn blk ~f =
+  match csn with
+  | None -> Context.scan_block blk ~f
+  | Some csn -> Context.scan_block_at blk ~csn ~f
+
+let fold_valid_par ?pool ?domains ?csn ctx ~init ~f ~combine =
   let r =
     drive ?pool ?domains ctx
       ~init:(fun () -> ref (init ()))
-      ~scan:(fun r blk -> Context.scan_block blk ~f:(fun b slot -> r := f !r b slot))
+      ~scan:(fun r blk -> scan_slots ?csn blk ~f:(fun b slot -> r := f !r b slot))
       ~combine:(fun a b ->
         a := combine !a !b;
         a)
   in
   !r
 
-let iter_valid_par ?pool ?domains ctx ~f =
+let iter_valid_par ?pool ?domains ?csn ctx ~f =
   drive ?pool ?domains ctx
     ~init:(fun () -> ())
-    ~scan:(fun () blk -> Context.scan_block blk ~f)
+    ~scan:(fun () blk -> scan_slots ?csn blk ~f)
     ~combine:(fun () () -> ())
 
 (* Block-hoisted parallel enumeration: [on_block] runs once per block in
    the owning worker and returns the per-slot body closed over the worker's
    private accumulator and the block's raw state — the parallel analogue of
    [Context.iter_valid_hoisted]. *)
-let fold_hoisted_par ?pool ?domains ctx ~init ~on_block ~combine =
+let fold_hoisted_par ?pool ?domains ?csn ctx ~init ~on_block ~combine =
   drive ?pool ?domains ctx ~init
     ~scan:(fun acc blk ->
       let body = on_block acc blk in
-      let dir = blk.Block.dir in
-      let nslots = blk.Block.nslots in
-      for slot = 0 to nslots - 1 do
-        if Constants.dir_state (Bigarray.Array1.unsafe_get dir slot) = Constants.state_valid
-        then body slot
-      done)
+      match csn with
+      | None ->
+        let dir = blk.Block.dir in
+        let nslots = blk.Block.nslots in
+        for slot = 0 to nslots - 1 do
+          if Constants.dir_state (Bigarray.Array1.unsafe_get dir slot) = Constants.state_valid
+          then body slot
+        done
+      | Some csn ->
+        for slot = 0 to blk.Block.nslots - 1 do
+          if Context.slot_visible_at blk slot ~csn then body slot
+        done)
     ~combine
 
-let iter_hoisted_par ?pool ?domains ctx ~on_block =
-  fold_hoisted_par ?pool ?domains ctx
+let iter_hoisted_par ?pool ?domains ?csn ctx ~on_block =
+  fold_hoisted_par ?pool ?domains ?csn ctx
     ~init:(fun () -> ())
     ~on_block:(fun () blk -> on_block blk)
     ~combine:(fun () () -> ())

@@ -17,13 +17,20 @@
     [?pool] defaults to {!Pool.default}; [?domains] caps the workers used
     for this call (0 or absent = the pool's full width). With one worker —
     or a single-block view — everything runs sequentially on the caller,
-    with no pool round-trip. *)
+    with no pool round-trip.
+
+    [?csn] filters slots by snapshot visibility at that CSN frontier
+    instead of current directory state — pass
+    {!Smc.Collection.view_csn} to run the scan against an open snapshot
+    view. The view must stay open (its owning domain holds the epoch pin)
+    for the scan's whole duration. *)
 
 open Smc_offheap
 
 val fold_valid_par :
   ?pool:Pool.t ->
   ?domains:int ->
+  ?csn:int ->
   Context.t ->
   init:(unit -> 'acc) ->
   f:('acc -> Block.t -> int -> 'acc) ->
@@ -31,13 +38,14 @@ val fold_valid_par :
   'acc
 
 val iter_valid_par :
-  ?pool:Pool.t -> ?domains:int -> Context.t -> f:(Block.t -> int -> unit) -> unit
+  ?pool:Pool.t -> ?domains:int -> ?csn:int -> Context.t -> f:(Block.t -> int -> unit) -> unit
 (** [f] runs concurrently in several domains — it must be domain-safe
     (e.g. accumulate into atomics). Prefer {!fold_valid_par}. *)
 
 val fold_hoisted_par :
   ?pool:Pool.t ->
   ?domains:int ->
+  ?csn:int ->
   Context.t ->
   init:(unit -> 'acc) ->
   on_block:('acc -> Block.t -> int -> unit) ->
@@ -49,5 +57,5 @@ val fold_hoisted_par :
     accumulator and the block's hoisted raw state. *)
 
 val iter_hoisted_par :
-  ?pool:Pool.t -> ?domains:int -> Context.t -> on_block:(Block.t -> int -> unit) -> unit
+  ?pool:Pool.t -> ?domains:int -> ?csn:int -> Context.t -> on_block:(Block.t -> int -> unit) -> unit
 (** Hoisted iteration without accumulators; [on_block] must be domain-safe. *)

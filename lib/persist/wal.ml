@@ -19,6 +19,8 @@ type t = {
 let op_add = 1
 let op_remove = 2
 let op_store = 3
+let op_txn_begin = 4
+let op_txn_commit = 5
 
 let oincr t c = match t.obs with Some o -> Smc_obs.incr o c | None -> ()
 
@@ -43,20 +45,26 @@ let sync_locked t =
     oincr t Smc_obs.c_persist_wal_syncs
   end
 
+let append_locked t payload =
+  if t.closed then invalid_arg "Wal: log is closed";
+  ignore (Pio.write_section t.oc payload : int);
+  t.next_lsn <- t.next_lsn + 1;
+  t.unsynced <- t.unsynced + 1;
+  oincr t Smc_obs.c_persist_wal_appends
+
+let apply_policy_locked t =
+  match t.sync with
+  | Always -> sync_locked t
+  | Every n -> if t.unsynced >= n then sync_locked t
+  | Manual -> ()
+
 let append t payload =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      if t.closed then invalid_arg "Wal: log is closed";
-      ignore (Pio.write_section t.oc payload : int);
-      t.next_lsn <- t.next_lsn + 1;
-      t.unsynced <- t.unsynced + 1;
-      oincr t Smc_obs.c_persist_wal_appends;
-      match t.sync with
-      | Always -> sync_locked t
-      | Every n -> if t.unsynced >= n then sync_locked t
-      | Manual -> ())
+      append_locked t payload;
+      apply_policy_locked t)
 
 let flush t =
   Mutex.lock t.lock;
@@ -84,7 +92,7 @@ let close t =
         t.closed <- true
       end)
 
-let log_add t (coll : Smc.Collection.t) r blk slot =
+let add_payload (coll : Smc.Collection.t) r blk slot =
   let packed = Smc.Ref.to_packed r in
   let sw = coll.Smc.Collection.layout.Layout.slot_words in
   let payload = Buffer.create (32 + (8 * sw)) in
@@ -95,21 +103,17 @@ let log_add t (coll : Smc.Collection.t) r blk slot =
   for w = 0 to sw - 1 do
     Pio.add_int payload (Block.get_word blk ~slot ~word:w)
   done;
-  append t payload
+  payload
 
-let log_remove t r =
+let remove_payload r =
   let packed = Smc.Ref.to_packed r in
   let payload = Buffer.create 32 in
   Pio.add_int payload op_remove;
   Pio.add_int payload (Constants.ref_entry packed);
   Pio.add_int payload (Constants.ref_inc packed);
-  append t payload
+  payload
 
-let log_store t (coll : Smc.Collection.t) r ~word ~value =
-  if not (Smc.Collection.mem coll r) then
-    invalid_arg "Wal.log_store: reference is null or dead";
-  if word < 0 || word >= coll.Smc.Collection.layout.Layout.slot_words then
-    invalid_arg "Wal.log_store: word offset outside the layout";
+let store_payload r ~word ~value =
   let packed = Smc.Ref.to_packed r in
   let payload = Buffer.create 48 in
   Pio.add_int payload op_store;
@@ -117,7 +121,47 @@ let log_store t (coll : Smc.Collection.t) r ~word ~value =
   Pio.add_int payload (Constants.ref_inc packed);
   Pio.add_int payload word;
   Pio.add_int payload value;
-  append t payload
+  payload
+
+let log_add t coll r blk slot = append t (add_payload coll r blk slot)
+let log_remove t r = append t (remove_payload r)
+
+let log_store t (coll : Smc.Collection.t) r ~word ~value =
+  if not (Smc.Collection.mem coll r) then
+    invalid_arg "Wal.log_store: reference is null or dead";
+  if word < 0 || word >= coll.Smc.Collection.layout.Layout.slot_words then
+    invalid_arg "Wal.log_store: word offset outside the layout";
+  append t (store_payload r ~word ~value)
+
+(* A committed transaction's batch: Txn_begin (carrying the declared op
+   count), the body records, Txn_commit — appended under ONE mutex hold, so
+   no bare append and no snapshot cut ([Snapshot.write] reads the LSN under
+   this same mutex) can land inside the frame. The body reuses the bare
+   payload builders; replay distinguishes framed from bare records purely
+   by position. *)
+let log_txn t (coll : Smc.Collection.t) ~txn_id ops =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let header = Buffer.create 32 in
+      Pio.add_int header op_txn_begin;
+      Pio.add_int header txn_id;
+      Pio.add_int header (List.length ops);
+      append_locked t header;
+      List.iter
+        (fun (op : Smc.Collection.logged_op) ->
+          append_locked t
+            (match op with
+            | Smc.Collection.L_add (r, blk, slot) -> add_payload coll r blk slot
+            | Smc.Collection.L_remove r -> remove_payload r
+            | Smc.Collection.L_store (r, word, value) -> store_payload r ~word ~value))
+        ops;
+      let footer = Buffer.create 16 in
+      Pio.add_int footer op_txn_commit;
+      Pio.add_int footer txn_id;
+      append_locked t footer;
+      apply_policy_locked t)
 
 let attach t (coll : Smc.Collection.t) =
   Smc.Collection.attach_wal coll
@@ -125,6 +169,7 @@ let attach t (coll : Smc.Collection.t) =
       Smc.Collection.wh_name = t.name;
       wh_on_add = (fun r blk slot -> log_add t coll r blk slot);
       wh_on_remove = (fun r -> log_remove t r);
+      wh_on_txn = (fun ~txn_id ops -> log_txn t coll ~txn_id ops);
     };
   t.obs <- Some coll.Smc.Collection.rt.Runtime.obs
 
@@ -137,6 +182,8 @@ type record =
   | Add of { entry : int; inc : int; words : int array }
   | Remove of { entry : int; inc : int }
   | Store of { entry : int; inc : int; word : int; value : int }
+  | Txn_begin of { txn_id : int; n_ops : int }
+  | Txn_commit of { txn_id : int }
 
 type log_info = {
   li_name : string;
@@ -167,6 +214,17 @@ let parse_record (r : Pio.reader) =
       let word = Pio.get_int r in
       let value = Pio.get_int r in
       Store { entry; inc; word; value }
+    end
+    else if op = op_txn_begin then begin
+      let txn_id = Pio.get_int r in
+      let n_ops = Pio.get_int r in
+      if n_ops < 0 || n_ops > 1 lsl 30 then
+        Pio.corrupt "%s: implausible transaction op count %d" r.Pio.what n_ops;
+      Txn_begin { txn_id; n_ops }
+    end
+    else if op = op_txn_commit then begin
+      let txn_id = Pio.get_int r in
+      Txn_commit { txn_id }
     end
     else Pio.corrupt "%s: unknown record op %d" r.Pio.what op
   in

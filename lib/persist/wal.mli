@@ -9,6 +9,15 @@
     collection exactly — entry indices and incarnations are reproduced
     verbatim, so references stored inside objects keep resolving.
 
+    Committed transactions arrive through the [wh_on_txn] hook as one
+    batch and are framed atomically: a [Txn_begin] record carrying the
+    declared op count, the body records (same wire format as bare ops), and
+    a [Txn_commit] record — all appended under one mutex hold, so neither a
+    bare record nor a snapshot cut can land inside the frame. Replay
+    ({!Snapshot.replay_wal}) buffers a frame and applies it only on its
+    commit record; an unterminated frame — crash before the commit record
+    reached disk — is discarded as a unit.
+
     Records are captured through {!Smc.Collection.attach_wal} hooks, so
     they may be appended from any domain; a mutex serialises appends.
     Group commit: records accumulate in the channel buffer and are flushed
@@ -66,6 +75,10 @@ type record =
   | Add of { entry : int; inc : int; words : int array }
   | Remove of { entry : int; inc : int }
   | Store of { entry : int; inc : int; word : int; value : int }
+  | Txn_begin of { txn_id : int; n_ops : int }
+      (** opens a transaction frame declaring its body length *)
+  | Txn_commit of { txn_id : int }
+      (** seals the frame; the body is atomic from here *)
 
 type log_info = {
   li_name : string;

@@ -31,20 +31,39 @@ let key_of_value kind v =
    parallel scan (each worker builds a private row list, lists are spliced
    on the caller) and pushes them to [emit] sequentially — consumers stay
    single-threaded. Absent, or ≤ 1, the source scans exactly as before.
-   Row order across blocks is unspecified in the parallel case. *)
-let of_smc ?pool ?domains ?(indexes = []) coll ~columns =
+   Row order across blocks is unspecified in the parallel case.
+
+   [view] runs every scan against an open snapshot view instead of current
+   state: the plan reads one stable CSN frontier regardless of concurrent
+   committers. The view must stay open while the source is consumed, and
+   index access paths are rejected — index probes validate against current
+   state and would disagree with the frozen frontier. *)
+let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
+  (match view with
+  | Some v when indexes <> [] ->
+    ignore (Smc.Collection.view_csn v : int);
+    invalid_arg
+      (Printf.sprintf
+         "Source.of_smc: collection %S: snapshot views and index access paths are \
+          mutually exclusive (probes read current state, not the view frontier)"
+         coll.Smc.Collection.name)
+  | _ -> ());
   let schema = Array.of_list (List.map fst columns) in
   let extractors = Array.of_list (List.map snd columns) in
   let extract blk slot = Array.map (fun e -> e blk slot) extractors in
   let parallel = match domains with Some d when d > 1 -> true | _ -> false in
+  let csn = Option.map Smc.Collection.view_csn view in
   let scan emit =
     if parallel then
       List.iter emit
-        (Smc_parallel.Par_scan.fold_valid_par ?pool ?domains coll.Smc.Collection.ctx
+        (Smc_parallel.Par_scan.fold_valid_par ?pool ?domains ?csn coll.Smc.Collection.ctx
            ~init:(fun () -> [])
            ~f:(fun acc blk slot -> extract blk slot :: acc)
            ~combine:(fun a b -> List.rev_append b a))
-    else Smc.Collection.iter coll ~f:(fun blk slot -> emit (extract blk slot))
+    else
+      match view with
+      | Some v -> Smc.Collection.view_iter v ~f:(fun blk slot -> emit (extract blk slot))
+      | None -> Smc.Collection.iter coll ~f:(fun blk slot -> emit (extract blk slot))
   in
   let schema_pos col =
     let rec go i =

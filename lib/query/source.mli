@@ -31,6 +31,7 @@ type t = {
 val of_smc :
   ?pool:Smc_parallel.Pool.t ->
   ?domains:int ->
+  ?view:Smc.Collection.view ->
   ?indexes:(string * Smc_index.Hash_index.t) list ->
   Smc.Collection.t ->
   columns:(string * (Smc_offheap.Block.t -> int -> Value.t)) list ->
@@ -41,6 +42,14 @@ val of_smc :
     rows are pushed to the consumer sequentially afterwards — downstream
     operators never see concurrency, but row order across blocks becomes
     unspecified. Default is the sequential scan, unchanged.
+
+    [?view] pins every scan (sequential or parallel) to an open snapshot
+    view's CSN frontier ({!Smc.Collection.snapshot_view}): queries over the
+    source read one commit boundary, stable under concurrent committers.
+    The view must stay open while the source is consumed. Mutually
+    exclusive with [?indexes] (probes validate against current state, which
+    can disagree with the frozen frontier) — raises [Invalid_argument] when
+    both are given.
 
     [?indexes] advertises attached hash indexes as access paths: each
     [(col, ix)] pair asserts that [ix]'s key extractor agrees with the

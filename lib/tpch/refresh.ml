@@ -20,55 +20,57 @@ let fresh_lineitem_values g =
     D.of_cents (Prng.int_in g 0 10),
     D.of_cents (Prng.int_in g 0 8) )
 
-let smc_ops (db : Db_smc.t) (ds : Row.dataset) =
+let init_fresh_lineitem (db : Db_smc.t) g blk slot =
   let lf = db.Db_smc.lf in
-  let n_orders = Array.length db.Db_smc.order_refs in
+  let oidx = Prng.int g (Array.length db.Db_smc.order_refs) in
+  let quantity, price, disc, tax = fresh_lineitem_values g in
+  F.set_ref lf.Db_smc.l_order ~target:db.Db_smc.orders blk slot
+    db.Db_smc.order_refs.(oidx);
+  F.set_int lf.Db_smc.l_linenumber blk slot 0;
+  F.set_dec lf.Db_smc.l_quantity blk slot (D.of_int quantity);
+  F.set_dec lf.Db_smc.l_extendedprice blk slot price;
+  F.set_dec lf.Db_smc.l_discount blk slot disc;
+  F.set_dec lf.Db_smc.l_tax blk slot tax;
+  F.set_string lf.Db_smc.l_returnflag blk slot "N";
+  F.set_string lf.Db_smc.l_linestatus blk slot "O";
+  F.set_date lf.Db_smc.l_shipdate blk slot Spec.current_date;
+  F.set_date lf.Db_smc.l_commitdate blk slot Spec.current_date;
+  F.set_date lf.Db_smc.l_receiptdate blk slot Spec.current_date
+
+(* Single enumeration with allocation-free reference navigation, as the
+   compiled removal stream would be generated; [f] gets the reference of
+   every lineitem whose order key is in [keys]. *)
+let iter_matching_lineitems (db : Db_smc.t) ~keys ~f =
+  let lf = db.Db_smc.lf in
+  let orders = db.Db_smc.orders in
+  let f_key = db.Db_smc.orf.Db_smc.o_orderkey in
+  let o_key = f_key.Smc_offheap.Layout.word in
+  let o_sw = orders.C.layout.Smc_offheap.Layout.slot_words in
+  let row_major = orders.C.ctx.Smc_offheap.Context.placement = Smc_offheap.Block.Row in
+  C.with_read db.Db_smc.lineitems (fun () ->
+      C.iter db.Db_smc.lineitems ~f:(fun blk slot ->
+          let loc = F.follow_loc lf.Db_smc.l_order ~target:orders blk slot in
+          if loc >= 0 then begin
+            let ob = C.loc_block orders loc and os = C.loc_slot loc in
+            let orderkey =
+              if row_major then
+                Bigarray.Array1.unsafe_get ob.Smc_offheap.Block.data ((os * o_sw) + o_key)
+              else F.get_int f_key ob os
+            in
+            if Hashtbl.mem keys orderkey then f (C.ref_of_slot db.Db_smc.lineitems blk slot)
+          end))
+
+let smc_ops (db : Db_smc.t) (ds : Row.dataset) =
   let insert_batch ~count =
     let g = Prng.create ~seed:(Int64.of_int count) () in
     for _ = 1 to count do
-      let oidx = Prng.int g n_orders in
-      let quantity, price, disc, tax = fresh_lineitem_values g in
-      ignore
-        (C.add db.Db_smc.lineitems ~init:(fun blk slot ->
-             F.set_ref lf.Db_smc.l_order ~target:db.Db_smc.orders blk slot
-               db.Db_smc.order_refs.(oidx);
-             F.set_int lf.Db_smc.l_linenumber blk slot 0;
-             F.set_dec lf.Db_smc.l_quantity blk slot (D.of_int quantity);
-             F.set_dec lf.Db_smc.l_extendedprice blk slot price;
-             F.set_dec lf.Db_smc.l_discount blk slot disc;
-             F.set_dec lf.Db_smc.l_tax blk slot tax;
-             F.set_string lf.Db_smc.l_returnflag blk slot "N";
-             F.set_string lf.Db_smc.l_linestatus blk slot "O";
-             F.set_date lf.Db_smc.l_shipdate blk slot Spec.current_date;
-             F.set_date lf.Db_smc.l_commitdate blk slot Spec.current_date;
-             F.set_date lf.Db_smc.l_receiptdate blk slot Spec.current_date)
-          : Smc.Ref.t)
+      ignore (C.add db.Db_smc.lineitems ~init:(init_fresh_lineitem db g) : Smc.Ref.t)
     done
   in
   let remove_batch ~keys =
-    (* Single enumeration with allocation-free reference navigation, as the
-       compiled removal stream would be generated. *)
     let removed = ref 0 in
-    let orders = db.Db_smc.orders in
-    let f_key = db.Db_smc.orf.Db_smc.o_orderkey in
-    let o_key = f_key.Smc_offheap.Layout.word in
-    let o_sw = orders.C.layout.Smc_offheap.Layout.slot_words in
-    let row_major = orders.C.ctx.Smc_offheap.Context.placement = Smc_offheap.Block.Row in
-    C.with_read db.Db_smc.lineitems (fun () ->
-        C.iter db.Db_smc.lineitems ~f:(fun blk slot ->
-            let loc = F.follow_loc lf.Db_smc.l_order ~target:orders blk slot in
-            if loc >= 0 then begin
-              let ob = C.loc_block orders loc and os = C.loc_slot loc in
-              let orderkey =
-                if row_major then
-                  Bigarray.Array1.unsafe_get ob.Smc_offheap.Block.data ((os * o_sw) + o_key)
-                else F.get_int f_key ob os
-              in
-              if Hashtbl.mem keys orderkey then begin
-                let r = C.ref_of_slot db.Db_smc.lineitems blk slot in
-                if C.remove db.Db_smc.lineitems r then incr removed
-              end
-            end));
+    iter_matching_lineitems db ~keys ~f:(fun r ->
+        if C.remove db.Db_smc.lineitems r then incr removed);
     !removed
   in
   {
@@ -78,6 +80,36 @@ let smc_ops (db : Db_smc.t) (ds : Row.dataset) =
     size = (fun () -> C.count db.Db_smc.lineitems);
     random_orderkey = (fun g -> ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)).Row.o_orderkey);
   }
+
+let smc_txn_ops (db : Db_smc.t) (ds : Row.dataset) =
+  let base = smc_ops db ds in
+  let insert_batch ~count =
+    let g = Prng.create ~seed:(Int64.of_int count) () in
+    match
+      C.transact db.Db_smc.lineitems (fun tx ->
+          for _ = 1 to count do
+            C.stage_add tx ~init:(init_fresh_lineitem db g)
+          done)
+    with
+    | C.Committed _ -> ()
+    | C.Conflict -> assert false (* add-only transactions never conflict *)
+  in
+  let remove_batch ~keys =
+    let victims = ref [] in
+    iter_matching_lineitems db ~keys ~f:(fun r -> victims := r :: !victims);
+    match
+      C.transact db.Db_smc.lineitems (fun tx ->
+          List.iter (fun r -> C.stage_remove tx r) !victims)
+    with
+    | C.Committed _ -> List.length !victims
+    | C.Conflict ->
+      (* A concurrent stream won the race for one of our victims; fall back
+         to bare removes, which skip already-dead references individually. *)
+      List.fold_left
+        (fun acc r -> if C.remove db.Db_smc.lineitems r then acc + 1 else acc)
+        0 !victims
+  in
+  { base with kind = "smc_txn"; insert_batch; remove_batch }
 
 let fresh_lineitem_row g (ds : Row.dataset) =
   let order = ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)) in

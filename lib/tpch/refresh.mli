@@ -20,6 +20,14 @@ type ops = {
 val smc_ops : Db_smc.t -> Row.dataset -> ops
 (** Thread-safe. *)
 
+val smc_txn_ops : Db_smc.t -> Row.dataset -> ops
+(** Like {!smc_ops}, but each refresh half runs as one atomic multi-op
+    transaction ([Collection.transact], see docs/transactions.md): a crash
+    replays all of a half-stream or none of it, and snapshot views never
+    observe a half-applied stream. When two remove streams race for the
+    same victims, the conflict loser falls back to bare removes.
+    Thread-safe. *)
+
 val vector_ops : Row.dataset -> ops
 (** Backed by {!Smc_managed.Vector}; NOT thread-safe — callers serialise
     (the benchmark wraps it in a mutex, as using [List<T>] from multiple

@@ -769,6 +769,263 @@ let test_persist_under_churn () =
     (Smc_obs.get s Smc_obs.c_persist_wal_appends > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Transactions under churn: 2 txn-writer domains each commit atomic
+   *pairs* — two adds carrying payloads v and -v, two removes, or two
+   copy-on-write stores rewriting both payloads — so at every commit
+   boundary the collection-wide payload sum is 0 and every even key has
+   its odd partner with the negated payload. A snapshot-view reader
+   domain keeps asserting exactly that Q1-style invariant against open
+   views while the writers commit and a compactor relocates rows
+   underneath: any torn batch, drifting view, or loser write shows up as
+   a non-zero sum or a widowed key. Every round ends at a quiescent
+   checkpoint — structural audit, counter balances (including the
+   transaction outcome and view balances), the CSN stamp sweep
+   (Txn_check.check_quiescent) and a merged-model diff — and the run ends
+   with a whole-log WAL recovery diffed against the same models. *)
+(* ------------------------------------------------------------------ *)
+
+let txn_layout =
+  Layout.create ~name:"stress_txn" [ ("key", Layout.Int); ("payload", Layout.Int) ]
+
+(* Pair [p] owns keys (2p, 2p+1); writer [w] owns pairs with p mod 2 = w,
+   so the writers' staged references are disjoint and commits must never
+   conflict. *)
+type txn_wstate = {
+  t_id : int;
+  t_pairs : (int, int * Smc.Ref.t * Smc.Ref.t) Hashtbl.t;
+      (* pair -> (v, even ref, odd ref) *)
+  mutable t_live : int array;  (* live pair ids, dense prefix *)
+  mutable t_n : int;
+  t_pos : (int, int) Hashtbl.t;
+  mutable t_next : int;
+}
+
+let new_txn_wstate id =
+  {
+    t_id = id;
+    t_pairs = Hashtbl.create 256;
+    t_live = Array.make 256 0;
+    t_n = 0;
+    t_pos = Hashtbl.create 256;
+    t_next = 0;
+  }
+
+let t_push st p =
+  if st.t_n = Array.length st.t_live then begin
+    let next = Array.make (2 * st.t_n) 0 in
+    Array.blit st.t_live 0 next 0 st.t_n;
+    st.t_live <- next
+  end;
+  st.t_live.(st.t_n) <- p;
+  Hashtbl.replace st.t_pos p st.t_n;
+  st.t_n <- st.t_n + 1
+
+let t_drop st p =
+  let i = Hashtbl.find st.t_pos p in
+  let last = st.t_live.(st.t_n - 1) in
+  st.t_live.(i) <- last;
+  Hashtbl.replace st.t_pos last i;
+  Hashtbl.remove st.t_pos p;
+  st.t_n <- st.t_n - 1
+
+let pair_v p = 7 + (31 * p)
+
+let txn_writer_round coll fkey fpay st prng txns errs =
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  for _ = 1 to txns do
+    let d = Smc_util.Prng.int prng 100 in
+    if d < 45 || st.t_n = 0 then begin
+      let p = st.t_id + (2 * st.t_next) in
+      st.t_next <- st.t_next + 1;
+      let v = pair_v p in
+      let stage_one tx k pay =
+        Smc.Collection.stage_add tx ~init:(fun blk slot ->
+            Smc.Field.set_int fpay blk slot pay;
+            Smc.Field.set_int fkey blk slot k)
+      in
+      match
+        Smc.Collection.transact coll (fun tx ->
+            stage_one tx (2 * p) v;
+            stage_one tx ((2 * p) + 1) (-v))
+      with
+      | Smc.Collection.Committed [ re; ro ] ->
+        Hashtbl.replace st.t_pairs p (v, re, ro);
+        t_push st p
+      | Smc.Collection.Committed refs ->
+        fail "txn writer %d: pair add returned %d refs" st.t_id (List.length refs)
+      | Smc.Collection.Conflict ->
+        fail "txn writer %d: conflict on disjoint pair add" st.t_id
+    end
+    else begin
+      let p = st.t_live.(Smc_util.Prng.int prng st.t_n) in
+      let v, re, ro = Hashtbl.find st.t_pairs p in
+      if d < 70 then begin
+        match
+          Smc.Collection.transact coll (fun tx ->
+              Smc.Collection.stage_remove tx re;
+              Smc.Collection.stage_remove tx ro)
+        with
+        | Smc.Collection.Committed [] ->
+          Hashtbl.remove st.t_pairs p;
+          t_drop st p
+        | Smc.Collection.Committed _ -> fail "txn writer %d: removes returned refs" st.t_id
+        | Smc.Collection.Conflict ->
+          fail "txn writer %d: conflict on disjoint pair remove" st.t_id
+      end
+      else begin
+        let v' = v + 1 + Smc_util.Prng.int prng 1000 in
+        match
+          Smc.Collection.transact coll (fun tx ->
+              Smc.Collection.stage_store tx re ~word:fpay.Layout.word ~value:v';
+              Smc.Collection.stage_store tx ro ~word:fpay.Layout.word ~value:(-v'))
+        with
+        | Smc.Collection.Committed [] -> Hashtbl.replace st.t_pairs p (v', re, ro)
+        | Smc.Collection.Committed _ -> fail "txn writer %d: stores returned refs" st.t_id
+        | Smc.Collection.Conflict ->
+          fail "txn writer %d: conflict on disjoint pair update" st.t_id
+      end
+    end
+  done
+
+(* The snapshot reader: every sweep opens a view and checks the commit
+   boundary it pinned — payload sum zero, no widowed keys, pairwise
+   negation — then lets it go. Torn pair batches or payload drift under
+   copy-on-write stores would break all three. *)
+let txn_reader_round coll fkey fpay ~sweeps errs =
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  for sweep = 1 to sweeps do
+    Smc.Collection.with_view coll (fun v ->
+        let sum = ref 0 and n = ref 0 in
+        let keys = Hashtbl.create 512 in
+        Smc.Collection.view_iter v ~f:(fun blk slot ->
+            incr n;
+            let k = Smc.Field.get_int fkey blk slot in
+            let p = Smc.Field.get_int fpay blk slot in
+            sum := !sum + p;
+            if Hashtbl.mem keys k then fail "view sweep %d: key %d twice" sweep k;
+            Hashtbl.replace keys k p);
+        if !sum <> 0 then
+          fail "view sweep %d: payload sum %d over %d rows (commit boundary torn)" sweep !sum
+            !n;
+        if !n mod 2 <> 0 then fail "view sweep %d: odd row count %d" sweep !n;
+        Hashtbl.iter
+          (fun k p ->
+            let partner = if k mod 2 = 0 then k + 1 else k - 1 in
+            match Hashtbl.find_opt keys partner with
+            | None -> fail "view sweep %d: key %d has no partner" sweep k
+            | Some p' -> if p + p' <> 0 then fail "view sweep %d: pair (%d,%d) sums %d" sweep k
+                  partner (p + p'))
+          keys);
+    Domain.cpu_relax ()
+  done
+
+let txn_check_merged coll fkey fpay (writers : txn_wstate array) errs =
+  let expected = Hashtbl.create 1024 in
+  Array.iter
+    (fun st ->
+      Hashtbl.iter
+        (fun p (v, _, _) ->
+          Hashtbl.replace expected (2 * p) v;
+          Hashtbl.replace expected ((2 * p) + 1) (-v))
+        st.t_pairs)
+    writers;
+  let seen = Hashtbl.create 1024 in
+  Smc.Collection.iter coll ~f:(fun blk slot ->
+      let k = Smc.Field.get_int fkey blk slot in
+      let p = Smc.Field.get_int fpay blk slot in
+      (match Hashtbl.find_opt expected k with
+      | None -> errs := Printf.sprintf "txn checkpoint: unexpected key %d" k :: !errs
+      | Some v ->
+        if p <> v then
+          errs := Printf.sprintf "txn checkpoint: key %d carries %d, writers hold %d" k p v
+            :: !errs);
+      Hashtbl.replace seen k ());
+  Hashtbl.iter
+    (fun k _ ->
+      if not (Hashtbl.mem seen k) then
+        errs := Printf.sprintf "txn checkpoint: live key %d missing" k :: !errs)
+    expected
+
+let test_txn_churn () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"stress_txn" ~layout:txn_layout ~slots_per_block:128
+      ~reclaim_threshold:0.25 ()
+  in
+  let fkey = Smc.Field.int txn_layout "key" in
+  let fpay = Smc.Field.int txn_layout "payload" in
+  let wal_path = Filename.temp_file "smc_stress_txn" ".wal" in
+  let snap_path = Filename.temp_file "smc_stress_txn" ".smcsnap" in
+  let wal = Wal.create ~path:wal_path ~name:"stress_txn" () in
+  Wal.attach wal coll;
+  let (_ : Snapshot.manifest * int) = Snapshot.write ~wal ~path:snap_path coll in
+  let auditor = Audit.create rt in
+  let writers = [| new_txn_wstate 0; new_txn_wstate 1 |] in
+  let rounds = 4 in
+  let per_writer = max 150 (iters / 15) in
+  let errs = ref [] in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng =
+            Smc_util.Prng.create ~seed:(subseed (13_000 + (100 * round) + st.t_id)) ()
+          in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              txn_writer_round coll fkey fpay st prng per_writer local;
+              Epoch.release_current_domain ();
+              !local))
+        writers
+    in
+    let rd =
+      Domain.spawn (fun () ->
+          let local = ref [] in
+          txn_reader_round coll fkey fpay ~sweeps:(4 + (per_writer / 40)) local;
+          Epoch.release_current_domain ();
+          !local)
+    in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round coll.Smc.Collection.ctx 6;
+          Epoch.release_current_domain ())
+    in
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    errs := Domain.join rd @ !errs;
+    Domain.join cd;
+    (* Quiescent checkpoint: structural audit, counter balances (the
+       transaction and view balances ride Obs_check), the CSN stamp
+       sweep, then the merged-model diff. *)
+    audit_quiescent (Printf.sprintf "txn-churn round %d" round) auditor rt
+      coll.Smc.Collection.ctx;
+    assert_clean
+      (Printf.sprintf "txn stamp sweep, round %d" round)
+      (Txn_check.check_quiescent coll);
+    txn_check_merged coll fkey fpay writers errs;
+    assert_clean (Printf.sprintf "txn-churn checkpoint, round %d" round) !errs
+  done;
+  (* Whole-log recovery holds the same invariants as the live state. *)
+  Wal.flush wal;
+  let r = Snapshot.restore ~wal:wal_path ~path:snap_path () in
+  txn_check_merged r.Snapshot.r_coll fkey fpay writers errs;
+  errs :=
+    Smc_check.Audit.check_once r.Snapshot.r_rt
+      ~contexts:[ r.Snapshot.r_coll.Smc.Collection.ctx ]
+    @ !errs;
+  assert_clean "txn-churn recovery" !errs;
+  Wal.close wal;
+  Sys.remove wal_path;
+  Sys.remove snap_path;
+  let s = Smc_obs.snapshot rt.Runtime.obs in
+  Alcotest.(check bool) "transactions committed" true
+    (Smc_obs.get s Smc_obs.c_txn_commits > 0);
+  Alcotest.(check int) "no conflicts between disjoint writers" 0
+    (Smc_obs.get s Smc_obs.c_txn_conflicts);
+  Alcotest.(check bool) "views opened" true (Smc_obs.get s Smc_obs.c_txn_views > 0);
+  Alcotest.(check int) "all views closed" 0
+    (Smc_obs.get s Smc_obs.c_txn_views - Smc_obs.get s Smc_obs.c_txn_view_closes)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* The balance checks and queue-race assertions need counting on. *)
@@ -806,5 +1063,6 @@ let () =
             (test_queue_race Context.Direct);
           qc "index churn: writers + probers + compactor" test_index_churn;
           qc "persistence: snapshots + WAL recovery under churn" test_persist_under_churn;
+          qc "transactions: pair atomicity vs snapshot readers + compactor" test_txn_churn;
         ] );
     ]

@@ -37,7 +37,7 @@ let test_fig7_variants () =
 
 let test_fig8_runs () =
   let points = E.Fig8.run ~sf:0.002 ~pairs_per_thread:1 ~thread_counts:[ 1 ] () in
-  check Alcotest.int "3 variants" 3 (List.length points);
+  check Alcotest.int "4 variants" 4 (List.length points);
   List.iter
     (fun (p : E.Fig8.point) ->
       if p.E.Fig8.streams_per_min <= 0.0 then Alcotest.fail "nonpositive stream rate")

@@ -1,0 +1,715 @@
+(* Tests for atomic multi-op transactions and snapshot-isolation reads:
+   commit/abort/conflict semantics, WAL transaction framing, crash
+   recovery at and around every commit boundary (byte-level log surgery),
+   view stability, query integration, and the Txn_check model checker. *)
+
+open Smc_offheap
+module Snapshot = Smc_persist.Snapshot
+module Wal = Smc_persist.Wal
+module Persist_check = Smc_check.Persist_check
+module Txn_check = Smc_check.Txn_check
+module C = Smc.Collection
+
+let check = Alcotest.check
+
+let contains_sub ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let tmp ext =
+  let f = Filename.temp_file "smc_txn_test" ext in
+  at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+  f
+
+let kv_layout =
+  Layout.create ~name:"kv" [ ("k", Layout.Int); ("v", Layout.Int) ]
+
+let fk = Smc.Field.int kv_layout "k"
+let fv = Smc.Field.int kv_layout "v"
+
+let make_kv () =
+  let rt = Runtime.create () in
+  let coll = C.create rt ~name:"kv" ~layout:kv_layout ~slots_per_block:32 () in
+  (rt, coll)
+
+(* Collection + WAL at Always sync + empty base snapshot cut at LSN 0:
+   recovered state is a pure function of the log bytes. *)
+let make_logged ?(sync = Wal.Always) () =
+  let rt, coll = make_kv () in
+  let wal_path = tmp ".wal" in
+  let snap = tmp ".smcsnap" in
+  let wal = Wal.create ~sync ~path:wal_path ~name:"kv" () in
+  Wal.attach wal coll;
+  let (_ : Snapshot.manifest * int) = Snapshot.write ~wal ~path:snap coll in
+  (rt, coll, wal, wal_path, snap)
+
+let add_kv coll k v =
+  C.add coll ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot k;
+      Smc.Field.set_int fv blk slot v)
+
+let stage_kv tx k v =
+  C.stage_add tx ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot k;
+      Smc.Field.set_int fv blk slot v)
+
+let dump coll =
+  C.fold coll ~init:[] ~f:(fun acc blk slot ->
+      (Smc.Field.get_int fk blk slot, Smc.Field.get_int fv blk slot) :: acc)
+  |> List.sort compare
+
+let dump_restored path snap =
+  let r, violations = Persist_check.restore_verified ~wal:path ~path:snap () in
+  check (Alcotest.list Alcotest.string) "restore audits clean" [] violations;
+  dump r.Snapshot.r_coll
+
+let pairs = Alcotest.(list (pair int int))
+
+let commit_refs tx =
+  match C.commit tx with
+  | C.Committed refs -> refs
+  | C.Conflict -> Alcotest.fail "unexpected Conflict"
+
+(* ------------------------------------------------------------------ *)
+(* Byte-level WAL surgery.
+
+   A log file is: magic (8 bytes), one header section, then one section
+   per record — each section being [len:8 LE][crc:8 LE][payload]. The
+   first payload word is the op code (add=1 remove=2 store=3 txn_begin=4
+   txn_commit=5). [wal_records] returns (offset, total_len, op) for every
+   record section, in file order, so tests can truncate at exact record
+   boundaries or splice individual records out of the middle. *)
+
+let wal_records path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let size = in_channel_length ic in
+      seek_in ic 8;
+      (* skip the header section *)
+      let hdr = Bytes.create 16 in
+      really_input ic hdr 0 16;
+      let hlen = Int64.to_int (Bytes.get_int64_le hdr 0) in
+      seek_in ic (24 + hlen);
+      let out = ref [] in
+      let rec loop off =
+        if off + 16 <= size then begin
+          seek_in ic off;
+          let h = Bytes.create 16 in
+          really_input ic h 0 16;
+          let len = Int64.to_int (Bytes.get_int64_le h 0) in
+          if off + 16 + len <= size then begin
+            let op_b = Bytes.create 8 in
+            really_input ic op_b 0 8;
+            let op = Int64.to_int (Bytes.get_int64_le op_b 0) in
+            out := (off, 16 + len, op) :: !out;
+            loop (off + 16 + len)
+          end
+        end
+      in
+      loop (24 + hlen);
+      List.rev !out)
+
+let truncate_to path off =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd off;
+  Unix.close fd
+
+(* Copy [path] to a temp file with the byte range [off, off+len) removed. *)
+let splice_out path ~off ~len =
+  let out_path = tmp ".wal" in
+  let ic = open_in_bin path in
+  let oc = open_out_bin out_path in
+  let size = in_channel_length ic in
+  let buf = really_input_string ic size in
+  output_string oc (String.sub buf 0 off);
+  output_string oc (String.sub buf (off + len) (size - off - len));
+  close_in ic;
+  close_out oc;
+  out_path
+
+let record_ops path = List.map (fun (_, _, op) -> op) (wal_records path)
+
+(* ------------------------------------------------------------------ *)
+(* Commit / abort semantics *)
+
+let test_commit_basic () =
+  let _rt, coll = make_kv () in
+  let r1 = add_kv coll 1 10 in
+  let _r2 = add_kv coll 2 20 in
+  let tx = C.txn coll in
+  stage_kv tx 3 30;
+  C.stage_remove tx r1;
+  stage_kv tx 4 40;
+  (match C.commit tx with
+  | C.Committed [ a; b ] ->
+    (* Add references come back in stage order. *)
+    let blk, slot = C.deref coll a in
+    check Alcotest.int "first staged add" 3 (Smc.Field.get_int fk blk slot);
+    let blk, slot = C.deref coll b in
+    check Alcotest.int "second staged add" 4 (Smc.Field.get_int fk blk slot)
+  | C.Committed refs -> Alcotest.failf "expected 2 add refs, got %d" (List.length refs)
+  | C.Conflict -> Alcotest.fail "unexpected Conflict");
+  check pairs "post-commit state" [ (2, 20); (3, 30); (4, 40) ] (dump coll)
+
+let test_store_in_txn () =
+  let _rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let tx = C.txn coll in
+  C.stage_store tx r ~word:fv.Layout.word ~value:99;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  check pairs "store applied" [ (1, 99) ] (dump coll);
+  (* Out-of-layout word offsets are rejected at stage time. *)
+  let tx = C.txn coll in
+  (match C.stage_store tx r ~word:17 ~value:0 with
+  | () -> Alcotest.fail "out-of-layout store must be rejected"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "message explains" true (contains_sub ~sub:"word offset" msg));
+  C.abort tx
+
+let test_empty_txn () =
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  check (Alcotest.list Alcotest.unit) "empty commit" []
+    (List.map (fun (_ : Smc.Ref.t) -> ()) (commit_refs tx));
+  check pairs "still empty" [] (dump coll);
+  (* The empty frame is logged and replays to nothing. *)
+  check (Alcotest.list Alcotest.int) "begin+commit frame" [ 4; 5 ] (record_ops wal_path);
+  check pairs "recovers to empty" [] (dump_restored wal_path snap);
+  Wal.close wal
+
+let test_single_op_txn () =
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  stage_kv tx 7 70;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  check (Alcotest.list Alcotest.int) "framed single op" [ 4; 1; 5 ] (record_ops wal_path);
+  check pairs "recovers the row" [ (7, 70) ] (dump_restored wal_path snap);
+  Wal.close wal
+
+let test_abort () =
+  let _rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let tx = C.txn coll in
+  stage_kv tx 2 20;
+  C.stage_remove tx r;
+  C.abort tx;
+  check pairs "abort leaves no trace" [ (1, 10) ] (dump coll);
+  (* A finished transaction rejects everything. *)
+  (match C.commit tx with
+  | (_ : C.txn_result) -> Alcotest.fail "commit after abort must be rejected"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "commit-after-abort message" true
+      (contains_sub ~sub:"already committed or aborted" msg));
+  (match stage_kv tx 3 30 with
+  | () -> Alcotest.fail "stage after abort must be rejected"
+  | exception Invalid_argument _ -> ());
+  (match C.abort tx with
+  | () -> Alcotest.fail "double abort must be rejected"
+  | exception Invalid_argument _ -> ())
+
+let test_transact_wrapper () =
+  let _rt, coll = make_kv () in
+  (match C.transact coll (fun tx -> stage_kv tx 1 10) with
+  | C.Committed [ _ ] -> ()
+  | _ -> Alcotest.fail "transact must commit the staged add");
+  (* A raising body aborts and re-raises; nothing is published. *)
+  (match C.transact coll (fun tx -> stage_kv tx 2 20; failwith "boom") with
+  | (_ : C.txn_result) -> Alcotest.fail "exception must propagate"
+  | exception Failure msg -> check Alcotest.string "body exception" "boom" msg);
+  check pairs "raising body left no trace" [ (1, 10) ] (dump coll);
+  (* A body that finishes the transaction itself is a misuse. *)
+  (match C.transact coll (fun tx -> C.abort tx) with
+  | (_ : C.txn_result) -> Alcotest.fail "body-finished transaction must be rejected"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "misuse message" true (contains_sub ~sub:"transact" msg))
+
+let test_duplicate_ref_rejected () =
+  let _rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let tx = C.txn coll in
+  C.stage_remove tx r;
+  C.stage_store tx r ~word:fv.Layout.word ~value:5;
+  (match C.commit tx with
+  | (_ : C.txn_result) -> Alcotest.fail "duplicate staged ref must be rejected"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "dup message" true (contains_sub ~sub:"staged" msg));
+  check pairs "nothing applied" [ (1, 10) ] (dump coll)
+
+(* ------------------------------------------------------------------ *)
+(* Write-write conflicts *)
+
+let test_conflict_store_store () =
+  let _rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let tx1 = C.txn coll and tx2 = C.txn coll in
+  C.stage_store tx1 r ~word:fv.Layout.word ~value:111;
+  C.stage_store tx2 r ~word:fv.Layout.word ~value:222;
+  (match C.commit tx1 with
+  | C.Committed [] -> ()
+  | _ -> Alcotest.fail "first committer must win");
+  (match C.commit tx2 with
+  | C.Conflict -> ()
+  | C.Committed _ -> Alcotest.fail "second committer must conflict");
+  check pairs "loser invisible" [ (1, 111) ] (dump coll)
+
+let test_conflict_remove_vs_store () =
+  let _rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let tx1 = C.txn coll and tx2 = C.txn coll in
+  C.stage_remove tx1 r;
+  C.stage_store tx2 r ~word:fv.Layout.word ~value:222;
+  (match C.commit tx1 with
+  | C.Committed [] -> ()
+  | _ -> Alcotest.fail "remove txn must commit");
+  (match C.commit tx2 with
+  | C.Conflict -> ()
+  | C.Committed _ -> Alcotest.fail "store against a removed row must conflict");
+  check pairs "row gone, store never landed" [] (dump coll)
+
+let test_conflict_against_bare_write () =
+  (* Bare removes stamp the slot too: a transaction staged against a row
+     that a bare remove then kills must conflict at commit. *)
+  let _rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let tx = C.txn coll in
+  C.stage_store tx r ~word:fv.Layout.word ~value:111;
+  check Alcotest.bool "bare remove wins the race" true (C.remove coll r);
+  (match C.commit tx with
+  | C.Conflict -> ()
+  | C.Committed _ -> Alcotest.fail "stale staged store must conflict");
+  check pairs "empty" [] (dump coll)
+
+let test_conflict_pairs_property () =
+  (* Property: for overlapping transaction pairs staging a write to the
+     same row, exactly one commits, and the final state always matches a
+     model that applies only the winners. Runs a seeded mix of
+     store/store, remove/store, store/remove and remove/remove pairs,
+     with an attached index that must stay exact throughout. *)
+  let rt, coll = make_kv () in
+  let ix =
+    Smc_index.Hash_index.attach ~name:"by_k"
+      ~key:(Smc_index.Hash_index.Int_key (Smc.Field.get_int fk))
+      coll
+  in
+  let prng = Smc_util.Prng.create ~seed:42L () in
+  let model = Hashtbl.create 64 in
+  let refs = Hashtbl.create 64 in
+  for k = 1 to 40 do
+    let r = add_kv coll k k in
+    Hashtbl.replace model k k;
+    Hashtbl.replace refs k r
+  done;
+  for round = 1 to 60 do
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) refs [] in
+    match keys with
+    | [] -> ()
+    | _ ->
+      let k = List.nth keys (Smc_util.Prng.int prng (List.length keys)) in
+      let r = Hashtbl.find refs k in
+      let stage tx op v =
+        if op then C.stage_remove tx r
+        else C.stage_store tx r ~word:fv.Layout.word ~value:v
+      in
+      let op1 = Smc_util.Prng.bool prng and op2 = Smc_util.Prng.bool prng in
+      let v1 = 1000 + round and v2 = 5000 + round in
+      let tx1 = C.txn coll and tx2 = C.txn coll in
+      stage tx1 op1 v1;
+      stage tx2 op2 v2;
+      (match (C.commit tx1, C.commit tx2) with
+      | C.Committed [], C.Conflict ->
+        if op1 then begin
+          Hashtbl.remove model k;
+          Hashtbl.remove refs k
+        end
+        else Hashtbl.replace model k v1
+      | C.Conflict, _ -> Alcotest.failf "round %d: first committer conflicted" round
+      | C.Committed _, C.Committed _ ->
+        Alcotest.failf "round %d: both sides of a conflicting pair committed" round
+      | C.Committed _, C.Conflict -> Alcotest.failf "round %d: adds from store-only txn" round)
+  done;
+  let want =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) model [] |> List.sort compare
+  in
+  check pairs "winners-only model agrees" want (dump coll);
+  check (Alcotest.list Alcotest.string) "index exact after conflict churn" []
+    (Smc_check.Index_check.check [ ix ]);
+  check (Alcotest.list Alcotest.string) "audit clean" []
+    (Smc_check.Audit.check_once rt ~contexts:[ coll.C.ctx ])
+
+(* ------------------------------------------------------------------ *)
+(* Crash recovery: torn and spliced transaction frames *)
+
+(* Log two transactions; return everything needed for surgery on the
+   second frame. State after txn1 only: [(1,10); (2,20)]. *)
+let two_txn_log () =
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  stage_kv tx 1 10;
+  stage_kv tx 2 20;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  let tx = C.txn coll in
+  stage_kv tx 3 30;
+  stage_kv tx 4 40;
+  stage_kv tx 5 50;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  Wal.close wal;
+  check (Alcotest.list Alcotest.int) "expected frame layout" [ 4; 1; 1; 5; 4; 1; 1; 1; 5 ]
+    (record_ops wal_path);
+  (coll, wal_path, snap)
+
+let txn1_state = [ (1, 10); (2, 20) ]
+
+let test_torn_inside_body () =
+  (* Truncate at every record boundary inside the second frame: the whole
+     transaction must vanish, the first must survive untouched. *)
+  List.iter
+    (fun drop_records ->
+      let _coll, wal_path, snap = two_txn_log () in
+      let records = Array.of_list (wal_records wal_path) in
+      let off, _, _ = records.(Array.length records - drop_records) in
+      truncate_to wal_path off;
+      check pairs
+        (Printf.sprintf "frame dropped as a unit (cut %d records back)" drop_records)
+        txn1_state (dump_restored wal_path snap))
+    [ 2; 3; 4 ]
+
+let test_torn_mid_record () =
+  (* Truncate inside a body record's bytes — a torn append on top of an
+     incomplete frame. Both the torn record and the open frame go. *)
+  let _coll, wal_path, snap = two_txn_log () in
+  let records = Array.of_list (wal_records wal_path) in
+  let off, len, _ = records.(Array.length records - 2) in
+  truncate_to wal_path (off + len - 3);
+  check pairs "torn body record drops the frame" txn1_state (dump_restored wal_path snap)
+
+let test_torn_at_commit_record () =
+  (* The body is fully on disk; only the commit record is missing. Still
+     all-or-nothing: the frame must not replay. *)
+  let _coll, wal_path, snap = two_txn_log () in
+  let records = Array.of_list (wal_records wal_path) in
+  let off, _, op = records.(Array.length records - 1) in
+  check Alcotest.int "last record is the commit" 5 op;
+  truncate_to wal_path off;
+  check pairs "uncommitted frame discarded" txn1_state (dump_restored wal_path snap)
+
+let test_crash_before_fsync () =
+  (* Manual sync: the second transaction's frame sits in the writer's
+     buffer. A crash image taken before the flush has only the first
+     transaction; after the flush, both. *)
+  let _rt, coll, wal, wal_path, snap = make_logged ~sync:Wal.Manual () in
+  let tx = C.txn coll in
+  stage_kv tx 1 10;
+  stage_kv tx 2 20;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  Wal.flush wal;
+  let tx = C.txn coll in
+  stage_kv tx 3 30;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  let crash_img = tmp ".wal" in
+  let ic = open_in_bin wal_path in
+  let img = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin crash_img in
+  output_string oc img;
+  close_out oc;
+  check pairs "pre-fsync crash loses the whole txn" txn1_state (dump_restored crash_img snap);
+  Wal.close wal;
+  check pairs "post-flush image has it all" [ (1, 10); (2, 20); (3, 30) ]
+    (dump_restored wal_path snap)
+
+let test_uncommitted_prefix_then_clean_tail () =
+  (* Regression: a complete-but-uncommitted frame in the *middle* of the
+     log, with healthy records behind it, must be skipped — not treated
+     as fatal corruption. This is the disk state after a commit-record
+     tear survives one recovery and the reopened log grows a clean tail. *)
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  stage_kv tx 1 10;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  let tx = C.txn coll in
+  stage_kv tx 2 20;
+  stage_kv tx 3 30;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  ignore (add_kv coll 4 40 : Smc.Ref.t);
+  Wal.close wal;
+  check (Alcotest.list Alcotest.int) "layout before surgery" [ 4; 1; 5; 4; 1; 1; 5; 1 ]
+    (record_ops wal_path);
+  (* Splice out the second frame's commit record; its body stays, followed
+     by the bare add. *)
+  let records = Array.of_list (wal_records wal_path) in
+  let off, len, op = records.(6) in
+  check Alcotest.int "splicing the commit record" 5 op;
+  let cut = splice_out wal_path ~off ~len in
+  check pairs "orphan frame skipped, bare tail applied" [ (1, 10); (4, 40) ]
+    (dump_restored cut snap)
+
+let test_stray_commit_is_fatal () =
+  (* A commit record with no open frame cannot be produced by any crash
+     of the writer — recovery must refuse the log. *)
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  stage_kv tx 1 10;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  Wal.close wal;
+  let records = Array.of_list (wal_records wal_path) in
+  let off, len, op = records.(0) in
+  check Alcotest.int "splicing the begin record" 4 op;
+  let cut = splice_out wal_path ~off ~len in
+  match Snapshot.restore ~wal:cut ~path:snap () with
+  | (_ : Snapshot.restored) -> Alcotest.fail "stray commit must be fatal"
+  | exception Smc_persist.Pio.Corrupt msg ->
+    check Alcotest.bool "message names the frame" true
+      (contains_sub ~sub:"commit" msg)
+
+let test_short_frame_is_fatal () =
+  (* A commit record arriving before the declared op count is complete
+     means a record vanished from the middle — corruption, not a tear. *)
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  stage_kv tx 1 10;
+  stage_kv tx 2 20;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  Wal.close wal;
+  let records = Array.of_list (wal_records wal_path) in
+  let off, len, op = records.(1) in
+  check Alcotest.int "splicing a body record" 1 op;
+  let cut = splice_out wal_path ~off ~len in
+  match Snapshot.restore ~wal:cut ~path:snap () with
+  | (_ : Snapshot.restored) -> Alcotest.fail "short frame must be fatal"
+  | exception Smc_persist.Pio.Corrupt msg ->
+    check Alcotest.bool "message counts the ops" true
+      (contains_sub ~sub:"op" msg)
+
+let test_torn_tail_regression_bare () =
+  (* The pre-transaction torn-tail contract still holds for bare records
+     behind a committed frame. *)
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let tx = C.txn coll in
+  stage_kv tx 1 10;
+  ignore (commit_refs tx : Smc.Ref.t list);
+  ignore (add_kv coll 2 20 : Smc.Ref.t);
+  Wal.close wal;
+  let size = (Unix.stat wal_path).Unix.st_size in
+  truncate_to wal_path (size - 5);
+  let r, violations = Persist_check.restore_verified ~wal:wal_path ~path:snap () in
+  check (Alcotest.list Alcotest.string) "restore audits clean" [] violations;
+  check Alcotest.int "torn drop counted" 1 r.Snapshot.r_torn_dropped;
+  check pairs "frame survives, torn bare add dropped" [ (1, 10) ] (dump r.Snapshot.r_coll)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot views *)
+
+let test_view_stability () =
+  let _rt, coll = make_kv () in
+  let r1 = add_kv coll 1 10 in
+  ignore (add_kv coll 2 20 : Smc.Ref.t);
+  let v = C.with_view coll (fun v ->
+      let before = C.view_fold v ~init:[] ~f:(fun acc blk slot ->
+          (Smc.Field.get_int fk blk slot, Smc.Field.get_int fv blk slot) :: acc)
+        |> List.sort compare
+      in
+      check pairs "view reads current state at open" [ (1, 10); (2, 20) ] before;
+      (* Commit a transaction and a bare op under the open view. *)
+      (match C.transact coll (fun tx ->
+           stage_kv tx 3 30;
+           C.stage_remove tx r1) with
+      | C.Committed _ -> ()
+      | C.Conflict -> Alcotest.fail "unexpected conflict");
+      ignore (add_kv coll 4 40 : Smc.Ref.t);
+      let after = C.view_fold v ~init:[] ~f:(fun acc blk slot ->
+          (Smc.Field.get_int fk blk slot, Smc.Field.get_int fv blk slot) :: acc)
+        |> List.sort compare
+      in
+      check pairs "view still reads its frontier" [ (1, 10); (2, 20) ] after;
+      check Alcotest.int "view_count matches" 2 (C.view_count v);
+      v)
+  in
+  (* Closed views refuse to iterate; current state moved on. *)
+  (match C.view_iter v ~f:(fun _ _ -> ()) with
+  | () -> Alcotest.fail "closed view must be rejected"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "closed-view message" true (contains_sub ~sub:"closed" msg));
+  check pairs "current state moved on" [ (2, 20); (3, 30); (4, 40) ] (dump coll);
+  C.with_view coll (fun v2 ->
+      check Alcotest.int "fresh view sees the new frontier" 3 (C.view_count v2))
+
+let test_view_vs_compaction () =
+  (* An open view aborts compaction passes (limbo rows it can still see
+     must not be dropped); closing the view re-enables them. *)
+  let rt, coll = make_kv () in
+  let refs = Array.init 64 (fun i -> add_kv coll i i) in
+  Array.iteri (fun i r -> if i mod 2 = 0 then ignore (C.remove coll r : bool)) refs;
+  C.with_view coll (fun v ->
+      for _ = 1 to 4 do
+        ignore (Epoch.try_advance rt.Runtime.epoch : bool)
+      done;
+      (* The compactor runs on its own domain — a view's critical section
+         belongs to the opening domain, which therefore cannot compact. *)
+      let report = Domain.join (Domain.spawn (fun () -> C.compact coll ())) in
+      check Alcotest.bool "pass aborts under an open view" true report.Compaction.aborted;
+      check Alcotest.int "view intact" 32 (C.view_count v));
+  for _ = 1 to 4 do
+    ignore (Epoch.try_advance rt.Runtime.epoch : bool)
+  done;
+  let report = C.compact coll () in
+  check Alcotest.bool "pass runs once the view closes" false report.Compaction.aborted;
+  check (Alcotest.list Alcotest.string) "audit clean" []
+    (Smc_check.Audit.check_once rt ~contexts:[ coll.C.ctx ])
+
+let test_view_query_integration () =
+  (* A Volcano aggregate over a view-pinned source reads one commit
+     boundary even when a transaction lands between plan build and
+     execution — and sequential, fused and parallel engines agree. *)
+  let _rt, coll = make_kv () in
+  for i = 1 to 20 do
+    ignore (add_kv coll i (i * 100) : Smc.Ref.t)
+  done;
+  let columns =
+    [
+      ("k", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fk blk slot));
+      ("v", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fv blk slot));
+    ]
+  in
+  let agg src =
+    Smc_query.Interp.collect
+      Smc_query.Plan.(
+        group_by ~keys:[]
+          ~aggs:[ ("n", Count); ("total", Sum (Smc_query.Expr.Col "v")) ]
+          (scan src))
+  in
+  C.with_view coll (fun v ->
+      let src = Smc_query.Source.of_smc ~view:v coll ~columns in
+      let before = agg src in
+      (match C.transact coll (fun tx ->
+           for i = 21 to 30 do
+             stage_kv tx i (i * 100)
+           done) with
+      | C.Committed _ -> ()
+      | C.Conflict -> Alcotest.fail "unexpected conflict");
+      let after = agg src in
+      check Alcotest.bool "aggregate stable across the commit" true (before = after);
+      (match before with
+      | [ [| Smc_query.Value.Int n; Smc_query.Value.Int total |] ] ->
+        check Alcotest.int "count at frontier" 20 n;
+        check Alcotest.int "sum at frontier" 21_000 total
+      | _ -> Alcotest.fail "expected one aggregate row");
+      let fused = Smc_query.Fuse.collect (Smc_query.Plan.scan src) in
+      check Alcotest.int "fused scan reads the frontier" 20 (List.length fused);
+      let par_src = Smc_query.Source.of_smc ~domains:2 ~view:v coll ~columns in
+      check Alcotest.bool "parallel view scan agrees" true (agg par_src = before));
+  (* Views and index access paths are mutually exclusive. *)
+  let ix =
+    Smc_index.Hash_index.attach ~name:"kv_by_k"
+      ~key:(Smc_index.Hash_index.Int_key (Smc.Field.get_int fk))
+      coll
+  in
+  C.with_view coll (fun v ->
+      match Smc_query.Source.of_smc ~view:v ~indexes:[ ("k", ix) ] coll ~columns with
+      | (_ : Smc_query.Source.t) -> Alcotest.fail "view + indexes must be rejected"
+      | exception Invalid_argument msg ->
+        check Alcotest.bool "mutual-exclusion message" true
+          (contains_sub ~sub:"mutually exclusive" msg))
+
+(* ------------------------------------------------------------------ *)
+(* Observability *)
+
+let test_txn_counters () =
+  let rt, coll = make_kv () in
+  let snap0 = Smc_obs.snapshot rt.Runtime.obs in
+  let r = add_kv coll 1 10 in
+  (match C.transact coll (fun tx -> stage_kv tx 2 20) with
+  | C.Committed _ -> ()
+  | C.Conflict -> Alcotest.fail "unexpected conflict");
+  let tx = C.txn coll in
+  stage_kv tx 3 30;
+  C.abort tx;
+  let tx1 = C.txn coll and tx2 = C.txn coll in
+  C.stage_store tx1 r ~word:fv.Layout.word ~value:1;
+  C.stage_store tx2 r ~word:fv.Layout.word ~value:2;
+  ignore (C.commit tx1 : C.txn_result);
+  (match C.commit tx2 with C.Conflict -> () | _ -> Alcotest.fail "expected conflict");
+  C.with_view coll (fun _ -> ());
+  let d = Smc_obs.diff (Smc_obs.snapshot rt.Runtime.obs) snap0 in
+  let g = Smc_obs.get d in
+  check Alcotest.int "begins" 4 (g Smc_obs.c_txn_begins);
+  check Alcotest.int "commits" 2 (g Smc_obs.c_txn_commits);
+  check Alcotest.int "aborts" 1 (g Smc_obs.c_txn_aborts);
+  check Alcotest.int "conflicts" 1 (g Smc_obs.c_txn_conflicts);
+  check Alcotest.int "views" 1 (g Smc_obs.c_txn_views);
+  check Alcotest.int "view closes" 1 (g Smc_obs.c_txn_view_closes);
+  check (Alcotest.list Alcotest.string) "obs balances hold" []
+    (Smc_check.Obs_check.check rt ~contexts:[ coll.C.ctx ])
+
+(* ------------------------------------------------------------------ *)
+(* Model checking *)
+
+let test_txn_check_short () =
+  let cfg = { Txn_check.default_config with txns = 60; crash_every = 6 } in
+  List.iter
+    (fun seed ->
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "txn model check, seed %Ld" seed)
+        []
+        (Txn_check.run_violations ~config:cfg ~seed ()))
+    [ 1L; 2L ]
+
+let test_txn_check_quiescent () =
+  let _rt, coll = make_kv () in
+  let refs = Array.init 50 (fun i -> add_kv coll i i) in
+  Array.iteri (fun i r -> if i mod 3 = 0 then ignore (C.remove coll r : bool)) refs;
+  (match C.transact coll (fun tx -> stage_kv tx 99 99) with
+  | C.Committed _ -> ()
+  | C.Conflict -> Alcotest.fail "unexpected conflict");
+  check (Alcotest.list Alcotest.string) "stamp invariants hold" []
+    (Txn_check.check_quiescent coll)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let qc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "txn"
+    [
+      ( "commit-abort",
+        [
+          qc "multi-op commit, refs in stage order" test_commit_basic;
+          qc "staged store + bad word offset" test_store_in_txn;
+          qc "empty transaction" test_empty_txn;
+          qc "single-op transaction" test_single_op_txn;
+          qc "abort leaves no trace, finished txn rejected" test_abort;
+          qc "transact wrapper" test_transact_wrapper;
+          qc "duplicate staged ref rejected" test_duplicate_ref_rejected;
+        ] );
+      ( "conflicts",
+        [
+          qc "store/store: first committer wins" test_conflict_store_store;
+          qc "remove/store" test_conflict_remove_vs_store;
+          qc "bare remove stamps too" test_conflict_against_bare_write;
+          qc "seeded conflict pairs: exactly one commits" test_conflict_pairs_property;
+        ] );
+      ( "crash-recovery",
+        [
+          qc "torn inside the body" test_torn_inside_body;
+          qc "torn mid-record" test_torn_mid_record;
+          qc "torn at the commit record" test_torn_at_commit_record;
+          qc "crash between append and fsync" test_crash_before_fsync;
+          qc "uncommitted frame before a clean tail" test_uncommitted_prefix_then_clean_tail;
+          qc "stray commit is fatal" test_stray_commit_is_fatal;
+          qc "short frame is fatal" test_short_frame_is_fatal;
+          qc "bare torn tail still dropped cleanly" test_torn_tail_regression_bare;
+        ] );
+      ( "views",
+        [
+          qc "stability across commits and bare ops" test_view_stability;
+          qc "open views abort compaction" test_view_vs_compaction;
+          qc "query engines read one frontier" test_view_query_integration;
+        ] );
+      ( "observability", [ qc "txn counters and balances" test_txn_counters ] );
+      ( "model-check",
+        [
+          qc "Txn_check over two seeds" test_txn_check_short;
+          qc "quiescent stamp sweep" test_txn_check_quiescent;
+        ] );
+    ]
