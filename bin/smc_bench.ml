@@ -229,6 +229,28 @@ let run_persist quick sf dir =
     exit 1
   end
 
+(* Four-engine Q1/Q6 comparison, doubling as the vectorized/compiled-path
+   self-check: every engine must answer bit-identically to Volcano and the
+   run ends with the audit + counter-balance sweep — any violation
+   (including a parity mismatch) is fatal, like [run_index]. *)
+let run_vectorized quick sf =
+  meta_bool "quick" quick;
+  meta_num "sf" sf;
+  let sf = if quick then Float.min sf 0.02 else sf in
+  let points, violations = E.Vector_bench.run ~sf () in
+  print_table (E.Vector_bench.table points);
+  List.iter
+    (fun (p : E.Vector_bench.point) ->
+      if not p.E.Vector_bench.identical then
+        prerr_endline
+          (Printf.sprintf "vectorized: %s/%s result mismatch" p.E.Vector_bench.query
+             p.E.Vector_bench.engine))
+    points;
+  if violations <> [] then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
 let run_all sf quick =
   meta_num "sf" sf;
   meta_bool "quick" quick;
@@ -248,6 +270,7 @@ let run_all sf quick =
       (fun () -> run_linq sf);
       (fun () -> run_ext sf);
       (fun () -> run_qscale sf quick [ 1; 2; 4; 8 ]);
+      (fun () -> run_vectorized quick sf);
       (fun () -> run_ablations sf);
     ]
 
@@ -371,6 +394,12 @@ let persist_cmd =
       const (fun quick sf dir () -> run_persist quick sf dir)
       $ quick_arg $ sf_arg 0.1 $ dir_arg)
 
+let vectorized_cmd =
+  cmd "vectorized"
+    "Vectorized + compiled engines vs Volcano/Fuse on Q1/Q6 (self-checking: parity \
+     mismatches and audits are fatal)"
+    Term.(const (fun quick sf () -> run_vectorized quick sf) $ quick_arg $ sf_arg 0.1)
+
 let all_cmd =
   cmd "all" "Run every experiment"
     Term.(const (fun sf quick () -> run_all sf quick) $ sf_arg 0.05 $ quick_arg)
@@ -382,7 +411,7 @@ let () =
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
         linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; persist_cmd;
-        all_cmd;
+        vectorized_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

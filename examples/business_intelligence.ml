@@ -50,10 +50,8 @@ let () =
     Q.Source.of_smc db.Smc_tpch.Db_smc.orders
       ~columns:
         [
-          ( "priority",
-            fun b s -> Q.Value.Str (F.get_string orf.Smc_tpch.Db_smc.o_orderpriority b s) );
-          ( "total",
-            fun b s -> Q.Value.Dec (F.get_dec orf.Smc_tpch.Db_smc.o_totalprice b s) );
+          ("priority", Q.Source.C_str orf.Smc_tpch.Db_smc.o_orderpriority);
+          ("total", Q.Source.C_dec orf.Smc_tpch.Db_smc.o_totalprice);
         ]
   in
   let plan =

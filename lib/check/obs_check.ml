@@ -79,6 +79,16 @@ let check (rt : Runtime.t) ~(contexts : Context.t list) =
     eq "snapshot-view balance (opens - closes = runtime active_views)"
       (g Smc_obs.c_txn_views - g Smc_obs.c_txn_view_closes)
       (Atomic.get rt.Runtime.active_views);
+    (* Vectorized filters partition their input: every row entering a
+       filter either survives into the output selection or is cut. *)
+    eq "vectorized-filter balance (rows in = rows kept + rows dropped)"
+      (g Smc_obs.c_vec_filter_rows_in)
+      (g Smc_obs.c_vec_filter_rows_kept + g Smc_obs.c_vec_filter_rows_dropped);
+    (* Every compiled-plan request is resolved exactly one way: a fresh
+       compile, a cache hit, or a fallback to the Fuse engine. *)
+    eq "compiled-plan outcome balance (requests = compiles + cache hits + fallbacks)"
+      (g Smc_obs.c_cg_requests)
+      (g Smc_obs.c_cg_compiles + g Smc_obs.c_cg_cache_hits + g Smc_obs.c_cg_fallbacks);
     List.rev !out
   end
 

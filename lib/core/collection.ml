@@ -19,6 +19,7 @@ type wal_hook = {
   wh_name : string;
   wh_on_add : Ref.t -> Block.t -> int -> unit;
   wh_on_remove : Ref.t -> unit;
+  wh_on_store : Ref.t -> word:int -> value:int -> unit;
   wh_on_txn : txn_id:int -> logged_op list -> unit;
 }
 
@@ -76,6 +77,33 @@ let remove t r =
           w.wh_on_remove r
         end;
         removed)
+
+let store t r ~word ~value =
+  if word < 0 || word >= t.layout.Layout.slot_words then
+    invalid_arg "Collection.store: word offset outside the layout";
+  let em = t.rt.Runtime.epoch in
+  (* The transaction lock serialises the stamp against commit validation;
+     the critical section keeps the resolved location stable (no concurrent
+     recycle/compaction) across stamp + write + log. *)
+  Mutex.lock t.txn_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.txn_lock)
+    (fun () ->
+      Epoch.enter_critical em;
+      Fun.protect
+        ~finally:(fun () -> Epoch.exit_critical em)
+        (fun () ->
+          match Context.resolve t.ctx (Ref.to_packed r) with
+          | None -> raise Constants.Null_reference
+          | Some (blk, slot) ->
+            let csn = Context.next_csn t.ctx in
+            (* stamp before the payload lands: a transaction validator that
+               reads the old write-CSN can only have read the old word, so
+               first committer still wins *)
+            Context.stamp_write blk slot ~csn;
+            Block.set_word blk ~slot ~word value;
+            (match t.wal with None -> () | Some w -> w.wh_on_store r ~word ~value);
+            Smc_obs.incr t.rt.Runtime.obs Smc_obs.c_bare_stores))
 
 let attach_index t hook =
   (match t.ctx.Context.mode with
@@ -178,9 +206,10 @@ let limbo_count t = Context.stats_limbo t.ctx
    mutexes are not reentrant. Bare [add]/[remove] calls do not take the
    transaction lock — they stay lock-free as before. The cost is that a
    bare mutation is a single-op unit with its own CSN: it can land between
-   a view's frontier and a transaction's commit CSN, and a bare store
-   (direct [Block.set_word], no CSN stamp) is invisible to conflict
-   validation. Use transactions for multi-op consistency. *)
+   a view's frontier and a transaction's commit CSN. Bare [store]s stamp
+   their CSN under the transaction lock, so validation sees them; only raw
+   [Field.set_*] pokes stay invisible. Use transactions for multi-op
+   consistency. *)
 
 type staged_op =
   | S_add of (Block.t -> int -> unit)

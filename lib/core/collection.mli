@@ -37,6 +37,9 @@ type wal_hook = {
           reference and its location — the WAL serialises the slot image. *)
   wh_on_remove : Ref.t -> unit;
       (** Fired by {!remove} after a successful free. *)
+  wh_on_store : Ref.t -> word:int -> value:int -> unit;
+      (** Fired by the bare {!store} after the stamped in-place write,
+          inside its critical section. *)
   wh_on_txn : txn_id:int -> logged_op list -> unit;
       (** Fired once per committed transaction with the whole batch, inside
           the commit critical section — the WAL frames it atomically
@@ -77,6 +80,21 @@ val add : t -> init:(Smc_offheap.Block.t -> int -> unit) -> Ref.t
 val remove : t -> Ref.t -> bool
 (** Frees the object; [false] if the reference was already null/dead.
     Attached index hooks fire only on a successful free. *)
+
+val store : t -> Ref.t -> word:int -> value:int -> unit
+(** Single-word in-place store, stamped with its own fresh CSN under the
+    transaction lock — the non-transactional counterpart of {!stage_store}.
+    Unlike a raw [Field.set_*] poke, a [store] participates in
+    first-committer-wins validation: a transaction that staged against the
+    row before this store commits afterwards with [Conflict]. The write is
+    in place (same slot; no copy-on-write), so open snapshot views whose
+    frontier predates it will still read the new payload — single-word
+    writes are atomic, views stay word-consistent but not frozen, which is
+    the documented contract for all bare mutations. Fires the WAL store
+    hook. Raises {!Smc_offheap.Constants.Null_reference} if the reference
+    is null or dead, [Invalid_argument] if [word] is outside the layout.
+    Do not store to indexed key fields — index entries are keyed at add
+    time. *)
 
 val attach_index : t -> index_hook -> unit
 (** Registers an index's maintenance hooks so {!add}/{!remove} keep it
@@ -170,12 +188,15 @@ val compact : t -> ?occupancy_threshold:float -> unit -> Smc_offheap.Compaction.
     see all of it or none of it — and an attached WAL logs it as one framed
     batch that recovery replays atomically.
 
-    Bare {!add}/{!remove} calls and direct field stores bypass the
-    transaction lock: each is its own single-op unit with its own CSN, and
-    a bare store carries no CSN stamp at all, so it is invisible to
-    conflict validation. Rows written by a transaction must not be
-    concurrently bare-removed — that interleaving voids the atomicity
-    contract and [commit] fails loudly ([Failure]) if it detects it. *)
+    Bare {!add}/{!remove} calls are their own single-op units, each with
+    its own CSN, and bypass the transaction lock. A bare {!store} also
+    commits as a single-op unit but takes the transaction lock for its
+    stamp: serialised against commits, it participates in
+    first-committer-wins validation like any other writer. Only a raw
+    [Field.set_*] poke carries no CSN stamp and stays invisible to
+    validation. Rows written by a transaction must not be concurrently
+    bare-removed — that interleaving voids the atomicity contract and
+    [commit] fails loudly ([Failure]) if it detects it. *)
 
 type txn
 (** An open transaction on one collection. Not thread-safe: stage and

@@ -75,12 +75,7 @@ let run_synthetic ~rows =
   let src =
     Q.Source.of_smc items
       ~indexes:[ ("k", ix_k); ("grp", ix_g) ]
-      ~columns:
-        [
-          ("k", fun b s -> V.Int (Smc.Field.get_int fk b s));
-          ("grp", fun b s -> V.Int (Smc.Field.get_int fg b s));
-          ("v", fun b s -> V.Int (Smc.Field.get_int fv b s));
-        ]
+      ~columns:[ ("k", Q.Source.C_int fk); ("grp", Q.Source.C_int fg); ("v", Q.Source.C_int fv) ]
   in
   let indexed plan =
     let p = Q.Planner.choose_access_paths plan in
@@ -166,8 +161,8 @@ let run_tpch ~sf =
       ~indexes:[ ("orderkey", ix_ok) ]
       ~columns:
         [
-          ("orderkey", fun b s -> V.Int (Smc.Field.get_int orf.Smc_tpch.Db_smc.o_orderkey b s));
-          ("odate", fun b s -> V.Date (Smc.Field.get_date orf.Smc_tpch.Db_smc.o_orderdate b s));
+          ("orderkey", Q.Source.C_int orf.Smc_tpch.Db_smc.o_orderkey);
+          ("odate", Q.Source.C_date orf.Smc_tpch.Db_smc.o_orderdate);
         ]
   in
   let li_src =
@@ -175,15 +170,16 @@ let run_tpch ~sf =
       ~columns:
         [
           ( "okey",
-            fun b s ->
-              match
-                Smc.Field.follow lf.Smc_tpch.Db_smc.l_order
-                  ~target:db.Smc_tpch.Db_smc.orders b s
-              with
-              | Some (ob, os) -> V.Int (Smc.Field.get_int orf.Smc_tpch.Db_smc.o_orderkey ob os)
-              | None -> V.Null );
-          ("price", fun b s -> V.Dec (Smc.Field.get_dec lf.Smc_tpch.Db_smc.l_extendedprice b s));
-          ("sdate", fun b s -> V.Date (Smc.Field.get_date lf.Smc_tpch.Db_smc.l_shipdate b s));
+            Q.Source.C_fn
+              (fun b s ->
+                match
+                  Smc.Field.follow lf.Smc_tpch.Db_smc.l_order
+                    ~target:db.Smc_tpch.Db_smc.orders b s
+                with
+                | Some (ob, os) -> V.Int (Smc.Field.get_int orf.Smc_tpch.Db_smc.o_orderkey ob os)
+                | None -> V.Null) );
+          ("price", Q.Source.C_dec lf.Smc_tpch.Db_smc.l_extendedprice);
+          ("sdate", Q.Source.C_date lf.Smc_tpch.Db_smc.l_shipdate);
         ]
   in
   (* Selective probe side (late shipdates) joined to orders: the classic

@@ -10,17 +10,16 @@ let lineitem_source (db : Smc_tpch.Db_smc.t) =
   let lf = db.Smc_tpch.Db_smc.lf in
   Q.Source.of_smc db.Smc_tpch.Db_smc.lineitems
     ~columns:
-      [
-        ("shipdate", fun b s -> V.Date (Smc.Field.get_date lf.Smc_tpch.Db_smc.l_shipdate b s));
-        ("discount", fun b s -> V.Dec (Smc.Field.get_dec lf.Smc_tpch.Db_smc.l_discount b s));
-        ("quantity", fun b s -> V.Dec (Smc.Field.get_dec lf.Smc_tpch.Db_smc.l_quantity b s));
-        ("price", fun b s -> V.Dec (Smc.Field.get_dec lf.Smc_tpch.Db_smc.l_extendedprice b s));
-        ("tax", fun b s -> V.Dec (Smc.Field.get_dec lf.Smc_tpch.Db_smc.l_tax b s));
-        ( "returnflag",
-          fun b s -> V.Str (String.make 1 (Smc.Field.get_char lf.Smc_tpch.Db_smc.l_returnflag b s)) );
-        ( "linestatus",
-          fun b s -> V.Str (String.make 1 (Smc.Field.get_char lf.Smc_tpch.Db_smc.l_linestatus b s)) );
-      ]
+      Q.Source.
+        [
+          ("shipdate", C_date lf.Smc_tpch.Db_smc.l_shipdate);
+          ("discount", C_dec lf.Smc_tpch.Db_smc.l_discount);
+          ("quantity", C_dec lf.Smc_tpch.Db_smc.l_quantity);
+          ("price", C_dec lf.Smc_tpch.Db_smc.l_extendedprice);
+          ("tax", C_dec lf.Smc_tpch.Db_smc.l_tax);
+          ("returnflag", C_char lf.Smc_tpch.Db_smc.l_returnflag);
+          ("linestatus", C_char lf.Smc_tpch.Db_smc.l_linestatus);
+        ]
 
 let q6_plan src =
   let lo = Smc_tpch.Results.q6_date in

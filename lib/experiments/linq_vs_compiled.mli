@@ -12,3 +12,10 @@ type point = { query : string; engine : string; ms : float; vs_compiled_pct : fl
 
 val run : ?sf:float -> unit -> point list
 val table : point list -> Smc_util.Table.t
+
+(** The lineitem column bindings and Q1/Q6 plan shapes, shared with
+    {!Vector_bench} so every engine comparison measures the same plans. *)
+
+val lineitem_source : Smc_tpch.Db_smc.t -> Smc_query.Source.t
+val q1_plan : Smc_query.Source.t -> Smc_query.Plan.t
+val q6_plan : Smc_query.Source.t -> Smc_query.Plan.t

@@ -71,6 +71,16 @@ let c_txn_replayed = 50 (* committed transactions re-applied at recovery *)
 let c_txn_replay_skips = 51 (* uncommitted transaction bodies discarded at recovery *)
 let c_txn_views = 52 (* snapshot views opened *)
 let c_txn_view_closes = 53 (* snapshot views closed *)
+let c_bare_stores = 54 (* CSN-stamped in-place Collection.store writes *)
+let c_vec_batches = 55 (* batches produced by vectorized SMC scans *)
+let c_vec_batch_rows = 56 (* rows gathered into those batches *)
+let c_vec_filter_rows_in = 57 (* rows entering vectorized filters *)
+let c_vec_filter_rows_kept = 58 (* rows surviving vectorized filters *)
+let c_vec_filter_rows_dropped = 59 (* rows cut by vectorized filters *)
+let c_cg_requests = 60 (* compiled-plan executions requested *)
+let c_cg_compiles = 61 (* plans compiled + dynlinked *)
+let c_cg_cache_hits = 62 (* requests served from the compiled-plan cache *)
+let c_cg_fallbacks = 63 (* requests that fell back to the Fuse engine *)
 
 let all =
   [|
@@ -128,6 +138,16 @@ let all =
     ("txn_replay_skips", c_txn_replay_skips);
     ("txn_views", c_txn_views);
     ("txn_view_closes", c_txn_view_closes);
+    ("bare_stores", c_bare_stores);
+    ("vec_batches", c_vec_batches);
+    ("vec_batch_rows", c_vec_batch_rows);
+    ("vec_filter_rows_in", c_vec_filter_rows_in);
+    ("vec_filter_rows_kept", c_vec_filter_rows_kept);
+    ("vec_filter_rows_dropped", c_vec_filter_rows_dropped);
+    ("cg_requests", c_cg_requests);
+    ("cg_compiles", c_cg_compiles);
+    ("cg_cache_hits", c_cg_cache_hits);
+    ("cg_fallbacks", c_cg_fallbacks);
   |]
 
 let n_counters = Array.length all

@@ -63,6 +63,16 @@ val c_txn_replayed : int
 val c_txn_replay_skips : int
 val c_txn_views : int
 val c_txn_view_closes : int
+val c_bare_stores : int
+val c_vec_batches : int
+val c_vec_batch_rows : int
+val c_vec_filter_rows_in : int
+val c_vec_filter_rows_kept : int
+val c_vec_filter_rows_dropped : int
+val c_cg_requests : int
+val c_cg_compiles : int
+val c_cg_cache_hits : int
+val c_cg_fallbacks : int
 
 val n_counters : int
 val name : int -> string

@@ -161,6 +161,46 @@ val iter_valid_hoisted : t -> on_block:(Block.t -> int -> unit) -> unit
     per-slot body — query code hoists raw block state out of the slot loop
     (the paper's direct block access). *)
 
+(** {2 Batch-at-a-time enumeration}
+
+    The vectorized engine's scan primitive: surviving slot indices are
+    gathered into a {e selection vector} (an int Bigarray), up to its
+    capacity per batch, and the consumer fills whole column chunks from it —
+    amortizing per-element costs (closure calls; on {!iter_valid_batches},
+    critical-section entries) across ~1024 rows. See docs/vectorized.md. *)
+
+type sel = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Selection vector: slot (or batch-row) indices, live prefix only. *)
+
+val make_sel : int -> sel
+(** [make_sel cap] allocates a selection vector for [cap] entries (≥ 1). *)
+
+val scan_block_batch : ?csn:int -> Block.t -> start:int -> sel:sel -> int * int
+(** Branchless gather of surviving slots of one block into [sel], beginning
+    at slot [start], at most [dim sel] of them. Survival means directory
+    state [valid], or visibility at the [?csn] frontier when given (same
+    semantics as {!scan_block} / {!scan_block_at}). Returns
+    [(count, next)]: [count] entries of [sel] are filled, and [next] is
+    where the following batch must [start] ([= nslots] when the block is
+    exhausted). No group handling; call inside a critical section. *)
+
+val iter_batches :
+  ?csn:int -> ?wrap:((unit -> unit) -> unit) -> t -> sel:sel -> on_batch:(Block.t -> int -> unit) -> unit
+(** Drive {!scan_block_batch} over the published view under the §5.2 group
+    protocol. [on_batch blk count] must consume the first [count] entries of
+    [sel] before returning — the buffer is reused. Without [?wrap], call
+    inside a critical section; [wrap] delimits each view element as in the
+    per-block enumerators. *)
+
+val iter_valid_batches : ?csn:int -> t -> sel:sel -> on_batch:(Block.t -> int -> unit) -> unit
+(** {!iter_batches} with one fresh epoch critical section per view element,
+    covering every batch of that element — gather {e and} the caller's
+    column fill. The batch-at-a-time analogue of {!iter_valid_per_block}:
+    the critical-section cost is paid once per block rather than once per
+    row. Must be called {e outside} any critical section unless [?csn] is
+    given (a snapshot view already holds its own pin, and critical sections
+    nest). *)
+
 (** {2 Parallel-enumeration support}
 
     A parallel query partitions one view snapshot across worker domains.

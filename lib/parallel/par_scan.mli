@@ -59,3 +59,20 @@ val fold_hoisted_par :
 val iter_hoisted_par :
   ?pool:Pool.t -> ?domains:int -> ?csn:int -> Context.t -> on_block:(Block.t -> int -> unit) -> unit
 (** Hoisted iteration without accumulators; [on_block] must be domain-safe. *)
+
+val fold_batches_par :
+  ?pool:Pool.t ->
+  ?domains:int ->
+  ?csn:int ->
+  Context.t ->
+  sel_cap:int ->
+  init:(unit -> 'acc) ->
+  on_batch:('acc -> Block.t -> Context.sel -> int -> unit) ->
+  combine:('acc -> 'acc -> 'acc) ->
+  'acc
+(** Parallel analogue of {!Smc_offheap.Context.iter_valid_batches}: each
+    worker owns a private selection vector of [sel_cap] entries and calls
+    [on_batch acc blk sel count] for every batch of the view elements it
+    draws, inside that element's critical section. [on_batch] must consume
+    the first [count] entries of [sel] before returning — the buffer is the
+    worker's and is reused for its next batch. *)

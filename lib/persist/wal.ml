@@ -169,6 +169,9 @@ let attach t (coll : Smc.Collection.t) =
       Smc.Collection.wh_name = t.name;
       wh_on_add = (fun r blk slot -> log_add t coll r blk slot);
       wh_on_remove = (fun r -> log_remove t r);
+      (* the collection fires this inside the store's critical section with
+         the row alive, so skip log_store's liveness precheck *)
+      wh_on_store = (fun r ~word ~value -> append t (store_payload r ~word ~value));
       wh_on_txn = (fun ~txn_id ops -> log_txn t coll ~txn_id ops);
     };
   t.obs <- Some coll.Smc.Collection.rt.Runtime.obs

@@ -1,0 +1,128 @@
+(* Column chunks for the vectorized engine (docs/vectorized.md).
+
+   A batch is a loan: operators receive it, read or refine it, and must not
+   retain it past the emit callback — producers reuse the same storage for
+   the next chunk. Columns are typed unboxed arrays where the source knows
+   the field type (the off-heap layouts always do), or boxed [Value.t]
+   arrays for opaque columns; [sel] is the selection vector — an int
+   Bigarray whose first [len] entries are the indices of the surviving
+   rows, in ascending row order. Filters shrink [sel] without touching the
+   column storage, so a cut row costs nothing to drop and nothing to skip:
+   downstream operators gather through [sel]. *)
+
+module Context = Smc_offheap.Context
+
+type sel = Context.sel
+
+(* Column-kind lattice. A column's kind is static — fixed by the source
+   layout or derived by the expression compiler — so each operator picks
+   its typed kernel once, at plan-compile time, never per batch. [K_any]
+   means boxed ([V_val]) storage and routes through the row-at-a-time
+   fallback, which reuses the scalar [Expr]/[Value] code paths verbatim:
+   exactness by construction. *)
+type kind = K_int | K_dec | K_date | K_bool | K_char | K_str | K_any
+
+(* Unboxed ints carry Dec (fixed-point), Date (epoch days) and Char (byte
+   codes) columns too — same word the off-heap block stores. *)
+type vec =
+  | V_int of int array
+  | V_dec of int array
+  | V_date of int array
+  | V_bool of bool array
+  | V_char of int array
+  | V_str of string array
+  | V_val of Value.t array
+
+type t = { cols : vec array; sel : sel; mutable len : int }
+
+let default_rows = 1024
+
+let kind_of_vec = function
+  | V_int _ -> K_int
+  | V_dec _ -> K_dec
+  | V_date _ -> K_date
+  | V_bool _ -> K_bool
+  | V_char _ -> K_char
+  | V_str _ -> K_str
+  | V_val _ -> K_any
+
+(* Shared 1-char string table: boxing a Char column must not allocate a
+   fresh string per row. Structural equality with [Value.Str] stays exact. *)
+let char_strings = Array.init 256 (fun c -> String.make 1 (Char.chr c))
+let char_str c = Array.unsafe_get char_strings (c land 0xFF)
+
+let box_vec v i =
+  match v with
+  | V_int a -> Value.Int (Array.unsafe_get a i)
+  | V_dec a -> Value.Dec (Array.unsafe_get a i)
+  | V_date a -> Value.Date (Array.unsafe_get a i)
+  | V_bool a -> Value.Bool (Array.unsafe_get a i)
+  | V_char a -> Value.Str (char_str (Array.unsafe_get a i))
+  | V_str a -> Value.Str (Array.unsafe_get a i)
+  | V_val a -> Array.unsafe_get a i
+
+let vec_len = function
+  | V_int a | V_dec a | V_date a | V_char a -> Array.length a
+  | V_bool a -> Array.length a
+  | V_str a -> Array.length a
+  | V_val a -> Array.length a
+
+let make_vec kind cap =
+  match kind with
+  | K_int -> V_int (Array.make cap 0)
+  | K_dec -> V_dec (Array.make cap 0)
+  | K_date -> V_date (Array.make cap 0)
+  | K_bool -> V_bool (Array.make cap false)
+  | K_char -> V_char (Array.make cap 0)
+  | K_str -> V_str (Array.make cap "")
+  | K_any -> V_val (Array.make cap Value.Null)
+
+let create ~kinds ~cap =
+  let cap = max cap 1 in
+  { cols = Array.map (fun k -> make_vec k cap) kinds; sel = Context.make_sel cap; len = 0 }
+
+let set_identity t n =
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set t.sel i i
+  done;
+  t.len <- n
+
+(* Boxed row at selection position [i] (not a physical row index). *)
+let row t i =
+  let r = Bigarray.Array1.unsafe_get t.sel i in
+  Array.map (fun v -> box_vec v r) t.cols
+
+let iter_rows t ~f =
+  for i = 0 to t.len - 1 do
+    f (row t i)
+  done
+
+(* Re-batcher: pack boxed rows back into [V_val] batches so row-at-a-time
+   operators (joins, sorts, index probes) can keep feeding vectorized
+   consumers. The returned batch is reused across emits — same loan
+   contract as every other producer. *)
+let rebatcher ~ncols ~rows ~emit =
+  let cap = max rows 1 in
+  let store = Array.init ncols (fun _ -> Array.make cap Value.Null) in
+  let b =
+    { cols = Array.map (fun a -> V_val a) store; sel = Context.make_sel cap; len = 0 }
+  in
+  let n = ref 0 in
+  let flush () =
+    if !n > 0 then begin
+      (* re-identity every emit: a downstream filter may have compacted
+         [sel] in place on the previous loan of this same batch *)
+      set_identity b !n;
+      emit b;
+      n := 0
+    end
+  in
+  let push (row : Value.t array) =
+    let i = !n in
+    for c = 0 to ncols - 1 do
+      Array.unsafe_set (Array.unsafe_get store c) i (Array.unsafe_get row c)
+    done;
+    n := i + 1;
+    if !n = cap then flush ()
+  in
+  (push, flush)

@@ -1,0 +1,64 @@
+(** Column chunks for the vectorized engine.
+
+    A batch holds one ~1024-row chunk of a plan's intermediate result as an
+    array of column vectors plus a {e selection vector}: an int Bigarray
+    whose first [len] entries index the surviving rows, ascending. Filters
+    refine [sel] in place — branchless write-then-conditionally-advance —
+    and never move column data; downstream operators gather through [sel].
+
+    Batches are loans: a producer passes the same storage to its emit
+    callback for every chunk, so consumers must finish with (or copy out
+    of) a batch before returning. See docs/vectorized.md. *)
+
+type sel = Smc_offheap.Context.sel
+
+type kind = K_int | K_dec | K_date | K_bool | K_char | K_str | K_any
+(** Static column kind: fixed by the source layout or derived by the
+    expression compiler, so operators pick their typed kernel once per
+    plan, never per batch. [K_any] = boxed storage + row-at-a-time
+    fallback through the scalar [Expr]/[Value] code (exact by
+    construction). *)
+
+type vec =
+  | V_int of int array
+  | V_dec of int array  (** fixed-point, {!Smc_decimal.Decimal.t} words *)
+  | V_date of int array  (** epoch days *)
+  | V_bool of bool array
+  | V_char of int array  (** byte codes; boxed through a shared string table *)
+  | V_str of string array
+  | V_val of Value.t array
+
+type t = { cols : vec array; sel : sel; mutable len : int }
+
+val default_rows : int
+(** Chunk capacity used by the engine: 1024. *)
+
+val kind_of_vec : vec -> kind
+val vec_len : vec -> int
+val make_vec : kind -> int -> vec
+
+val char_str : int -> string
+(** 1-char string for a byte code, from the shared table (no allocation). *)
+
+val box_vec : vec -> int -> Value.t
+(** Boxed value at a {e physical} row index of a column vector. *)
+
+val create : kinds:kind array -> cap:int -> t
+(** Fresh batch with per-kind column storage and an empty selection. *)
+
+val set_identity : t -> int -> unit
+(** Make the first [n] selection entries the identity and set [len := n] —
+    a freshly filled chunk where all rows survive. *)
+
+val row : t -> int -> Value.t array
+(** Boxed row at selection {e position} [i] (0 ≤ i < len). *)
+
+val iter_rows : t -> f:(Value.t array -> unit) -> unit
+(** Box and visit every surviving row, in selection order. *)
+
+val rebatcher :
+  ncols:int -> rows:int -> emit:(t -> unit) -> (Value.t array -> unit) * (unit -> unit)
+(** [rebatcher ~ncols ~rows ~emit] returns [(push, flush)]: [push] packs
+    boxed rows into reused [V_val] batches of [rows] capacity, emitting
+    each full chunk; [flush] emits the final partial chunk. How
+    row-at-a-time operators keep feeding vectorized consumers. *)

@@ -1,0 +1,25 @@
+(* Hand-off table between the host and Dynlink-loaded query plugins.
+
+   A generated plugin cannot return a value from [Dynlink.loadfile_private] —
+   loading runs its top-level and yields unit — so the plugin's last
+   definition deposits its compiled query function here, keyed by the plan
+   digest the host compiled it under, and the host takes it right after the
+   load returns. Values cross as [Obj.t]: the host knows the static type it
+   emitted the plugin against ({!Codegen}'s [compiled_fn]) and is the only
+   reader. Entries are removed on [take] so a failed hand-off is observable
+   (the table never masks a stale registration from an earlier load). *)
+
+let table : (string, Obj.t) Hashtbl.t = Hashtbl.create 8
+let lock = Mutex.create ()
+
+let register key v =
+  Mutex.lock lock;
+  Hashtbl.replace table key v;
+  Mutex.unlock lock
+
+let take key =
+  Mutex.lock lock;
+  let v = Hashtbl.find_opt table key in
+  Hashtbl.remove table key;
+  Mutex.unlock lock;
+  v

@@ -1,0 +1,13 @@
+(** Registry through which Dynlink-loaded query plugins hand their compiled
+    function back to the host (see {!Codegen} and docs/vectorized.md).
+
+    Generated plugin source ends with
+    [Smc_query.Codegen_abi.register "<digest>" (Obj.repr query)]; the host
+    calls {!take} with the same digest immediately after
+    [Dynlink.loadfile_private] returns. *)
+
+val register : string -> Obj.t -> unit
+(** Called by plugin top-level code at load time. *)
+
+val take : string -> Obj.t option
+(** Remove and return the registration, if the plugin made one. *)

@@ -1,3 +1,8 @@
+module Block = Smc_offheap.Block
+module Layout = Smc_offheap.Layout
+module Context = Smc_offheap.Context
+module Runtime = Smc_offheap.Runtime
+
 type index_info = {
   ix_name : string;
   ix_column : string;
@@ -5,12 +10,96 @@ type index_info = {
   ix_accepts : Value.t -> bool;
 }
 
+(* Typed column spec: naming the field's layout kind (instead of handing
+   over an opaque closure) is what lets the batch path fill unboxed column
+   chunks and the vectorized engine pick typed kernels. [C_fn] keeps the
+   old escape hatch — computed or Null-bearing columns — at boxed-vector
+   speed. *)
+type column =
+  | C_int of Layout.field
+  | C_dec of Layout.field
+  | C_date of Layout.field
+  | C_bool of Layout.field
+  | C_char of Layout.field  (** 1-byte char field surfaced as a 1-char [Str] *)
+  | C_str of Layout.field
+  | C_fn of (Block.t -> int -> Value.t)
+
 type t = {
   name : string;
   schema : string array;
+  kinds : Batch.kind array;
   scan : (Value.t array -> unit) -> unit;
+  scan_batches : (rows:int -> ?cols:bool array -> (Batch.t -> unit) -> unit) option;
+  obs : Smc_obs.t option;
   indexes : index_info list;
 }
+
+let kind_of_column = function
+  | C_int _ -> Batch.K_int
+  | C_dec _ -> Batch.K_dec
+  | C_date _ -> Batch.K_date
+  | C_bool _ -> Batch.K_bool
+  | C_char _ -> Batch.K_char
+  | C_str _ -> Batch.K_str
+  | C_fn _ -> Batch.K_any
+
+(* Row extractor for one column — the boxed path Volcano/Fuse scan with.
+   Char columns box through the shared 1-char string table; structural
+   equality with [String.make 1 c] is preserved. *)
+let extractor_of_column = function
+  | C_int f -> fun blk slot -> Value.Int (Smc.Field.get_int f blk slot)
+  | C_dec f -> fun blk slot -> Value.Dec (Smc.Field.get_dec f blk slot)
+  | C_date f -> fun blk slot -> Value.Date (Smc.Field.get_date f blk slot)
+  | C_bool f -> fun blk slot -> Value.Bool (Smc.Field.get_bool f blk slot)
+  | C_char f -> fun blk slot -> Value.Str (Batch.char_str (Smc.Field.get_int f blk slot))
+  | C_str f -> fun blk slot -> Value.Str (Smc.Field.get_string f blk slot)
+  | C_fn fn -> fn
+
+(* Dense word gather, placement arithmetic hoisted out of the loop — the
+   paper's direct block access, amortized over a whole selection. *)
+let fill_words blk ~word slots n (dst : int array) =
+  let data = blk.Block.data in
+  match blk.Block.placement with
+  | Block.Row ->
+    let sw = blk.Block.layout.Layout.slot_words in
+    for i = 0 to n - 1 do
+      let s = Bigarray.Array1.unsafe_get slots i in
+      Array.unsafe_set dst i (Bigarray.Array1.unsafe_get data ((s * sw) + word))
+    done
+  | Block.Columnar ->
+    let base = word * blk.Block.nslots in
+    for i = 0 to n - 1 do
+      let s = Bigarray.Array1.unsafe_get slots i in
+      Array.unsafe_set dst i (Bigarray.Array1.unsafe_get data (base + s))
+    done
+
+let fill_column col vec blk slots n =
+  match (col, vec) with
+  | C_int f, Batch.V_int dst | C_dec f, Batch.V_dec dst | C_date f, Batch.V_date dst ->
+    fill_words blk ~word:f.Layout.word slots n dst
+  | C_char f, Batch.V_char dst ->
+    let word = f.Layout.word in
+    for i = 0 to n - 1 do
+      let s = Bigarray.Array1.unsafe_get slots i in
+      Array.unsafe_set dst i (Block.get_word blk ~slot:s ~word land 0xFF)
+    done
+  | C_bool f, Batch.V_bool dst ->
+    let word = f.Layout.word in
+    for i = 0 to n - 1 do
+      let s = Bigarray.Array1.unsafe_get slots i in
+      Array.unsafe_set dst i (Block.get_word blk ~slot:s ~word <> 0)
+    done
+  | C_str f, Batch.V_str dst ->
+    for i = 0 to n - 1 do
+      let s = Bigarray.Array1.unsafe_get slots i in
+      Array.unsafe_set dst i (Smc.Field.get_string f blk s)
+    done
+  | C_fn fn, Batch.V_val dst ->
+    for i = 0 to n - 1 do
+      let s = Bigarray.Array1.unsafe_get slots i in
+      Array.unsafe_set dst i (fn blk s)
+    done
+  | _ -> assert false (* storage was created from [kind_of_column] *)
 
 (* Constant values the planner may route through an index of the given key
    kind. The conversion mirrors the key encoding: ints and dates (epoch
@@ -49,14 +138,18 @@ let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
          coll.Smc.Collection.name)
   | _ -> ());
   let schema = Array.of_list (List.map fst columns) in
-  let extractors = Array.of_list (List.map snd columns) in
+  let cols = Array.of_list (List.map snd columns) in
+  let kinds = Array.map kind_of_column cols in
+  let extractors = Array.map extractor_of_column cols in
   let extract blk slot = Array.map (fun e -> e blk slot) extractors in
   let parallel = match domains with Some d when d > 1 -> true | _ -> false in
   let csn = Option.map Smc.Collection.view_csn view in
+  let ctx = coll.Smc.Collection.ctx in
+  let obs = ctx.Context.rt.Runtime.obs in
   let scan emit =
     if parallel then
       List.iter emit
-        (Smc_parallel.Par_scan.fold_valid_par ?pool ?domains ?csn coll.Smc.Collection.ctx
+        (Smc_parallel.Par_scan.fold_valid_par ?pool ?domains ?csn ctx
            ~init:(fun () -> [])
            ~f:(fun acc blk slot -> extract blk slot :: acc)
            ~combine:(fun a b -> List.rev_append b a))
@@ -64,6 +157,102 @@ let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
       match view with
       | Some v -> Smc.Collection.view_iter v ~f:(fun blk slot -> emit (extract blk slot))
       | None -> Smc.Collection.iter coll ~f:(fun blk slot -> emit (extract blk slot))
+  in
+  (* Batch scan: whole column chunks are gathered per block inside one
+     epoch critical section ([Context.iter_valid_batches]) — the
+     per-element critical-section and validation cost of the row path is
+     paid once per ~1024 rows. The emitted batch is reused (loan
+     contract); the parallel path materializes per-worker batches instead
+     and hands them to [emit] sequentially, in unspecified order.
+
+     The fill order follows the placement. Row-placed blocks interleave a
+     slot's words in one cache line, so filling column-by-column would
+     re-stream the whole block once per column; instead one pass over the
+     selection gathers every wanted word-backed column per slot. Columnar
+     blocks store each word contiguously, so there the per-column passes
+     are the streaming-friendly order. [mask] (from the consumer's
+     [?cols]) drops the columns the plan never reads — unfilled columns
+     keep their storage but their contents are unspecified. *)
+  let make_fill b mask =
+    let want c = match mask with None -> true | Some m -> m.(c) in
+    let int_dst c =
+      match b.Batch.cols.(c) with
+      | Batch.V_int a | Batch.V_dec a | Batch.V_date a | Batch.V_char a -> a
+      | _ -> assert false
+    in
+    let wordsl = ref [] and othersl = ref [] in
+    Array.iteri
+      (fun c col ->
+        if want c then
+          match col with
+          | C_int f | C_dec f | C_date f ->
+            wordsl := (int_dst c, f.Layout.word, false) :: !wordsl
+          | C_char f -> wordsl := (int_dst c, f.Layout.word, true) :: !wordsl
+          | C_bool _ | C_str _ | C_fn _ -> othersl := c :: !othersl)
+      cols;
+    let words = Array.of_list (List.rev !wordsl) in
+    let others = Array.of_list (List.rev !othersl) in
+    let nw = Array.length words in
+    fun blk slots n ->
+      (match blk.Block.placement with
+      | Block.Row ->
+        let data = blk.Block.data in
+        let sw = blk.Block.layout.Layout.slot_words in
+        for i = 0 to n - 1 do
+          let s = Bigarray.Array1.unsafe_get slots i in
+          let base = s * sw in
+          for w = 0 to nw - 1 do
+            let dst, word, is_char = Array.unsafe_get words w in
+            let v = Bigarray.Array1.unsafe_get data (base + word) in
+            Array.unsafe_set dst i (if is_char then v land 0xFF else v)
+          done
+        done
+      | Block.Columnar ->
+        let data = blk.Block.data in
+        let ns = blk.Block.nslots in
+        for w = 0 to nw - 1 do
+          let dst, word, is_char = Array.unsafe_get words w in
+          let base = word * ns in
+          if is_char then
+            for i = 0 to n - 1 do
+              let s = Bigarray.Array1.unsafe_get slots i in
+              Array.unsafe_set dst i (Bigarray.Array1.unsafe_get data (base + s) land 0xFF)
+            done
+          else
+            for i = 0 to n - 1 do
+              let s = Bigarray.Array1.unsafe_get slots i in
+              Array.unsafe_set dst i (Bigarray.Array1.unsafe_get data (base + s))
+            done
+        done);
+      Array.iter (fun c -> fill_column cols.(c) b.Batch.cols.(c) blk slots n) others;
+      Batch.set_identity b n;
+      Smc_obs.incr obs Smc_obs.c_vec_batches;
+      Smc_obs.add obs Smc_obs.c_vec_batch_rows n
+  in
+  let scan_batches ~rows ?cols:mask emit =
+    let cap = max rows 1 in
+    if parallel then begin
+      let per_worker =
+        Smc_parallel.Par_scan.fold_batches_par ?pool ?domains ?csn ctx ~sel_cap:cap
+          ~init:(fun () -> ref [])
+          ~on_batch:(fun acc blk slots n ->
+            let b = Batch.create ~kinds ~cap:n in
+            make_fill b mask blk slots n;
+            acc := b :: !acc)
+          ~combine:(fun a b ->
+            a := List.rev_append !b !a;
+            a)
+      in
+      List.iter emit !per_worker
+    end
+    else begin
+      let b = Batch.create ~kinds ~cap in
+      let fill = make_fill b mask in
+      let slots = Context.make_sel cap in
+      Context.iter_valid_batches ?csn ctx ~sel:slots ~on_batch:(fun blk n ->
+          fill blk slots n;
+          emit b)
+    end
   in
   let schema_pos col =
     let rec go i =
@@ -119,18 +308,39 @@ let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
         })
       indexes
   in
-  { name = coll.Smc.Collection.name; schema; scan; indexes }
+  {
+    name = coll.Smc.Collection.name;
+    schema;
+    kinds;
+    scan;
+    scan_batches = Some scan_batches;
+    obs = Some obs;
+    indexes;
+  }
 
 let of_array ~name ~schema rows =
+  let schema = Array.of_list schema in
   {
     name;
-    schema = Array.of_list schema;
+    schema;
+    kinds = Array.map (fun _ -> Batch.K_any) schema;
     scan = (fun emit -> Array.iter emit rows);
+    scan_batches = None;
+    obs = None;
     indexes = [];
   }
 
 let of_fun ~name ~schema scan =
-  { name; schema = Array.of_list schema; scan; indexes = [] }
+  let schema = Array.of_list schema in
+  {
+    name;
+    schema;
+    kinds = Array.map (fun _ -> Batch.K_any) schema;
+    scan;
+    scan_batches = None;
+    obs = None;
+    indexes = [];
+  }
 
 let column_index t col =
   let rec go i =

@@ -24,9 +24,32 @@ type index_info = {
 type t = {
   name : string;
   schema : string array;
+  kinds : Batch.kind array;  (** static column kinds; [K_any] = opaque *)
   scan : (Value.t array -> unit) -> unit;  (** push a full scan *)
+  scan_batches : (rows:int -> ?cols:bool array -> (Batch.t -> unit) -> unit) option;
+      (** push the scan as reused column chunks of ≤ [rows] rows (the loan
+          contract of {!Batch}); [None] when the source has no batch path
+          and the vectorized engine must re-batch the row scan. [cols]
+          (indexed like [schema]) marks the columns the consumer will read:
+          unmarked columns keep their storage in the batch but are not
+          filled — their contents are unspecified. Omitted = fill all. *)
+  obs : Smc_obs.t option;  (** counter instance of the backing runtime *)
   indexes : index_info list;  (** access paths advertised to the planner *)
 }
+
+(** Typed column spec. Naming the field's layout kind lets the batch path
+    fill unboxed column chunks with hoisted placement arithmetic and the
+    vectorized engine pick typed kernels; [C_fn] is the escape hatch for
+    computed or Null-bearing columns, scanned at boxed-vector speed. *)
+type column =
+  | C_int of Smc_offheap.Layout.field
+  | C_dec of Smc_offheap.Layout.field
+  | C_date of Smc_offheap.Layout.field
+  | C_bool of Smc_offheap.Layout.field
+  | C_char of Smc_offheap.Layout.field
+      (** 1-byte char field surfaced as a 1-char [Str] value *)
+  | C_str of Smc_offheap.Layout.field
+  | C_fn of (Smc_offheap.Block.t -> int -> Value.t)
 
 val of_smc :
   ?pool:Smc_parallel.Pool.t ->
@@ -34,10 +57,13 @@ val of_smc :
   ?view:Smc.Collection.view ->
   ?indexes:(string * Smc_index.Hash_index.t) list ->
   Smc.Collection.t ->
-  columns:(string * (Smc_offheap.Block.t -> int -> Value.t)) list ->
+  columns:(string * column) list ->
   t
 (** Scans the collection inside one critical section, extracting the named
-    columns from each valid slot. With [?domains] ≥ 2 the extraction runs
+    columns from each valid slot. The batch path ([scan_batches]) gathers
+    surviving slots per block with {!Smc_offheap.Context.scan_block_batch}
+    and fills whole column chunks inside one epoch critical section per
+    block. With [?domains] ≥ 2 the extraction runs
     as a block-partitioned parallel scan ({!Smc_parallel.Par_scan}) and the
     rows are pushed to the consumer sequentially afterwards — downstream
     operators never see concurrency, but row order across blocks becomes

@@ -1,0 +1,34 @@
+(** Vectorized batch-at-a-time plan evaluator.
+
+    The fourth execution engine over the same {!Plan.t} as {!Interp}
+    (Volcano), {!Fuse} and {!Codegen}: operators process column chunks
+    ({!Batch.t}, default 1024 rows) instead of a per-row closure chain.
+    Sources with a batch path ({!Source.t.scan_batches}) fill unboxed
+    column chunks straight from the off-heap blocks — one epoch critical
+    section per block — and filters refine the chunk's selection vector
+    with branchless loops; row-only sources and row-at-a-time operators
+    (joins, sorts, distinct, index probes) are bridged through a
+    re-batcher, so every plan the other engines accept runs here too.
+
+    Results are bit-identical to {!Fuse.collect} on the same plan, in the
+    same row order: typed kernels are used only where they provably
+    reproduce the scalar {!Value}/{!Expr}/{!Aggregate} semantics
+    (including raises), and everything else falls back to the scalar code
+    evaluated over the batch. The only visible difference: a plan that
+    raises mid-scan may raise at a different row of a chunk, because
+    sub-expressions evaluate column-by-column.
+
+    Filter selectivity is observable via the [vec_filter_rows_*] counters;
+    batch production via [vec_batches]/[vec_batch_rows] (see
+    docs/observability.md). *)
+
+val default_batch_rows : int
+(** = {!Batch.default_rows}. *)
+
+val run : ?batch_rows:int -> Plan.t -> f:(Value.t array -> unit) -> unit
+(** Evaluate the plan, pushing each result row. [batch_rows] (default
+    {!default_batch_rows}, clamped to ≥ 1) sets the chunk capacity —
+    exercise 1 to force single-row chunks in tests. *)
+
+val collect : ?batch_rows:int -> Plan.t -> Value.t array list
+(** [run] into a list, in emission order. *)

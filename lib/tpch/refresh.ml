@@ -60,56 +60,65 @@ let iter_matching_lineitems (db : Db_smc.t) ~keys ~f =
             if Hashtbl.mem keys orderkey then f (C.ref_of_slot db.Db_smc.lineitems blk slot)
           end))
 
-let smc_ops (db : Db_smc.t) (ds : Row.dataset) =
+let collect_victims db ~keys =
+  let victims = ref [] in
+  iter_matching_lineitems db ~keys ~f:(fun r -> victims := r :: !victims);
+  !victims
+
+(* Bare removes skip already-dead references individually, so this is safe
+   against concurrent streams racing for the same victims. *)
+let bare_remove_all (db : Db_smc.t) victims =
+  List.fold_left
+    (fun acc r -> if C.remove db.Db_smc.lineitems r then acc + 1 else acc)
+    0 victims
+
+(* Both SMC variants run the same stream bodies over the same enumeration;
+   they differ only in the commit discipline: [`Bare] applies each op as
+   its own single-op unit, [`Txn] stages the half-stream through the public
+   transaction API ([Collection.transact]) and publishes it atomically. *)
+let smc_refresh_ops discipline (db : Db_smc.t) (ds : Row.dataset) =
   let insert_batch ~count =
     let g = Prng.create ~seed:(Int64.of_int count) () in
-    for _ = 1 to count do
-      ignore (C.add db.Db_smc.lineitems ~init:(init_fresh_lineitem db g) : Smc.Ref.t)
-    done
+    match discipline with
+    | `Bare ->
+      for _ = 1 to count do
+        ignore (C.add db.Db_smc.lineitems ~init:(init_fresh_lineitem db g) : Smc.Ref.t)
+      done
+    | `Txn -> (
+      match
+        C.transact db.Db_smc.lineitems (fun tx ->
+            for _ = 1 to count do
+              C.stage_add tx ~init:(init_fresh_lineitem db g)
+            done)
+      with
+      | C.Committed _ -> ()
+      | C.Conflict -> assert false (* add-only transactions never conflict *))
   in
   let remove_batch ~keys =
-    let removed = ref 0 in
-    iter_matching_lineitems db ~keys ~f:(fun r ->
-        if C.remove db.Db_smc.lineitems r then incr removed);
-    !removed
+    let victims = collect_victims db ~keys in
+    match discipline with
+    | `Bare -> bare_remove_all db victims
+    | `Txn -> (
+      match
+        C.transact db.Db_smc.lineitems (fun tx ->
+            List.iter (fun r -> C.stage_remove tx r) victims)
+      with
+      | C.Committed _ -> List.length victims
+      | C.Conflict ->
+        (* A concurrent stream won the race for one of our victims; fall
+           back to per-op removal. *)
+        bare_remove_all db victims)
   in
   {
-    kind = "smc";
+    kind = (match discipline with `Bare -> "smc" | `Txn -> "smc_txn");
     insert_batch;
     remove_batch;
     size = (fun () -> C.count db.Db_smc.lineitems);
     random_orderkey = (fun g -> ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)).Row.o_orderkey);
   }
 
-let smc_txn_ops (db : Db_smc.t) (ds : Row.dataset) =
-  let base = smc_ops db ds in
-  let insert_batch ~count =
-    let g = Prng.create ~seed:(Int64.of_int count) () in
-    match
-      C.transact db.Db_smc.lineitems (fun tx ->
-          for _ = 1 to count do
-            C.stage_add tx ~init:(init_fresh_lineitem db g)
-          done)
-    with
-    | C.Committed _ -> ()
-    | C.Conflict -> assert false (* add-only transactions never conflict *)
-  in
-  let remove_batch ~keys =
-    let victims = ref [] in
-    iter_matching_lineitems db ~keys ~f:(fun r -> victims := r :: !victims);
-    match
-      C.transact db.Db_smc.lineitems (fun tx ->
-          List.iter (fun r -> C.stage_remove tx r) !victims)
-    with
-    | C.Committed _ -> List.length !victims
-    | C.Conflict ->
-      (* A concurrent stream won the race for one of our victims; fall back
-         to bare removes, which skip already-dead references individually. *)
-      List.fold_left
-        (fun acc r -> if C.remove db.Db_smc.lineitems r then acc + 1 else acc)
-        0 !victims
-  in
-  { base with kind = "smc_txn"; insert_batch; remove_batch }
+let smc_ops db ds = smc_refresh_ops `Bare db ds
+let smc_txn_ops db ds = smc_refresh_ops `Txn db ds
 
 let fresh_lineitem_row g (ds : Row.dataset) =
   let order = ds.Row.orders.(Prng.int g (Array.length ds.Row.orders)) in

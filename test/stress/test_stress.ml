@@ -1026,6 +1026,135 @@ let test_txn_churn () =
     (Smc_obs.get s Smc_obs.c_txn_views - Smc_obs.get s Smc_obs.c_txn_view_closes)
 
 (* ------------------------------------------------------------------ *)
+(* Vectorized scans under churn: 2 writers churn keys through the
+   Collection API while the main domain runs vectorized batch queries
+   over a source on the same collection and a compactor relocates rows
+   underneath. Every surfaced row must obey payload = payload_of key
+   (k = 0 or p = 0 admits the allocation window, as in the row-at-a-time
+   reader), a filtered scan must additionally satisfy its predicate on
+   every kept row, and a projected scan runs with the payload column
+   pruned from the batch fill — an unfilled chunk leaking into results
+   would surface here as a malformed row. Every round ends at a
+   quiescent point with the structural audit, the counter balances
+   (including the vectorized-filter balance), and an exact diff of a
+   vectorized scan — at the default and an adversarial chunk size —
+   against the merged writer models. *)
+(* ------------------------------------------------------------------ *)
+
+module Q = Smc_query
+
+let vec_layout =
+  Layout.create ~name:"stress_vec" [ ("key", Layout.Int); ("payload", Layout.Int) ]
+
+let vec_payload_ok k p = k = 0 || p = 0 || p = payload_of k
+
+let vec_reader_round src sweeps errs =
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  for sweep = 1 to sweeps do
+    List.iter
+      (function
+        | [| Q.Value.Int k; Q.Value.Int p |] ->
+          if not (vec_payload_ok k p) then
+            fail "vec sweep %d: key %d carries payload %d" sweep k p
+        | _ -> fail "vec sweep %d: full-scan row of unexpected shape" sweep)
+      (Q.Vector.collect (Q.Plan.scan src));
+    List.iter
+      (function
+        | [| Q.Value.Int k; Q.Value.Int p |] ->
+          if p <= 0 then fail "vec sweep %d: filter kept payload %d" sweep p
+          else if not (vec_payload_ok k p) then
+            fail "vec sweep %d: filtered key %d carries payload %d" sweep k p
+        | _ -> fail "vec sweep %d: filtered row of unexpected shape" sweep)
+      (Q.Vector.collect
+         (Q.Plan.where Q.Expr.(Gt (Col "payload", int 0)) (Q.Plan.scan src)));
+    (* Projection keeps only [key]: the batch scan runs with the payload
+       column pruned out of the fill. *)
+    List.iter
+      (function
+        | [| Q.Value.Int _ |] -> ()
+        | _ -> fail "vec sweep %d: projected row of unexpected shape" sweep)
+      (Q.Vector.collect (Q.Plan.select [ ("key", Q.Expr.Col "key") ] (Q.Plan.scan src)));
+    Domain.cpu_relax ()
+  done
+
+let vec_check_merged src (writers : wstate array) ~batch_rows errs =
+  let expected = Hashtbl.create 1024 in
+  Array.iter
+    (fun st -> Hashtbl.iter (fun h _ -> Hashtbl.replace expected h ()) st.w_live)
+    writers;
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (function
+      | [| Q.Value.Int k; Q.Value.Int p |] ->
+        if not (Hashtbl.mem expected k) then
+          errs := Printf.sprintf "vec checkpoint[%d]: unexpected key %d" batch_rows k :: !errs
+        else if p <> payload_of k then
+          errs :=
+            Printf.sprintf "vec checkpoint[%d]: key %d carries payload %d" batch_rows k p
+            :: !errs;
+        if Hashtbl.mem seen k then
+          errs :=
+            Printf.sprintf "vec checkpoint[%d]: key %d enumerated twice" batch_rows k :: !errs;
+        Hashtbl.replace seen k ()
+      | _ ->
+        errs := Printf.sprintf "vec checkpoint[%d]: row of unexpected shape" batch_rows :: !errs)
+    (Q.Vector.collect ~batch_rows (Q.Plan.scan src));
+  Hashtbl.iter
+    (fun h () ->
+      if not (Hashtbl.mem seen h) then
+        errs := Printf.sprintf "vec checkpoint[%d]: live key %d missing" batch_rows h :: !errs)
+    expected
+
+let test_vector_churn () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"stress_vec" ~layout:vec_layout ~slots_per_block:128
+      ~reclaim_threshold:0.25 ()
+  in
+  let fkey = Smc.Field.int vec_layout "key" and fpay = Smc.Field.int vec_layout "payload" in
+  let src =
+    Q.Source.of_smc coll
+      ~columns:[ ("key", Q.Source.C_int fkey); ("payload", Q.Source.C_int fpay) ]
+  in
+  let auditor = Audit.create rt in
+  let writers = [| new_wstate 0; new_wstate 1 |] in
+  let rounds = 4 in
+  let per_writer = max 200 (iters / 12) in
+  let errs = ref [] in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng =
+            Smc_util.Prng.create ~seed:(subseed (15_000 + (100 * round) + st.w_id)) ()
+          in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              ix_writer_round coll fkey fpay st prng per_writer local;
+              Epoch.release_current_domain ();
+              !local))
+        writers
+    in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round coll.Smc.Collection.ctx 6;
+          Epoch.release_current_domain ())
+    in
+    vec_reader_round src (4 + (per_writer / 50)) errs;
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    Domain.join cd;
+    audit_quiescent (Printf.sprintf "vector-churn round %d" round) auditor rt
+      coll.Smc.Collection.ctx;
+    vec_check_merged src writers ~batch_rows:1024 errs;
+    vec_check_merged src writers ~batch_rows:3 errs;
+    assert_clean (Printf.sprintf "vector-churn checkpoint, round %d" round) !errs
+  done;
+  let s = Smc_obs.snapshot rt.Runtime.obs in
+  Alcotest.(check bool) "batch scans ran" true (Smc_obs.get s Smc_obs.c_vec_batches > 0);
+  Alcotest.(check bool) "vectorized filters ran" true
+    (Smc_obs.get s Smc_obs.c_vec_filter_rows_in > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* The balance checks and queue-race assertions need counting on. *)
@@ -1064,5 +1193,6 @@ let () =
           qc "index churn: writers + probers + compactor" test_index_churn;
           qc "persistence: snapshots + WAL recovery under churn" test_persist_under_churn;
           qc "transactions: pair atomicity vs snapshot readers + compactor" test_txn_churn;
+          qc "vectorized scans: writers + batch queries + compactor" test_vector_churn;
         ] );
     ]

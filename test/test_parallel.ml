@@ -244,12 +244,7 @@ let test_q1_q6_parity () =
 
 let test_source_parallel_knob () =
   let _rt, coll = build ~placement:Block.Row ~mode:Context.Indirect ~n:500 () in
-  let columns =
-    [
-      ("k", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fk blk slot));
-      ("v", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fv blk slot));
-    ]
-  in
+  let columns = [ ("k", Smc_query.Source.C_int fk); ("v", Smc_query.Source.C_int fv) ] in
   let pool = Pool.create ~size:3 () in
   Fun.protect
     ~finally:(fun () -> Pool.shutdown pool)

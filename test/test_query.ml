@@ -194,11 +194,7 @@ let test_source_of_smc () =
   done;
   let src =
     Source.of_smc coll
-      ~columns:
-        [
-          ("k", fun blk slot -> Value.Int (Smc.Field.get_int fk blk slot));
-          ("v", fun blk slot -> Value.Dec (Smc.Field.get_dec fv blk slot));
-        ]
+      ~columns:[ ("k", Source.C_int fk); ("v", Source.C_dec fv) ]
   in
   let plan =
     Plan.(
@@ -233,11 +229,7 @@ let mk_ikv n =
   in
   (coll, fk, fv, refs)
 
-let ikv_columns fk fv =
-  [
-    ("k", fun blk slot -> Value.Int (Smc.Field.get_int fk blk slot));
-    ("v", fun blk slot -> Value.Int (Smc.Field.get_int fv blk slot));
-  ]
+let ikv_columns fk fv = [ ("k", Source.C_int fk); ("v", Source.C_int fv) ]
 
 let sorted_rows rows = List.sort Stdlib.compare rows
 
@@ -394,12 +386,7 @@ let test_index_join_key_semantics () =
         : Smc.Ref.t)
   done;
   let ix = H.attach ~name:"events_by_d" ~key:(H.Int_key (Smc.Field.get_int fd)) coll in
-  let columns =
-    [
-      ("d", fun blk slot -> Value.Date (Smc.Field.get_int fd blk slot));
-      ("v", fun blk slot -> Value.Int (Smc.Field.get_int fv blk slot));
-    ]
-  in
+  let columns = [ ("d", Source.C_date fd); ("v", Source.C_int fv) ] in
   let src = Source.of_smc coll ~indexes:[ ("d", ix) ] ~columns in
   let left =
     Source.of_array ~name:"keys" ~schema:[ "ld" ]
@@ -484,16 +471,42 @@ let test_codegen_renders () =
         (where Expr.(Gt (Col "age", int 17)) (scan (people ()))))
   in
   let src = Codegen.to_ocaml_source plan in
-  check Alcotest.bool "mentions critical section" true
-    (String.length src > 0
-    &&
-    let contains needle =
-      let n = String.length needle and h = String.length src in
-      let rec go i = i + n <= h && (String.sub src i n = needle || go (i + 1)) in
-      go 0
-    in
-    contains "enter_critical_section" && contains "(age > 17)");
-  check Alcotest.int "operator count" 3 (Codegen.operator_count plan)
+  let contains needle =
+    let n = String.length needle and h = String.length src in
+    let rec go i = i + n <= h && (String.sub src i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "emits a loadable plugin" true
+    (String.length src > 0 && contains "let query" && contains "Codegen_abi.register");
+  check Alcotest.bool "predicate is inlined, not a closure chain" true
+    (contains "V.compare" && contains "Hashtbl.find_opt");
+  check Alcotest.int "operator count" 3 (Codegen.operator_count plan);
+  (* the compiled path must execute — not just render — when the toolchain
+     is present, and agree with the interpreter bit for bit *)
+  if Codegen.available () then begin
+    let runner, outcome = Codegen.prepare plan in
+    (match outcome with
+    | Codegen.Native _ -> ()
+    | Codegen.Fallback reason -> Alcotest.fail ("expected native execution: " ^ reason));
+    let out = ref [] in
+    runner (fun row -> out := row :: !out);
+    check rows_testable "compiled = volcano" (Interp.collect plan) (List.rev !out);
+    (* second prepare of the same shape must hit the plugin cache *)
+    (match snd (Codegen.prepare plan) with
+    | Codegen.Native _ -> ()
+    | Codegen.Fallback reason -> Alcotest.fail ("expected cache hit: " ^ reason))
+  end;
+  (* IndexJoin is the documented fallback: executed by Fuse, never wrong *)
+  let coll, fk, fv, _refs = mk_ikv 8 in
+  let ix = H.attach ~name:"cg_ix" ~key:(H.Int_key (Smc.Field.get_int fk)) coll in
+  let src = Source.of_smc coll ~indexes:[ ("k", ix) ] ~columns:(ikv_columns fk fv) in
+  let left = Source.of_array ~name:"lk" ~schema:[ "lk" ] [| [| Value.Int 3 |] |] in
+  let ij = Plan.index_join ~on:("lk", "k") (Plan.scan left) src in
+  (match snd (Codegen.prepare ij) with
+  | Codegen.Fallback _ -> ()
+  | Codegen.Native _ -> Alcotest.fail "IndexJoin should fall back to Fuse");
+  check rows_testable "fallback path still answers" (Interp.collect ij)
+    (Codegen.collect ij)
 
 let qtest ?(count = 50) name gen prop =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)

@@ -236,12 +236,13 @@ let test_q6_via_generic_engine () =
   let src =
     Smc_query.Source.of_smc db.Db_smc.lineitems
       ~columns:
-        [
-          ("shipdate", fun b s -> V.Date (Smc.Field.get_date lf.Db_smc.l_shipdate b s));
-          ("discount", fun b s -> V.Dec (Smc.Field.get_dec lf.Db_smc.l_discount b s));
-          ("quantity", fun b s -> V.Dec (Smc.Field.get_dec lf.Db_smc.l_quantity b s));
-          ("price", fun b s -> V.Dec (Smc.Field.get_dec lf.Db_smc.l_extendedprice b s));
-        ]
+        Smc_query.Source.
+          [
+            ("shipdate", C_date lf.Db_smc.l_shipdate);
+            ("discount", C_dec lf.Db_smc.l_discount);
+            ("quantity", C_dec lf.Db_smc.l_quantity);
+            ("price", C_dec lf.Db_smc.l_extendedprice);
+          ]
   in
   let lo = Results.q6_date in
   let hi = Smc_util.Date.add_months lo 12 in
@@ -294,11 +295,12 @@ let prop_dsl_matches_compiled_on_random_filters =
          let src =
            Smc_query.Source.of_smc db.Db_smc.lineitems
              ~columns:
-               [
-                 ("ship", fun b s -> V.Date (Smc.Field.get_date lf.Db_smc.l_shipdate b s));
-                 ("qty", fun b s -> V.Dec (Smc.Field.get_dec lf.Db_smc.l_quantity b s));
-                 ("price", fun b s -> V.Dec (Smc.Field.get_dec lf.Db_smc.l_extendedprice b s));
-               ]
+               Smc_query.Source.
+                 [
+                   ("ship", C_date lf.Db_smc.l_shipdate);
+                   ("qty", C_dec lf.Db_smc.l_quantity);
+                   ("price", C_dec lf.Db_smc.l_extendedprice);
+                 ]
          in
          let plan =
            Smc_query.Plan.(

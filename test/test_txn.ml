@@ -282,6 +282,36 @@ let test_conflict_against_bare_write () =
   | C.Committed _ -> Alcotest.fail "stale staged store must conflict");
   check pairs "empty" [] (dump coll)
 
+let test_conflict_bare_store () =
+  (* Bare stores stamp the slot with a fresh CSN under the transaction
+     lock, so a transaction staged against the row before the store lands
+     must lose first-committer-wins validation. *)
+  let rt, coll = make_kv () in
+  let r = add_kv coll 1 10 in
+  let snap0 = Smc_obs.snapshot rt.Runtime.obs in
+  let tx = C.txn coll in
+  C.stage_store tx r ~word:fv.Layout.word ~value:111;
+  C.store coll r ~word:fv.Layout.word ~value:55;
+  (match C.commit tx with
+  | C.Conflict -> ()
+  | C.Committed _ -> Alcotest.fail "txn staged before a bare store must conflict");
+  check pairs "bare store is the surviving write" [ (1, 55) ] (dump coll);
+  C.store coll r ~word:fv.Layout.word ~value:77;
+  check pairs "later bare store lands" [ (1, 77) ] (dump coll);
+  let d = Smc_obs.diff (Smc_obs.snapshot rt.Runtime.obs) snap0 in
+  check Alcotest.int "bare stores counted" 2 (Smc_obs.get d Smc_obs.c_bare_stores);
+  ignore (C.remove coll r : bool);
+  (match C.store coll r ~word:fv.Layout.word ~value:1 with
+  | () -> Alcotest.fail "store to a dead ref must raise"
+  | exception Constants.Null_reference -> ());
+  let r2 = add_kv coll 2 20 in
+  (match C.store coll r2 ~word:99 ~value:1 with
+  | () -> Alcotest.fail "out-of-layout store must be rejected"
+  | exception Invalid_argument msg ->
+    check Alcotest.bool "word message" true (contains_sub ~sub:"word offset" msg));
+  check (Alcotest.list Alcotest.string) "stamp invariants hold" []
+    (Txn_check.check_quiescent coll)
+
 let test_conflict_pairs_property () =
   (* Property: for overlapping transaction pairs staging a write to the
      same row, exactly one commits, and the final state always matches a
@@ -567,12 +597,7 @@ let test_view_query_integration () =
   for i = 1 to 20 do
     ignore (add_kv coll i (i * 100) : Smc.Ref.t)
   done;
-  let columns =
-    [
-      ("k", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fk blk slot));
-      ("v", fun blk slot -> Smc_query.Value.Int (Smc.Field.get_int fv blk slot));
-    ]
-  in
+  let columns = [ ("k", Smc_query.Source.C_int fk); ("v", Smc_query.Source.C_int fv) ] in
   let agg src =
     Smc_query.Interp.collect
       Smc_query.Plan.(
@@ -666,6 +691,17 @@ let test_txn_check_quiescent () =
   check (Alcotest.list Alcotest.string) "stamp invariants hold" []
     (Txn_check.check_quiescent coll)
 
+let test_bare_store_wal_replay () =
+  (* The bare store's WAL hook fires inside its critical section; recovery
+     must replay the in-place write. *)
+  let _rt, coll, wal, wal_path, snap = make_logged () in
+  let r = add_kv coll 1 10 in
+  let _r2 = add_kv coll 2 20 in
+  C.store coll r ~word:fv.Layout.word ~value:42;
+  check pairs "recovered bare store" [ (1, 42); (2, 20) ]
+    (dump_restored wal_path snap);
+  Wal.close wal
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -687,6 +723,7 @@ let () =
           qc "store/store: first committer wins" test_conflict_store_store;
           qc "remove/store" test_conflict_remove_vs_store;
           qc "bare remove stamps too" test_conflict_against_bare_write;
+          qc "txn vs bare store race" test_conflict_bare_store;
           qc "seeded conflict pairs: exactly one commits" test_conflict_pairs_property;
         ] );
       ( "crash-recovery",
@@ -699,6 +736,7 @@ let () =
           qc "stray commit is fatal" test_stray_commit_is_fatal;
           qc "short frame is fatal" test_short_frame_is_fatal;
           qc "bare torn tail still dropped cleanly" test_torn_tail_regression_bare;
+          qc "bare store replays" test_bare_store_wal_replay;
         ] );
       ( "views",
         [

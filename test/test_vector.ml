@@ -1,0 +1,450 @@
+(* Vectorized-engine parity: {!Smc_query.Vector} must produce rows
+   bit-identical to Volcano and Fuse — same values, same order — on every
+   plan shape, across the four standard storage configs (row/columnar ×
+   indirect/direct), on Null/decimal/date/char edge values, and under
+   chunking extremes (single-row chunks, empty chunks, chunk-boundary
+   limits). *)
+
+open Smc_query
+module Block = Smc_offheap.Block
+module Context = Smc_offheap.Context
+module D = Smc_decimal.Decimal
+
+let check = Alcotest.check
+
+let rows_testable =
+  Alcotest.testable
+    (fun fmt rows ->
+      Format.fprintf fmt "%s"
+        (String.concat ";"
+           (List.map
+              (fun row ->
+                String.concat "," (Array.to_list (Array.map Value.to_string row)))
+              rows)))
+    (List.equal (fun a b -> Array.for_all2 Value.equal a b))
+
+(* Every engine, plus the vectorized engine at adversarial chunk sizes:
+   1 (each row its own batch) and 3 (chunk boundaries misaligned with
+   blocks). All five must agree exactly. *)
+let check_parity name plan =
+  let reference = Interp.collect plan in
+  check rows_testable (name ^ ": fuse = volcano") reference (Fuse.collect plan);
+  check rows_testable (name ^ ": vector = volcano") reference (Vector.collect plan);
+  check rows_testable
+    (name ^ ": vector[1] = volcano")
+    reference
+    (Vector.collect ~batch_rows:1 plan);
+  check rows_testable
+    (name ^ ": vector[3] = volcano")
+    reference
+    (Vector.collect ~batch_rows:3 plan);
+  reference
+
+(* ------------------------------------------------------------------ *)
+(* A collection with every column kind, plus a Null-bearing computed
+   column; a third of the rows removed so selection vectors have holes. *)
+
+let layout =
+  Smc_offheap.Layout.create ~name:"vrow"
+    [
+      ("k", Smc_offheap.Layout.Int);
+      ("d", Smc_offheap.Layout.Dec);
+      ("dt", Smc_offheap.Layout.Date);
+      ("c", Smc_offheap.Layout.Int);
+      ("b", Smc_offheap.Layout.Bool);
+      ("s", Smc_offheap.Layout.Str 12);
+    ]
+
+let fk = Smc.Field.int layout "k"
+let fd = Smc.Field.dec layout "d"
+let fdt = Smc.Field.date layout "dt"
+let fc = Smc.Field.int layout "c"
+let fb = Smc.Field.bool layout "b"
+let fs = Smc.Field.str layout "s"
+
+let build ~placement ~mode ~n () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"vrow" ~layout ~placement ~mode ~slots_per_block:16 ()
+  in
+  let refs =
+    Array.init n (fun i ->
+        Smc.Collection.add coll ~init:(fun blk slot ->
+            Smc.Field.set_int fk blk slot i;
+            (* negatives and zero exercise sign handling in Dec kernels *)
+            Smc.Field.set_dec fd blk slot (D.of_string (Printf.sprintf "%d.%02d" (i - 7) (i mod 100)));
+            Smc.Field.set_date fdt blk slot (10000 + (i * 3 mod 97));
+            Smc.Field.set_int fc blk slot (Char.code 'A' + (i mod 3));
+            Smc.Field.set_bool fb blk slot (i mod 2 = 0);
+            Smc.Field.set_string fs blk slot (Printf.sprintf "n%03d" (i mod 23))))
+  in
+  Array.iteri
+    (fun i r -> if i mod 3 = 0 then ignore (Smc.Collection.remove coll r : bool))
+    refs;
+  (rt, coll)
+
+let columns =
+  [
+    ("k", Source.C_int fk);
+    ("d", Source.C_dec fd);
+    ("dt", Source.C_date fdt);
+    ("c", Source.C_char fc);
+    ("b", Source.C_bool fb);
+    ("s", Source.C_str fs);
+    (* Null on every 5th k — the boxed escape hatch *)
+    ( "opt",
+      Source.C_fn
+        (fun blk slot ->
+          let k = Smc.Field.get_int fk blk slot in
+          if k mod 5 = 0 then Value.Null else Value.Int (k * 2)) );
+  ]
+
+let configs =
+  [
+    ("row/indirect", Block.Row, Context.Indirect);
+    ("row/direct", Block.Row, Context.Direct);
+    ("columnar/indirect", Block.Columnar, Context.Indirect);
+    ("columnar/direct", Block.Columnar, Context.Direct);
+  ]
+
+let with_configs f =
+  List.iter
+    (fun (cname, placement, mode) ->
+      let _rt, coll = build ~placement ~mode ~n:100 () in
+      f cname (Source.of_smc coll ~columns))
+    configs
+
+(* ------------------------------------------------------------------ *)
+(* Plan shapes over SMC sources *)
+
+let test_scan_parity () =
+  with_configs (fun cname src ->
+      let rows = check_parity (cname ^ " scan") (Plan.scan src) in
+      check Alcotest.int (cname ^ " live rows") 66 (List.length rows))
+
+let test_typed_filters () =
+  with_configs (fun cname src ->
+      (* date range + dec Between + dec-vs-int — the Q6 shape *)
+      ignore
+        (check_parity (cname ^ " q6-shape")
+           Plan.(
+             where
+               Expr.(
+                 And
+                   ( And
+                       ( Ge (Col "dt", Const (Value.Date 10010)),
+                         Lt (Col "dt", Const (Value.Date 10080)) ),
+                     And (Between (Col "d", dec "1.00", dec "55.00"), Lt (Col "d", int 50))
+                   ))
+               (scan src)));
+      (* every comparison operator against typed columns, plus flipped
+         const-on-the-left forms *)
+      List.iter
+        (fun (n, p) -> ignore (check_parity (cname ^ " " ^ n) p))
+        [
+          ("eq-int", Plan.(where Expr.(Eq (Col "k", int 17)) (scan src)));
+          ("ne-int", Plan.(where Expr.(Ne (Col "k", int 17)) (scan src)));
+          ("flip-lt", Plan.(where Expr.(Lt (int 50, Col "k")) (scan src)));
+          ("flip-ge", Plan.(where Expr.(Ge (int 50, Col "k")) (scan src)));
+          ("char-eq", Plan.(where Expr.(Eq (Col "c", str "B")) (scan src)));
+          ("char-ne", Plan.(where Expr.(Ne (Col "c", str "B")) (scan src)));
+          ("char-ge", Plan.(where Expr.(Ge (Col "c", str "B")) (scan src)));
+          (* 2-char constant: length is the tiebreak *)
+          ("char-vs-longer", Plan.(where Expr.(Le (Col "c", str "AZ")) (scan src)));
+          ("char-vs-empty", Plan.(where Expr.(Gt (Col "c", str "")) (scan src)));
+          ("bool-eq", Plan.(where Expr.(Eq (Col "b", bool true)) (scan src)));
+          ("str-eq", Plan.(where Expr.(Eq (Col "s", str "n005")) (scan src)));
+          ("col-col", Plan.(where Expr.(Lt (Col "k", Col "opt")) (scan src)));
+          ("between-date", Plan.(where Expr.(Between (Col "dt", date "1997-05-15", date "1997-07-20")) (scan src)));
+        ])
+
+let test_null_semantics () =
+  with_configs (fun cname src ->
+      (* Null compares below everything and never raises; typed columns
+         against Const Null take the constant-verdict path. *)
+      List.iter
+        (fun (n, p) -> ignore (check_parity (cname ^ " " ^ n) p))
+        [
+          ("null-col-lt", Plan.(where Expr.(Lt (Col "opt", int 40)) (scan src)));
+          ("null-col-eq-null", Plan.(where Expr.(Eq (Col "opt", Const Value.Null)) (scan src)));
+          ("typed-vs-null-gt", Plan.(where Expr.(Gt (Col "k", Const Value.Null)) (scan src)));
+          ("typed-vs-null-le", Plan.(where Expr.(Le (Col "k", Const Value.Null)) (scan src)));
+          ("null-select", Plan.(select [ ("o", Expr.Col "opt"); ("z", Expr.Const Value.Null) ] (scan src)));
+        ])
+
+let test_fallback_predicates () =
+  with_configs (fun cname src ->
+      List.iter
+        (fun (n, p) -> ignore (check_parity (cname ^ " " ^ n) p))
+        [
+          ( "or",
+            Plan.(
+              where Expr.(Or (Eq (Col "c", str "A"), Gt (Col "k", int 90))) (scan src)) );
+          ("not", Plan.(where Expr.(Not (Eq (Col "b", bool true))) (scan src)));
+          ("contains", Plan.(where (Expr.Contains (Expr.Col "s", "00")) (scan src)));
+          ("starts", Plan.(where (Expr.StartsWith (Expr.Col "s", "n01")) (scan src)));
+          ( "arith-pred",
+            (* guard first: And short-circuits in both engines, so the Add
+               never sees the Null rows *)
+            Plan.(
+              where
+                Expr.(
+                  And
+                    ( Not (Eq (Col "opt", Const Value.Null)),
+                      Gt (Add (Col "k", Col "opt"), int 100) ))
+                (scan src)) );
+        ])
+
+let test_select_arithmetic () =
+  with_configs (fun cname src ->
+      ignore
+        (check_parity (cname ^ " select-arith")
+           Plan.(
+             select
+               [
+                 ("ik", Expr.Col "k");
+                 ("mul_ii", Expr.(Mul (Col "k", int 3)));
+                 ("mul_dd", Expr.(Mul (Col "d", Col "d")));
+                 ("mix", Expr.(Mul (Col "d", Sub (dec "1.00", Col "d"))));
+                 ("promote", Expr.(Add (Col "k", Col "d")));
+                 ("div_ii", Expr.(Div (Col "k", int 7)));
+                 ("div_dd", Expr.(Div (Col "d", dec "3.00")));
+                 ("neg", Expr.(Neg (Col "d")));
+                 ("const_s", Expr.str "tag");
+                 ("const_b", Expr.bool false);
+                 ("passthru_c", Expr.Col "c");
+                 ("passthru_s", Expr.Col "s");
+                 ("passthru_b", Expr.Col "b");
+               ]
+               (where Expr.(Gt (Col "k", int 20)) (scan src)))))
+
+let test_group_by_shapes () =
+  with_configs (fun cname src ->
+      List.iter
+        (fun (n, p) -> ignore (check_parity (cname ^ " " ^ n) p))
+        [
+          (* char-packed keys *)
+          ( "gb-char",
+            Plan.(
+              group_by
+                ~keys:[ ("c", Expr.Col "c") ]
+                ~aggs:
+                  [
+                    ("n", Count);
+                    ("sum_d", Sum (Expr.Col "d"));
+                    ("sum_k", Sum (Expr.Col "k"));
+                    ("min_dt", Min (Expr.Col "dt"));
+                    ("max_c", Max (Expr.Col "c"));
+                    ("avg_k", Avg (Expr.Col "k"));
+                    ("avg_d", Avg (Expr.Col "d"));
+                  ]
+                (scan src)) );
+          (* int-array keys (mixed int-like kinds) *)
+          ( "gb-int-date",
+            Plan.(
+              group_by
+                ~keys:[ ("dt", Expr.Col "dt"); ("c", Expr.Col "c") ]
+                ~aggs:[ ("n", Count); ("mx", Max (Expr.Col "d")) ]
+                (scan src)) );
+          (* boxed keys: strings and a Null-bearing column *)
+          ( "gb-boxed",
+            Plan.(
+              group_by
+                ~keys:[ ("s", Expr.Col "s"); ("opt", Expr.Col "opt") ]
+                ~aggs:[ ("n", Count); ("mn", Min (Expr.Col "s")) ]
+                (scan src)) );
+          (* zero keys = single global group *)
+          ( "gb-global",
+            Plan.(
+              group_by ~keys:[]
+                ~aggs:[ ("n", Count); ("total", Sum Expr.(Mul (Col "d", Col "d"))) ]
+                (scan src)) );
+          (* empty input: no groups at all *)
+          ( "gb-empty",
+            Plan.(
+              group_by ~keys:[ ("c", Expr.Col "c") ] ~aggs:[ ("n", Count) ]
+                (where Expr.(Lt (Col "k", int 0)) (scan src))) );
+          (* generic agg cells: Min/Max over strings, Sum over Null-bearing *)
+          ( "gb-generic-cells",
+            Plan.(
+              group_by
+                ~keys:[ ("c", Expr.Col "c") ]
+                ~aggs:
+                  [ ("mns", Min (Expr.Col "s")); ("mxs", Max (Expr.Col "s")) ]
+                (scan src)) );
+        ])
+
+let test_row_operators () =
+  with_configs (fun cname src ->
+      let right =
+        Source.of_array ~name:"dim" ~schema:[ "dk"; "label" ]
+          (Array.init 10 (fun i -> [| Value.Int (i * 7); Value.Str (Printf.sprintf "L%d" i) |]))
+      in
+      List.iter
+        (fun (n, p) -> ignore (check_parity (cname ^ " " ^ n) p))
+        [
+          ( "order-limit",
+            Plan.(
+              limit 7
+                (order_by
+                   [ (Expr.Col "c", Asc); (Expr.Col "k", Desc) ]
+                   (scan src))) );
+          (* limit boundaries: across chunk edges, 0, and over-ask *)
+          ("limit-0", Plan.(limit 0 (scan src)));
+          ("limit-1", Plan.(limit 1 (scan src)));
+          ("limit-all", Plan.(limit 10_000 (scan src)));
+          ("distinct", Plan.(distinct (select [ ("c", Expr.Col "c") ] (scan src))));
+          ( "hash-join",
+            Plan.(join ~on:[ ("k", "dk") ] (scan src) (scan right)) );
+        ])
+
+let test_of_array_sources () =
+  (* No batch path, all-K_any kinds: everything routes through the
+     re-batcher and the scalar fallbacks. *)
+  let src =
+    Source.of_array ~name:"mixed" ~schema:[ "a"; "b" ]
+      [|
+        [| Value.Int 1; Value.Str "x" |];
+        [| Value.Null; Value.Str "y" |];
+        [| Value.Int 3; Value.Str "x" |];
+        [| Value.Dec (D.of_string "2.50"); Value.Str "z" |];
+      |]
+  in
+  List.iter
+    (fun (n, p) -> ignore (check_parity n p))
+    [
+      ("arr-scan", Plan.scan src);
+      ("arr-filter", Plan.(where Expr.(Gt (Col "a", int 1)) (scan src)));
+      ( "arr-group",
+        Plan.(
+          group_by
+            ~keys:[ ("b", Expr.Col "b") ]
+            ~aggs:[ ("n", Count); ("mx", Max (Expr.Col "a")) ]
+            (scan src)) );
+    ];
+  (* empty source: no chunks at all *)
+  let empty = Source.of_array ~name:"empty" ~schema:[ "x" ] [||] in
+  let rows = check_parity "arr-empty" Plan.(where Expr.(Gt (Col "x", int 0)) (scan empty)) in
+  check Alcotest.int "empty stays empty" 0 (List.length rows)
+
+let test_error_parity () =
+  (* Type errors must raise identically (message included) from the
+     vectorized fallback. *)
+  let src =
+    Source.of_array ~name:"bad" ~schema:[ "a" ] [| [| Value.Str "x" |]; [| Value.Int 1 |] |]
+  in
+  let plan = Plan.(where Expr.(Gt (Col "a", int 0)) (scan src)) in
+  let exn_of f = match f () with _ -> None | exception e -> Some (Printexc.to_string e) in
+  let fuse = exn_of (fun () -> Fuse.collect plan) in
+  let vec = exn_of (fun () -> Vector.collect plan) in
+  check Alcotest.bool "fuse raises" true (fuse <> None);
+  check
+    Alcotest.(option string)
+    "same exception" fuse vec;
+  (* division by zero through the typed kernel *)
+  let kv =
+    Source.of_array ~name:"z" ~schema:[ "a" ] [| [| Value.Int 4 |]; [| Value.Int 0 |] |]
+  in
+  let dplan = Plan.(select [ ("q", Expr.(Div (int 12, Col "a"))) ] (scan kv)) in
+  check
+    Alcotest.(option string)
+    "div-by-zero parity"
+    (exn_of (fun () -> Fuse.collect dplan))
+    (exn_of (fun () -> Vector.collect dplan))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot views and parallel scans through the batch path *)
+
+let test_view_frontier () =
+  let _rt, coll = build ~placement:Block.Row ~mode:Context.Indirect ~n:60 () in
+  Smc.Collection.with_view coll (fun view ->
+      let src = Source.of_smc ~view coll ~columns in
+      let before = Vector.collect (Plan.scan src) in
+      (* mutate after the frontier: adds and removes must stay invisible *)
+      let r =
+        Smc.Collection.add coll ~init:(fun blk slot ->
+            Smc.Field.set_int fk blk slot 999;
+            Smc.Field.set_dec fd blk slot (D.of_int 1);
+            Smc.Field.set_date fdt blk slot 10001;
+            Smc.Field.set_int fc blk slot (Char.code 'Z');
+            Smc.Field.set_bool fb blk slot true;
+            Smc.Field.set_string fs blk slot "zz")
+      in
+      ignore (r : Smc.Ref.t);
+      let after = Vector.collect (Plan.scan src) in
+      check rows_testable "view-pinned batch scan is stable" before after;
+      check rows_testable "view: vector = volcano" (Interp.collect (Plan.scan src)) after;
+      check rows_testable "view: vector = fuse" (Fuse.collect (Plan.scan src)) after);
+  (* after closing: current state sees the new row *)
+  let src = Source.of_smc coll ~columns in
+  let k999 = Plan.(where Expr.(Eq (Col "k", int 999)) (scan src)) in
+  check Alcotest.int "post-view scan sees the add" 1 (List.length (Vector.collect k999))
+
+let test_parallel_batch_scan () =
+  let _rt, coll = build ~placement:Block.Columnar ~mode:Context.Indirect ~n:300 () in
+  let pool = Smc_parallel.Pool.create ~size:3 () in
+  Fun.protect
+    ~finally:(fun () -> Smc_parallel.Pool.shutdown pool)
+    (fun () ->
+      let seq = Source.of_smc coll ~columns in
+      let par = Source.of_smc ~pool ~domains:4 coll ~columns in
+      (* row order across blocks is unspecified in the parallel case —
+         compare as sorted bags, and compare aggregates exactly *)
+      let sorted p = List.sort Stdlib.compare (Vector.collect p) in
+      check rows_testable "parallel batch scan = sequential (sorted)"
+        (sorted (Plan.scan seq))
+        (sorted (Plan.scan par));
+      let agg src =
+        Vector.collect
+          Plan.(
+            group_by ~keys:[]
+              ~aggs:[ ("n", Count); ("sum", Sum (Expr.Col "d")); ("mx", Max (Expr.Col "k")) ]
+              (where Expr.(Gt (Col "k", int 5)) (scan src)))
+      in
+      check rows_testable "parallel aggregate agrees" (agg seq) (agg par))
+
+(* ------------------------------------------------------------------ *)
+(* Observability: filter counters balance *)
+
+let test_vec_counters () =
+  let rt, coll = build ~placement:Block.Row ~mode:Context.Indirect ~n:90 () in
+  let obs = rt.Smc_offheap.Runtime.obs in
+  let snap0 = Smc_obs.snapshot obs in
+  let src = Source.of_smc coll ~columns in
+  let live =
+    List.length (Vector.collect Plan.(where Expr.(Gt (Col "k", int (-1))) (scan src)))
+  in
+  let d = Smc_obs.diff (Smc_obs.snapshot obs) snap0 in
+  let g = Smc_obs.get d in
+  check Alcotest.bool "batches counted" true (g Smc_obs.c_vec_batches > 0);
+  check Alcotest.int "batch rows = live rows" live (g Smc_obs.c_vec_batch_rows);
+  check Alcotest.int "filter saw every live row" live (g Smc_obs.c_vec_filter_rows_in);
+  check Alcotest.int "kept + dropped = in"
+    (g Smc_obs.c_vec_filter_rows_in)
+    (g Smc_obs.c_vec_filter_rows_kept + g Smc_obs.c_vec_filter_rows_dropped);
+  check (Alcotest.list Alcotest.string) "obs invariants hold" []
+    (Smc_check.Obs_check.check rt ~contexts:[ coll.Smc.Collection.ctx ])
+
+let () =
+  let qc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "vector"
+    [
+      ( "parity",
+        [
+          qc "scan across configs" test_scan_parity;
+          qc "typed filters" test_typed_filters;
+          qc "null semantics" test_null_semantics;
+          qc "fallback predicates" test_fallback_predicates;
+          qc "select arithmetic" test_select_arithmetic;
+          qc "group-by shapes" test_group_by_shapes;
+          qc "row operators" test_row_operators;
+          qc "of_array sources" test_of_array_sources;
+          qc "error parity" test_error_parity;
+        ] );
+      ( "integration",
+        [
+          qc "snapshot view frontier" test_view_frontier;
+          qc "parallel batch scan" test_parallel_batch_scan;
+          qc "filter counters balance" test_vec_counters;
+        ] );
+    ]
