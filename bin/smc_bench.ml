@@ -251,6 +251,27 @@ let run_vectorized quick sf =
     exit 1
   end
 
+(* Sharded scaling sweep, doubling as the sharding self-check: every shard
+   count must answer the probe queries on all four engines bit-identically
+   to an unsharded collection, restore must reproduce the live rows (WAL
+   tails included), and every shard runtime must pass the audit + balance
+   sweeps plus the coordinator's shard/request partitions — violations are
+   fatal, like [run_index]. Speedups vs the 1-shard baseline are reported
+   in the table; commit throughput scales with overlapped per-shard log
+   syncs, so the WALs run with sync=Always. *)
+let run_shard quick shard_counts dir =
+  meta_bool "quick" quick;
+  add_meta "shards"
+    (Printf.sprintf "[%s]" (String.concat "," (List.map string_of_int shard_counts)));
+  let txns = if quick then 96 else 240 in
+  meta_int "txns" txns;
+  let points, violations = E.Shard_bench.run ~shard_counts ~txns ?dir () in
+  print_table (E.Shard_bench.table points);
+  if violations <> [] then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
 let run_all sf quick =
   meta_num "sf" sf;
   meta_bool "quick" quick;
@@ -394,6 +415,18 @@ let persist_cmd =
       const (fun quick sf dir () -> run_persist quick sf dir)
       $ quick_arg $ sf_arg 0.1 $ dir_arg)
 
+let shards_arg =
+  let doc = "Comma-separated shard counts to sweep." in
+  Arg.(value & opt (list int) [ 1; 2; 4; 8 ] & info [ "shards" ] ~docv:"N,.." ~doc)
+
+let shard_cmd =
+  cmd "shard"
+    "Sharded collection scaling: per-shard WAL group commit, snapshot, restore \
+     (self-checking: engine parity, restore equality, and audits are fatal)"
+    Term.(
+      const (fun quick shards dir () -> run_shard quick shards dir)
+      $ quick_arg $ shards_arg $ dir_arg)
+
 let vectorized_cmd =
   cmd "vectorized"
     "Vectorized + compiled engines vs Volcano/Fuse on Q1/Q6 (self-checking: parity \
@@ -411,7 +444,7 @@ let () =
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
         linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; persist_cmd;
-        vectorized_cmd; all_cmd;
+        vectorized_cmd; shard_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

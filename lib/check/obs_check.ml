@@ -96,3 +96,29 @@ let check_exn rt ~contexts =
   match check rt ~contexts with
   | [] -> ()
   | violations -> raise (Audit.Audit_failure violations)
+
+(* Balances over a shard coordinator's / serving front-end's own counter
+   instance (not a runtime's). These are pure event-history partitions —
+   every submitted sharded transaction and every decoded request frame ends
+   exactly one way — so they need no structural state, just a quiescent
+   point (no in-flight transaction or request while summing stripes). *)
+let check_shard obs =
+  if not !Smc_obs.enabled then []
+  else begin
+    let out = ref [] in
+    let s = Smc_obs.snapshot obs in
+    let g c = Smc_obs.get s c in
+    let eq what lhs rhs =
+      if lhs <> rhs then vf out "%s: %d vs %d" what lhs rhs
+    in
+    eq "sharded-transaction outcome balance (txns = commits + conflicts)"
+      (g Smc_obs.c_shard_txns)
+      (g Smc_obs.c_shard_txn_commits + g Smc_obs.c_shard_txn_conflicts);
+    if g Smc_obs.c_shard_txn_multi > g Smc_obs.c_shard_txn_commits then
+      vf out "multi-shard commits (%d) exceed total commits (%d)"
+        (g Smc_obs.c_shard_txn_multi) (g Smc_obs.c_shard_txn_commits);
+    eq "request outcome balance (requests = replies + errors + shed)"
+      (g Smc_obs.c_srv_requests)
+      (g Smc_obs.c_srv_replies + g Smc_obs.c_srv_errors + g Smc_obs.c_srv_shed);
+    List.rev !out
+  end

@@ -16,3 +16,12 @@ val check : Smc_offheap.Runtime.t -> contexts:Smc_offheap.Context.t list -> stri
 
 val check_exn : Smc_offheap.Runtime.t -> contexts:Smc_offheap.Context.t list -> unit
 (** Raises {!Audit.Audit_failure} with the violations, if any. *)
+
+val check_shard : Smc_obs.t -> string list
+(** Balances over a shard coordinator's / serving front-end's own counter
+    instance: every submitted sharded transaction commits or conflicts
+    ([shard_txns = shard_txn_commits + shard_txn_conflicts], with
+    multi-shard commits a subset of commits), and every decoded request
+    frame is answered exactly one way ([srv_requests = srv_replies +
+    srv_errors + srv_shed]). Call at a quiescent point; returns [] while
+    {!Smc_obs.enabled} is off. *)

@@ -336,42 +336,81 @@ let apply_locked tx ~csn =
     (List.rev tx.tx_ops);
   (List.rev !adds, List.rev !logged)
 
-let commit tx =
-  check_open tx "commit";
+(* ---- Two-phase commit primitives --------------------------------------
+   [prepare] runs the first half of a commit — take the transaction lock,
+   enter the epoch critical section, validate — and then *returns with both
+   still held*, so a coordinator can prepare several collections and only
+   publish once every one of them validated. The critical section keeps the
+   validated locations stable and the lock keeps competing committers and
+   view-frontier reads out, so a prepared transaction cannot be invalidated
+   before [commit_prepared] lands it. Locks and critical sections are bound
+   to the calling domain: prepare and finish a transaction on one domain,
+   and when preparing several collections always take them in one global
+   order (ascending shard id) so concurrent coordinators cannot deadlock. *)
+
+type prepared = { pr_tx : txn; mutable pr_open : bool }
+
+let prepare tx =
+  check_open tx "prepare";
   tx.tx_done <- true;
   let t = tx.tx_coll in
   let rt = t.rt in
-  let em = rt.Runtime.epoch in
   Runtime.fire_txn_hook rt Runtime.Txn_staged;
   Mutex.lock t.txn_lock;
+  (* One critical section around validate + apply + log: resolved
+     locations stay stable, freed slots cannot clear their grace period
+     before the WAL batch lands (same discipline as bare [remove]'s
+     free-then-append pinning), and the commit CSN stays adjacent to
+     the published stamps. *)
+  Epoch.enter_critical rt.Runtime.epoch;
+  if validate_locked tx then begin
+    Runtime.fire_txn_hook rt Runtime.Txn_validated;
+    Some { pr_tx = tx; pr_open = true }
+  end
+  else begin
+    obs_incr t Smc_obs.c_txn_conflicts;
+    Epoch.exit_critical rt.Runtime.epoch;
+    Mutex.unlock t.txn_lock;
+    None
+  end
+
+let finish_prepared pr =
+  pr.pr_open <- false;
+  let t = pr.pr_tx.tx_coll in
+  Epoch.exit_critical t.rt.Runtime.epoch;
+  Mutex.unlock t.txn_lock
+
+let check_prepared pr what =
+  if not pr.pr_open then
+    invalid_arg (Printf.sprintf "Collection.%s: prepared transaction already finished" what)
+
+let commit_prepared pr =
+  check_prepared pr "commit_prepared";
+  let tx = pr.pr_tx in
+  let t = tx.tx_coll in
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.txn_lock)
+    ~finally:(fun () -> finish_prepared pr)
     (fun () ->
-      (* One critical section around validate + apply + log: resolved
-         locations stay stable, freed slots cannot clear their grace period
-         before the WAL batch lands (same discipline as bare [remove]'s
-         free-then-append pinning), and the commit CSN stays adjacent to
-         the published stamps. *)
-      Epoch.enter_critical em;
-      Fun.protect
-        ~finally:(fun () -> Epoch.exit_critical em)
-        (fun () ->
-          if not (validate_locked tx) then begin
-            obs_incr t Smc_obs.c_txn_conflicts;
-            Conflict
-          end
-          else begin
-            Runtime.fire_txn_hook rt Runtime.Txn_validated;
-            let csn = Context.next_csn t.ctx in
-            let adds, logged = apply_locked tx ~csn in
-            Runtime.fire_txn_hook rt Runtime.Txn_applied;
-            (match t.wal with
-            | None -> ()
-            | Some w -> w.wh_on_txn ~txn_id:csn logged);
-            Runtime.fire_txn_hook rt Runtime.Txn_logged;
-            obs_incr t Smc_obs.c_txn_commits;
-            Committed adds
-          end))
+      let csn = Context.next_csn t.ctx in
+      let adds, logged = apply_locked tx ~csn in
+      Runtime.fire_txn_hook t.rt Runtime.Txn_applied;
+      (match t.wal with None -> () | Some w -> w.wh_on_txn ~txn_id:csn logged);
+      Runtime.fire_txn_hook t.rt Runtime.Txn_logged;
+      obs_incr t Smc_obs.c_txn_commits;
+      adds)
+
+let abort_prepared pr =
+  check_prepared pr "abort_prepared";
+  (* This collection's validation passed; a sibling in the same coordinated
+     commit conflicted. Count it as a conflict so the per-runtime outcome
+     balance (begins = commits + aborts + conflicts) still partitions. *)
+  obs_incr pr.pr_tx.tx_coll Smc_obs.c_txn_conflicts;
+  finish_prepared pr
+
+let commit tx =
+  match prepare tx with
+  | None -> Conflict
+  | Some pr -> Committed (commit_prepared pr)
 
 let transact t f =
   let tx = txn t in
@@ -418,6 +457,36 @@ let close_view v =
     Epoch.exit_critical v.vw_coll.rt.Runtime.epoch;
     obs_incr v.vw_coll Smc_obs.c_txn_view_closes
   end
+
+(* A frontier vector over several collections, read while holding ALL their
+   transaction locks (in list order — callers coordinating with a
+   multi-collection [prepare] sequence must pass the same global order). A
+   coordinated commit holds every participating lock from prepare through
+   apply, so the vector cannot land between two halves of it: the views see
+   all of a cross-collection transaction or none of it. Locking one
+   collection at a time would not give that — the vector could straddle a
+   commit that published on a later collection first. *)
+let snapshot_views ts =
+  List.iter
+    (fun t ->
+      let rt = t.rt in
+      Epoch.enter_critical rt.Runtime.epoch;
+      ignore (Atomic.fetch_and_add rt.Runtime.active_views 1 : int);
+      while Atomic.get rt.Runtime.in_moving_phase do
+        Domain.cpu_relax ()
+      done)
+    ts;
+  List.iter (fun t -> Mutex.lock t.txn_lock) ts;
+  let views =
+    List.map
+      (fun t ->
+        let csn = Context.csn_now t.ctx in
+        obs_incr t Smc_obs.c_txn_views;
+        { vw_coll = t; vw_csn = csn; vw_open = true })
+      ts
+  in
+  List.iter (fun t -> Mutex.unlock t.txn_lock) ts;
+  views
 
 let view_csn v = v.vw_csn
 

@@ -243,6 +243,44 @@ val transact : t -> (txn -> unit) -> txn_result
     and commits. If [f] raises, the transaction aborts and the exception
     is re-raised. *)
 
+(** {2 Two-phase commit primitives}
+
+    [commit] split at its validation boundary, for coordinators that must
+    land transactions on {e several} collections atomically (e.g. a
+    sharded collection's cross-shard transaction): prepare every
+    participant, and only if {e all} validated, publish each one.
+
+    A successful {!prepare} returns holding the collection's transaction
+    lock {e and} an epoch critical section, which is what makes the split
+    sound: no competing committer, bare store, or view-frontier read can
+    slip in between validation and publication. Both are bound to the
+    calling domain — prepare and finish on one domain, promptly. When
+    preparing several collections, always take them in one global order
+    (e.g. ascending shard id); concurrent coordinators using the same
+    order cannot deadlock. *)
+
+type prepared
+(** A validated transaction holding its collection's commit locks. Must be
+    finished with exactly one of {!commit_prepared} / {!abort_prepared}. *)
+
+val prepare : txn -> prepared option
+(** First half of {!commit}: closes the transaction, takes the commit
+    locks and validates. [None] means write-write validation failed — the
+    locks are already released, nothing was published, and the conflict is
+    counted ([commit] would have returned [Conflict]). *)
+
+val commit_prepared : prepared -> Ref.t list
+(** Publishes the prepared batch (apply + index hooks + one framed WAL
+    batch), releases the locks, and returns the staged adds' references in
+    staging order. *)
+
+val abort_prepared : prepared -> unit
+(** Releases the locks without publishing anything — the coordinator's
+    path when a {e sibling} collection failed validation. Counted as a
+    conflict on this collection's runtime, so the transaction outcome
+    balance still partitions begins. *)
+
+
 (** {2 Snapshot views}
 
     A view pins the current epoch (it holds a critical section for its
@@ -264,6 +302,14 @@ val close_view : view -> unit
 
 val with_view : t -> (view -> 'a) -> 'a
 (** Brackets {!snapshot_view}/{!close_view} around [f]. *)
+
+val snapshot_views : t list -> view list
+(** Views over several collections at one consistent frontier vector: the
+    CSNs are read while holding {e all} the collections' transaction locks
+    (taken in list order — use the same global order as multi-collection
+    {!prepare} sequences). A cross-collection transaction committed
+    through the prepared protocol is either visible in every returned view
+    or in none. Close each view with {!close_view} as usual. *)
 
 val view_csn : view -> int
 (** The view's CSN frontier. *)

@@ -1,0 +1,35 @@
+(** Sharded-collection scaling driver: group-commit throughput with one
+    WAL per shard (sync [Always]), then per-shard-parallel snapshot and
+    restore, swept over shard counts. Self-checking: four-engine query
+    parity against an unsharded reference, restored-rows equality (WAL
+    tails replayed), structural audits and counter balances on every
+    shard runtime, and the coordinator's [shard_*]/[srv_*] partitions. *)
+
+type point = {
+  shards : int;
+  stage : string;  (** ["txn commit"] | ["snapshot"] | ["restore"] *)
+  rows : int;
+  bytes : int;  (** snapshot bytes; [0] for the commit stage *)
+  ms : float;
+  krows_s : float;
+  mb_s : float;
+}
+
+val run :
+  ?shard_counts:int list ->
+  ?txns:int ->
+  ?ops_per_txn:int ->
+  ?dir:string ->
+  unit ->
+  point list * string list
+(** Returns the measured points and the violations (empty = all gates
+    passed). [txns] (default 240) is the total transaction budget per
+    shard count, split evenly across shards; [ops_per_txn] defaults to 8.
+    When [dir] is given, snapshot/WAL files are written under it and
+    kept; otherwise a temporary directory is used and removed. *)
+
+val speedup : point list -> point -> float option
+(** Throughput of a point relative to the 1-shard baseline of its stage,
+    when the sweep included one. *)
+
+val table : point list -> Smc_util.Table.t

@@ -81,6 +81,17 @@ let c_cg_requests = 60 (* compiled-plan executions requested *)
 let c_cg_compiles = 61 (* plans compiled + dynlinked *)
 let c_cg_cache_hits = 62 (* requests served from the compiled-plan cache *)
 let c_cg_fallbacks = 63 (* requests that fell back to the Fuse engine *)
+let c_shard_routes = 64 (* single operations routed to an owning shard *)
+let c_shard_txns = 65 (* sharded transactions submitted for commit *)
+let c_shard_txn_commits = 66 (* sharded transactions committed *)
+let c_shard_txn_conflicts = 67 (* sharded transactions refused by validation *)
+let c_shard_txn_multi = 68 (* committed transactions spanning > 1 shard *)
+let c_shard_fanouts = 69 (* fan-out scans merged across all shards *)
+let c_srv_conns = 70 (* connections accepted by the serving loop *)
+let c_srv_requests = 71 (* request frames decoded *)
+let c_srv_replies = 72 (* requests answered with an ok frame *)
+let c_srv_errors = 73 (* requests answered with an error frame *)
+let c_srv_shed = 74 (* requests shed by admission control *)
 
 let all =
   [|
@@ -148,6 +159,17 @@ let all =
     ("cg_compiles", c_cg_compiles);
     ("cg_cache_hits", c_cg_cache_hits);
     ("cg_fallbacks", c_cg_fallbacks);
+    ("shard_routes", c_shard_routes);
+    ("shard_txns", c_shard_txns);
+    ("shard_txn_commits", c_shard_txn_commits);
+    ("shard_txn_conflicts", c_shard_txn_conflicts);
+    ("shard_txn_multi", c_shard_txn_multi);
+    ("shard_fanouts", c_shard_fanouts);
+    ("srv_conns", c_srv_conns);
+    ("srv_requests", c_srv_requests);
+    ("srv_replies", c_srv_replies);
+    ("srv_errors", c_srv_errors);
+    ("srv_shed", c_srv_shed);
   |]
 
 let n_counters = Array.length all

@@ -73,6 +73,17 @@ val c_cg_requests : int
 val c_cg_compiles : int
 val c_cg_cache_hits : int
 val c_cg_fallbacks : int
+val c_shard_routes : int
+val c_shard_txns : int
+val c_shard_txn_commits : int
+val c_shard_txn_conflicts : int
+val c_shard_txn_multi : int
+val c_shard_fanouts : int
+val c_srv_conns : int
+val c_srv_requests : int
+val c_srv_replies : int
+val c_srv_errors : int
+val c_srv_shed : int
 
 val n_counters : int
 val name : int -> string

@@ -20,6 +20,7 @@ type t = {
   tasks : (unit -> unit) Queue.t;
   mutable workers : unit Domain.t list;
   mutable n_workers : int;
+  mutable outstanding : int; (* tasks submitted but not yet finished *)
   mutable stopping : bool;
   obs : Smc_obs.t option;
 }
@@ -35,11 +36,18 @@ let create ?size ?obs () =
     tasks = Queue.create ();
     workers = [];
     n_workers = 0;
+    outstanding = 0;
     stopping = false;
     obs;
   }
 
 let size t = t.size
+
+let spawned t =
+  Mutex.lock t.lock;
+  let n = t.n_workers in
+  Mutex.unlock t.lock;
+  n
 
 (* Workers drain the queue before honouring a shutdown so every promise
    issued before [shutdown] is fulfilled. Tasks never raise: [submit] wraps
@@ -77,23 +85,47 @@ let fulfil p outcome =
 
 let submit t f =
   let p = { p_lock = Mutex.create (); p_cond = Condition.create (); p_state = None } in
-  let task () = fulfil p (try Done (f ()) with e -> Failed e) in
+  let task () =
+    let outcome = try Done (f ()) with e -> Failed e in
+    (* Retire the demand before publishing the result: a caller that awaits
+       this promise and immediately submits again must see the pool as able
+       to reuse this worker, not spawn another. *)
+    Mutex.lock t.lock;
+    t.outstanding <- t.outstanding - 1;
+    Mutex.unlock t.lock;
+    fulfil p outcome
+  in
   (match t.obs with Some o -> Smc_obs.incr o Smc_obs.c_pool_tasks | None -> ());
   Mutex.lock t.lock;
   if t.stopping then begin
     Mutex.unlock t.lock;
     invalid_arg "Pool.submit: pool is shut down"
   end;
+  if t.size = 0 then begin
+    (* No worker will ever exist, so a queued task could never run and
+       [await] would block forever. Degrade to sequential execution on the
+       caller — the same size-0 contract [run] has. *)
+    t.outstanding <- t.outstanding + 1;
+    Mutex.unlock t.lock;
+    task ();
+    p
+  end
+  else begin
   Queue.push task t.tasks;
-  (* Lazy spawning: grow only while there is more queued work than parked
-     workers could ever pick up; a pool that is never used spawns nothing. *)
-  if t.n_workers < t.size && Queue.length t.tasks > 0 then begin
+  t.outstanding <- t.outstanding + 1;
+  (* Lazy spawning: grow only while outstanding demand (queued + running
+     tasks) exceeds the workers already spawned — an existing worker that is
+     parked, or about to finish its task, will pick the work up. A pool
+     serving strictly sequential submits therefore spawns one domain, not
+     [size]; a pool that is never used spawns nothing. *)
+  if t.n_workers < t.size && t.outstanding > t.n_workers then begin
     t.n_workers <- t.n_workers + 1;
     t.workers <- Domain.spawn (fun () -> worker_loop t) :: t.workers
   end;
   Condition.signal t.work_available;
   Mutex.unlock t.lock;
   p
+  end
 
 let await p =
   Mutex.lock p.p_lock;
@@ -131,9 +163,14 @@ let shutdown t =
   List.iter Domain.join workers
 
 (* One process-wide default pool, created on first use and torn down at
-   exit so worker domains never outlive the program's shutdown sequence. *)
+   exit so worker domains never outlive the program's shutdown sequence.
+   Exactly one at_exit handler is ever registered, and it shuts down
+   whatever the *current* default is at exit time — registering a fresh
+   handler per recreation would accumulate one closure per
+   default/shutdown cycle, each pinning its (long shut-down) pool. *)
 let default_lock = Mutex.create ()
 let default_pool = ref None
+let default_exit_handlers_count = ref 0
 
 let default () =
   Mutex.lock default_lock;
@@ -143,8 +180,23 @@ let default () =
     | _ ->
       let p = create () in
       default_pool := Some p;
-      at_exit (fun () -> if not p.stopping then shutdown p);
+      if !default_exit_handlers_count = 0 then begin
+        incr default_exit_handlers_count;
+        at_exit (fun () ->
+            Mutex.lock default_lock;
+            let current = !default_pool in
+            Mutex.unlock default_lock;
+            match current with
+            | Some p when not p.stopping -> shutdown p
+            | _ -> ())
+      end;
       p
   in
   Mutex.unlock default_lock;
   p
+
+let default_exit_handlers () =
+  Mutex.lock default_lock;
+  let n = !default_exit_handlers_count in
+  Mutex.unlock default_lock;
+  n

@@ -23,9 +23,17 @@ val create : ?size:int -> ?obs:Smc_obs.t -> unit -> t
 val size : t -> int
 (** The worker-domain cap this pool was created with. *)
 
+val spawned : t -> int
+(** Worker domains spawned so far (0 after {!shutdown}). Spawning is
+    demand-driven: a pool serving strictly sequential submits spawns at
+    most one domain regardless of [size]. *)
+
 val submit : t -> (unit -> 'a) -> 'a promise
-(** Enqueue one task; spawns a worker if demand exceeds the spawned count
-    and the cap allows. Raises [Invalid_argument] after {!shutdown}. *)
+(** Enqueue one task; spawns a worker only when outstanding demand (queued
+    plus running tasks) exceeds the workers already spawned and the cap
+    allows. On a size-0 pool the task runs synchronously on the caller —
+    the same degradation {!run} has — so [await] never blocks forever.
+    Raises [Invalid_argument] after {!shutdown}. *)
 
 val await : 'a promise -> 'a
 (** Block until the task finishes; re-raises the task's exception. *)
@@ -45,4 +53,11 @@ val shutdown : t -> unit
 
 val default : unit -> t
 (** The process-wide shared pool, created on first use (default size) and
-    shut down automatically at exit. *)
+    shut down automatically at exit. Recreating the default after a
+    {!shutdown} reuses one process-wide exit handler — cycles do not
+    accumulate handlers. *)
+
+val default_exit_handlers : unit -> int
+(** How many at_exit handlers the default-pool lifecycle has registered so
+    far — at most 1, however many default/shutdown cycles ran (regression
+    hook). *)

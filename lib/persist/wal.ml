@@ -34,6 +34,13 @@ let create ?(sync = Every 256) ?(base = 0) ~path ~name () =
   Pio.add_str header name;
   Pio.add_int header base;
   ignore (Pio.write_section oc header : int);
+  (* Make the magic + header durable before handing the log out. Leaving
+     them in the channel buffer (with [unsynced = 0], so [flush]/[close] on
+     an empty log are no-ops) meant a crash after [create] could leave a
+     file shorter than the magic on disk — which recovery treats as hard
+     [Pio.Corrupt] instead of an empty log. *)
+  Out_channel.flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc);
   { path; name; oc; sync; lock = Mutex.create (); next_lsn = base; unsynced = 0;
     obs = None; closed = false }
 

@@ -1,0 +1,20 @@
+(* Blocking client for the serving loop: one request frame out, one reply
+   frame back, over a Unix-domain socket. *)
+
+type t = { fd : Unix.file_descr }
+
+let connect ~path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd }
+
+let request t req =
+  Wire.write_frame t.fd (Wire.encode_request req);
+  match Wire.read_frame t.fd with
+  | Some payload -> Wire.decode_reply payload
+  | None -> raise (Wire.Protocol_error "server closed the connection")
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

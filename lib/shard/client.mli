@@ -1,0 +1,12 @@
+(** Blocking client for the serving loop. *)
+
+type t
+
+val connect : path:string -> t
+(** Connects to a {!Server}'s Unix-domain socket. *)
+
+val request : t -> Wire.request -> Wire.reply
+(** One round trip. Raises {!Wire.Protocol_error} on a malformed reply or
+    a connection closed mid-exchange. *)
+
+val close : t -> unit

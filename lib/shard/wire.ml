@@ -1,0 +1,226 @@
+(* The serving loop's frame format: length-prefixed binary messages over a
+   byte stream. A frame is a 4-byte little-endian payload length followed
+   by the payload; a payload is a 1-byte opcode followed by 8-byte
+   little-endian integer fields (an error payload carries UTF-8 message
+   bytes instead). Requests speak the key/value vocabulary the server
+   executes against a sharded collection; [Shed] is the explicit
+   admission-control reply, distinct from [Err] so clients can tell
+   overload from failure and retry accordingly. *)
+
+exception Protocol_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+type request =
+  | Ping
+  | Add of { key : int; value : int }
+  | Get of { shard : int; packed : int }
+  | Remove of { shard : int; packed : int }
+  | Store of { shard : int; packed : int; value : int }
+  | Txn_put of (int * int) list  (** atomic cross-shard batch of (key, value) adds *)
+  | Count
+  | Sum
+
+type reply =
+  | Ok_unit
+  | Ok_int of int
+  | Ok_pair of int * int
+  | Ok_refs of (int * int) list
+  | Err of string
+  | Shed
+
+let max_frame = 1 lsl 20
+
+(* ------------------------------------------------------------------ *)
+(* Framing *)
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd b !off (len - !off) in
+    if n = 0 then fail "write returned 0";
+    off := !off + n
+  done
+
+(* [false] on clean EOF before the first byte; [Protocol_error] on EOF
+   mid-buffer — a peer must not disappear inside a frame. *)
+let read_exactly fd b =
+  let len = Bytes.length b in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < len do
+    let n = Unix.read fd b !off (len - !off) in
+    if n = 0 then
+      if !off = 0 then eof := true else fail "connection closed mid-frame"
+    else off := !off + n
+  done;
+  not !eof
+
+let write_frame fd payload =
+  let len = Bytes.length payload in
+  if len > max_frame then fail "frame too large (%d bytes)" len;
+  let b = Bytes.create (4 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.blit payload 0 b 4 len;
+  write_all fd b
+
+let read_frame fd =
+  let hdr = Bytes.create 4 in
+  if not (read_exactly fd hdr) then None
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    if len < 0 || len > max_frame then fail "implausible frame length %d" len;
+    let payload = Bytes.create len in
+    if not (read_exactly fd payload) then fail "connection closed mid-frame";
+    Some payload
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Payload encoding *)
+
+let add_op buf op = Buffer.add_char buf (Char.chr op)
+let add_i64 buf v = Buffer.add_int64_le buf (Int64.of_int v)
+
+type cursor = { bytes : Bytes.t; mutable pos : int }
+
+let get_op c =
+  if c.pos >= Bytes.length c.bytes then fail "payload too short for opcode";
+  let op = Char.code (Bytes.get c.bytes c.pos) in
+  c.pos <- c.pos + 1;
+  op
+
+let get_i64 c =
+  if c.pos + 8 > Bytes.length c.bytes then fail "payload too short for int field";
+  let v = Int64.to_int (Bytes.get_int64_le c.bytes c.pos) in
+  c.pos <- c.pos + 8;
+  v
+
+let expect_end c =
+  if c.pos <> Bytes.length c.bytes then
+    fail "%d trailing bytes after payload" (Bytes.length c.bytes - c.pos)
+
+let to_bytes buf = Buffer.to_bytes buf
+
+let encode_request r =
+  let buf = Buffer.create 32 in
+  (match r with
+  | Ping -> add_op buf 1
+  | Add { key; value } ->
+    add_op buf 2;
+    add_i64 buf key;
+    add_i64 buf value
+  | Get { shard; packed } ->
+    add_op buf 3;
+    add_i64 buf shard;
+    add_i64 buf packed
+  | Remove { shard; packed } ->
+    add_op buf 4;
+    add_i64 buf shard;
+    add_i64 buf packed
+  | Store { shard; packed; value } ->
+    add_op buf 5;
+    add_i64 buf shard;
+    add_i64 buf packed;
+    add_i64 buf value
+  | Txn_put pairs ->
+    add_op buf 6;
+    add_i64 buf (List.length pairs);
+    List.iter
+      (fun (k, v) ->
+        add_i64 buf k;
+        add_i64 buf v)
+      pairs
+  | Count -> add_op buf 7
+  | Sum -> add_op buf 8);
+  to_bytes buf
+
+let decode_request b =
+  let c = { bytes = b; pos = 0 } in
+  let r =
+    match get_op c with
+    | 1 -> Ping
+    | 2 ->
+      let key = get_i64 c in
+      let value = get_i64 c in
+      Add { key; value }
+    | 3 ->
+      let shard = get_i64 c in
+      let packed = get_i64 c in
+      Get { shard; packed }
+    | 4 ->
+      let shard = get_i64 c in
+      let packed = get_i64 c in
+      Remove { shard; packed }
+    | 5 ->
+      let shard = get_i64 c in
+      let packed = get_i64 c in
+      let value = get_i64 c in
+      Store { shard; packed; value }
+    | 6 ->
+      let n = get_i64 c in
+      if n < 0 || n > max_frame / 16 then fail "implausible batch size %d" n;
+      Txn_put
+        (List.init n (fun _ ->
+             let k = get_i64 c in
+             let v = get_i64 c in
+             (k, v)))
+    | 7 -> Count
+    | 8 -> Sum
+    | op -> fail "unknown request opcode %d" op
+  in
+  expect_end c;
+  r
+
+let encode_reply r =
+  let buf = Buffer.create 32 in
+  (match r with
+  | Ok_unit -> add_op buf 1
+  | Ok_int v ->
+    add_op buf 2;
+    add_i64 buf v
+  | Ok_pair (a, b) ->
+    add_op buf 3;
+    add_i64 buf a;
+    add_i64 buf b
+  | Ok_refs refs ->
+    add_op buf 4;
+    add_i64 buf (List.length refs);
+    List.iter
+      (fun (s, p) ->
+        add_i64 buf s;
+        add_i64 buf p)
+      refs
+  | Err msg ->
+    add_op buf 5;
+    Buffer.add_string buf msg
+  | Shed -> add_op buf 6);
+  to_bytes buf
+
+let decode_reply b =
+  let c = { bytes = b; pos = 0 } in
+  let r =
+    match get_op c with
+    | 1 -> Ok_unit
+    | 2 -> Ok_int (get_i64 c)
+    | 3 ->
+      let a = get_i64 c in
+      let b = get_i64 c in
+      Ok_pair (a, b)
+    | 4 ->
+      let n = get_i64 c in
+      if n < 0 || n > max_frame / 16 then fail "implausible ref-list size %d" n;
+      Ok_refs
+        (List.init n (fun _ ->
+             let s = get_i64 c in
+             let p = get_i64 c in
+             (s, p)))
+    | 5 ->
+      let msg = Bytes.sub_string c.bytes c.pos (Bytes.length c.bytes - c.pos) in
+      c.pos <- Bytes.length c.bytes;
+      Err msg
+    | 6 -> Shed
+    | op -> fail "unknown reply opcode %d" op
+  in
+  expect_end c;
+  r

@@ -66,6 +66,49 @@ let test_pool_cycles_recycle_epoch_slots () =
   Alcotest.(check bool) "slot high-water stays below the cap" true
     (Epoch.registered_threads rt.Runtime.epoch < 128)
 
+(* Regression: the old spawn guard (`Queue.length tasks > 0`) was always
+   true right after the push, so a pool ramped straight to its size cap
+   even under strictly serial load, ignoring its parked idle workers. With
+   demand accounting a size-8 pool serving sequential submit/await pairs
+   spawns at most one domain. *)
+let test_pool_serial_submits_spawn_one_domain () =
+  let pool = Pool.create ~size:8 () in
+  check Alcotest.int "nothing spawned before first use" 0 (Pool.spawned pool);
+  for i = 1 to 20 do
+    check Alcotest.int "task result" (i * i) (Pool.await (Pool.submit pool (fun () -> i * i)))
+  done;
+  check Alcotest.bool "serial load spawns at most one worker" true (Pool.spawned pool <= 1);
+  (* Genuinely concurrent demand still grows the pool. *)
+  let gate = Atomic.make false in
+  let ps =
+    List.init 4 (fun i ->
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Domain.cpu_relax ()
+            done;
+            i))
+  in
+  check Alcotest.bool "parallel demand spawns more workers" true (Pool.spawned pool >= 4);
+  Atomic.set gate true;
+  check (Alcotest.list Alcotest.int) "all finish" [ 0; 1; 2; 3 ] (List.map Pool.await ps);
+  Pool.shutdown pool
+
+(* Regression: every recreation of the default pool after a shutdown used
+   to register a fresh at_exit handler, accumulating one closure (pinning
+   one shut-down pool) per cycle. The lifecycle now owns a single handler
+   that shuts down whatever the current default is. *)
+let test_default_pool_exit_handler_not_accumulated () =
+  for _cycle = 1 to 100 do
+    let p = Pool.default () in
+    check Alcotest.int "default pool serves" 3 (Pool.await (Pool.submit p (fun () -> 3)));
+    Pool.shutdown p
+  done;
+  check Alcotest.bool "at most one exit handler registered" true
+    (Pool.default_exit_handlers () <= 1);
+  (* The surviving handler covers the *current* default, not a dead one. *)
+  let p = Pool.default () in
+  check Alcotest.int "fresh default after cycles" 9 (Pool.await (Pool.submit p (fun () -> 9)))
+
 exception Boom
 
 let test_pool_exceptions () =
@@ -286,6 +329,9 @@ let () =
           qc "run partitions worker indices" test_pool_run;
           qc "exception propagation" test_pool_exceptions;
           qc "cycles recycle epoch slots" test_pool_cycles_recycle_epoch_slots;
+          qc "serial submits spawn one domain" test_pool_serial_submits_spawn_one_domain;
+          qc "default-pool exit handler not accumulated"
+            test_default_pool_exit_handler_not_accumulated;
         ] );
       ( "par_scan",
         List.map (fun (name, p, m) -> qc name (test_par_equivalence (name, p, m))) configs );

@@ -255,6 +255,40 @@ let test_torn_tail_discarded () =
         (Smc.Collection.count r.Snapshot.r_coll))
     [ 1; 7; 8; 15; 16; 40 ]
 
+(* Regression: [Wal.create] used to leave the magic + header sitting in the
+   channel buffer with [unsynced = 0], so [flush]/[close] on an empty log
+   were no-ops and a crash right after [create] (+[flush]) left a file
+   shorter than the magic on disk — which recovery rejected as hard
+   [Pio.Corrupt] instead of treating as an empty log. [create] now fsyncs
+   the header before returning. *)
+let test_fresh_wal_header_survives_crash () =
+  let wal_path = tmp ".wal" in
+  let wal = Wal.create ~path:wal_path ~name:"persons" ~base:5 () in
+  Wal.flush wal;
+  (* Simulate the crash: never close the writer — the bytes already on disk
+     are all that survives. Recovery must see a well-formed empty log. *)
+  let info = Wal.scan ~path:wal_path ~f:(fun ~lsn:_ _ -> Alcotest.fail "log must be empty") in
+  check Alcotest.string "header name survives" "persons" info.Wal.li_name;
+  check Alcotest.int "base LSN survives" 5 info.Wal.li_base;
+  check Alcotest.int "no records" 0 info.Wal.li_records;
+  check Alcotest.int "no torn tail" 0 info.Wal.li_torn_dropped;
+  (* And a full snapshot + empty-log recovery over the crash image works. *)
+  let _rt, persons = make_persons () in
+  let wal_path2 = tmp ".wal" in
+  let wal2 = Wal.create ~path:wal_path2 ~name:"persons" () in
+  Wal.attach wal2 persons;
+  ignore (churn persons ~n:50 : (int * Smc.Ref.t) list);
+  let snap = tmp ".smcsnap" in
+  let (_ : Snapshot.manifest * int) = Snapshot.write ~wal:wal2 ~path:snap persons in
+  (* Rotate to a fresh log at the cut, then "crash" before closing it. *)
+  let wal3_path = tmp ".wal" in
+  let _wal3 = Wal.create ~path:wal3_path ~name:"persons" ~base:(Wal.lsn wal2) () in
+  let r, violations = Persist_check.restore_verified ~wal:wal3_path ~path:snap () in
+  check (Alcotest.list Alcotest.string) "restore audits clean" [] violations;
+  check Alcotest.int "nothing replayed from the empty rotated log" 0 r.Snapshot.r_replayed;
+  check (Alcotest.list Alcotest.int) "rows identical" (ages persons) (ages r.Snapshot.r_coll);
+  Wal.close wal2
+
 let test_mid_log_corruption_is_fatal () =
   (* Flip a byte with records *behind* it: that is not a torn append and
      recovery must refuse. *)
@@ -391,6 +425,8 @@ let () =
       ( "crash recovery",
         [
           Alcotest.test_case "torn tail discarded" `Quick test_torn_tail_discarded;
+          Alcotest.test_case "fresh WAL header survives crash" `Quick
+            test_fresh_wal_header_survives_crash;
           Alcotest.test_case "mid-log corruption fatal" `Quick
             test_mid_log_corruption_is_fatal;
           Alcotest.test_case "corrupted snapshot detected" `Quick
