@@ -213,6 +213,33 @@ let run_index quick rows sf =
     exit 1
   end
 
+(* Text access paths, doubling as the suffix-array self-check workload:
+   the experiment verifies TextScan plans return the scan plans' exact
+   rows on all four engines, gates the high-selectivity probe on a
+   speedup floor, churns rows through remove/store/rebuild, and finishes
+   with the text-index audit plus the runtime audit/balance sweeps —
+   violations are fatal, like [run_index]. *)
+let run_text quick rows =
+  meta_bool "quick" quick;
+  meta_int "rows" rows;
+  let rows = if quick then min rows 50_000 else rows in
+  let points, violations = E.Text_bench.run ~rows () in
+  print_table (E.Text_bench.table points);
+  List.iter
+    (fun (p : E.Text_bench.point) ->
+      if not p.E.Text_bench.identical then
+        prerr_endline
+          (Printf.sprintf "text plan result mismatch: %s/%s" p.E.Text_bench.case
+             p.E.Text_bench.engine))
+    points;
+  if
+    violations <> []
+    || List.exists (fun (p : E.Text_bench.point) -> not p.E.Text_bench.identical) points
+  then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
 (* Persistence throughput, doubling as the durability self-check: the
    recovered collection must pass the full audit sweep and answer Q1/Q6
    bit-identically to the original — violations are fatal, like
@@ -402,6 +429,16 @@ let index_cmd =
       const (fun quick rows sf () -> run_index quick rows sf)
       $ quick_arg $ rows_arg $ sf_arg 0.01)
 
+let text_rows_arg =
+  let doc = "Document count for the text-index comparison." in
+  Arg.(value & opt int 1_000_000 & info [ "rows" ] ~docv:"N" ~doc)
+
+let text_cmd =
+  cmd "text"
+    "Suffix-array text access paths vs full scans (self-checking: parity mismatches \
+     and audits are fatal)"
+    Term.(const (fun quick rows () -> run_text quick rows) $ quick_arg $ text_rows_arg)
+
 let dir_arg =
   let doc =
     "Directory to keep the snapshot/WAL artifacts in (default: a temporary \
@@ -443,8 +480,8 @@ let () =
     Cmd.group info
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
-        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; persist_cmd;
-        vectorized_cmd; shard_cmd; all_cmd;
+        linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; text_cmd;
+        persist_cmd; vectorized_cmd; shard_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -89,6 +89,13 @@ let check (rt : Runtime.t) ~(contexts : Context.t list) =
     eq "compiled-plan outcome balance (requests = compiles + cache hits + fallbacks)"
       (g Smc_obs.c_cg_requests)
       (g Smc_obs.c_cg_compiles + g Smc_obs.c_cg_cache_hits + g Smc_obs.c_cg_fallbacks);
+    (* Text-index probes partition their candidate sightings: each one is
+       emitted (hit), failed incarnation validation (stale), failed the
+       text re-check (miss), or was suppressed as a duplicate. *)
+    eq "text-probe candidate balance (candidates = hits + stale + misses + dups)"
+      (g Smc_obs.c_txt_candidates)
+      (g Smc_obs.c_txt_hits + g Smc_obs.c_txt_stale + g Smc_obs.c_txt_misses
+     + g Smc_obs.c_txt_dups);
     List.rev !out
   end
 

@@ -4,6 +4,7 @@ type index_hook = {
   ih_name : string;
   ih_on_add : Ref.t -> Block.t -> int -> unit;
   ih_on_remove : Ref.t -> unit;
+  ih_on_store : Ref.t -> word:int -> unit;
 }
 
 (* One published mutation of a committed transaction, handed to the WAL
@@ -102,6 +103,9 @@ let store t r ~word ~value =
                first committer still wins *)
             Context.stamp_write blk slot ~csn;
             Block.set_word blk ~slot ~word value;
+            (match t.hooks with
+            | [] -> ()
+            | hooks -> List.iter (fun h -> h.ih_on_store r ~word) hooks);
             (match t.wal with None -> () | Some w -> w.wh_on_store r ~word ~value);
             Smc_obs.incr t.rt.Runtime.obs Smc_obs.c_bare_stores))
 
@@ -332,6 +336,7 @@ let apply_locked tx ~csn =
                "Collection.commit: reference vanished between validation and apply in %S \
                 (concurrent bare remove of a transactionally-written row)"
                t.name);
+        List.iter (fun h -> h.ih_on_store r ~word) t.hooks;
         logged := L_store (r, word, value) :: !logged)
     (List.rev tx.tx_ops);
   (List.rev !adds, List.rev !logged)

@@ -17,6 +17,13 @@ type index_hook = {
   ih_on_remove : Ref.t -> unit;
       (** Fired by {!remove} after a successful free. The reference already
           reads as null; maintenance must be deferred (lazy staleness). *)
+  ih_on_store : Ref.t -> word:int -> unit;
+      (** Fired after a published word store to a live row — by the bare
+          {!store} inside its critical section, and by commit for each
+          staged {!stage_store} (after the copy-on-write swing; the ref
+          keeps its identity). Value-indexing structures use this to mark
+          the row's old entry stale and re-key the new payload; key-at-add
+          indexes (hash) ignore it. *)
 }
 (** Incremental-maintenance callbacks for an attached secondary index
     ([Smc_index] builds these; the collection layer only fires them). *)

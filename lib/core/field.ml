@@ -60,6 +60,62 @@ let string_eq (f : Layout.field) literal =
     in
     go 0
 
+let bpw = Layout.str_bytes_per_word
+
+let false_pred _ _ = false
+let true_pred _ _ = true
+
+(* Stored strings are NUL-terminated (or capacity-bounded) byte runs; a
+   needle containing NUL or longer than the capacity can never match the
+   round-tripped string, so those degenerate to a constant predicate rather
+   than letting the packed compare match NUL padding byte-for-byte. *)
+let string_prefix (f : Layout.field) needle =
+  let cap = Layout.str_capacity f in
+  let n = String.length needle in
+  if n = 0 then true_pred
+  else if n > cap || String.contains needle '\000' then false_pred
+  else begin
+    let words = Block.string_words f needle in
+    let base = f.Layout.word in
+    let full = n / bpw in
+    let rem = n mod bpw in
+    let mask = (1 lsl (8 * rem)) - 1 in
+    fun blk slot ->
+      let rec go w =
+        if w < full then
+          Block.get_word blk ~slot ~word:(base + w) = Array.unsafe_get words w && go (w + 1)
+        else
+          rem = 0
+          || Block.get_word blk ~slot ~word:(base + w) land mask
+             = Array.unsafe_get words w land mask
+      in
+      go 0
+  end
+
+let string_contains (f : Layout.field) needle =
+  let cap = Layout.str_capacity f in
+  let n = String.length needle in
+  if n = 0 then true_pred
+  else if n > cap || String.contains needle '\000' then false_pred
+  else begin
+    let base = f.Layout.word in
+    let byte_at blk slot p =
+      Block.get_word blk ~slot ~word:(base + (p / bpw)) lsr (p mod bpw * 8) land 0xFF
+    in
+    fun blk slot ->
+      (* length of the stored string: first NUL, capacity-bounded *)
+      let hlen = ref 0 in
+      while !hlen < cap && byte_at blk slot !hlen <> 0 do
+        incr hlen
+      done;
+      let hlen = !hlen in
+      let rec at i j =
+        j >= n || (byte_at blk slot (i + j) = Char.code (String.unsafe_get needle j) && at i (j + 1))
+      in
+      let rec search i = i + n <= hlen && (at i 0 || search (i + 1)) in
+      search 0
+  end
+
 let set_ref (f : Layout.field) ~(target : Collection.t) blk slot r =
   (* §2's tabular typing: a Ref field names the tabular type it may point
      to; storing a reference into a differently-typed collection is a type

@@ -48,6 +48,22 @@ val string_eq :
     predicate is a few word compares with no allocation — how compiled
     queries evaluate string equality filters. *)
 
+val string_prefix :
+  Smc_offheap.Layout.field -> string -> Smc_offheap.Block.t -> int -> bool
+(** [string_prefix f needle] tests whether the stored string starts with
+    [needle], by packed word compares (full words) plus one masked partial
+    word — no allocation per row. Agrees with [String.starts_with] over
+    {!get_string}: the empty needle always matches; a needle longer than
+    the field capacity or containing a NUL byte never does. *)
+
+val string_contains :
+  Smc_offheap.Layout.field -> string -> Smc_offheap.Block.t -> int -> bool
+(** [string_contains f needle] tests whether the stored string contains
+    [needle], reading bytes straight out of the packed field words — no
+    allocation per row. Same semantics as a substring search over
+    {!get_string} (empty needle matches everything; NUL-bearing or
+    over-capacity needles match nothing). *)
+
 val set_ref :
   Smc_offheap.Layout.field -> target:Collection.t -> Smc_offheap.Block.t -> int -> Ref.t -> unit
 (** Stores a reference to an object of [target]. In an [Indirect]-mode

@@ -325,6 +325,10 @@ let attach ?(initial_capacity = chunk_buckets) ?(max_load = 0.7) ~name ~key coll
       Smc.Collection.ih_name = name;
       ih_on_add = on_add t;
       ih_on_remove = on_remove t;
+      (* Keys live in fields written once at add time (the documented
+         contract: do not store to indexed key fields), so stores never
+         re-key an entry. *)
+      ih_on_store = (fun _ ~word:_ -> ());
     };
   locked t (fun () ->
       Smc.Collection.iter coll ~f:(fun blk slot ->

@@ -92,6 +92,16 @@ let c_srv_requests = 71 (* request frames decoded *)
 let c_srv_replies = 72 (* requests answered with an ok frame *)
 let c_srv_errors = 73 (* requests answered with an error frame *)
 let c_srv_shed = 74 (* requests shed by admission control *)
+let c_txt_adds = 75 (* rows appended to text-index pending logs *)
+let c_txt_removes = 76 (* row removals observed by text indexes *)
+let c_txt_probes = 77 (* text-index probe operations *)
+let c_txt_candidates = 78 (* candidate sightings surfaced by probes *)
+let c_txt_hits = 79 (* validated (live, still-matching) candidates emitted *)
+let c_txt_stale = 80 (* candidates whose ref no longer resolved *)
+let c_txt_misses = 81 (* live candidates whose current text no longer matches *)
+let c_txt_dups = 82 (* candidates suppressed by per-probe deduplication *)
+let c_txt_rebuilds = 83 (* suffix-array merge-rebuilds *)
+let c_txt_dropped = 84 (* entries dropped (stale/dead) by rebuilds *)
 
 let all =
   [|
@@ -170,6 +180,16 @@ let all =
     ("srv_replies", c_srv_replies);
     ("srv_errors", c_srv_errors);
     ("srv_shed", c_srv_shed);
+    ("txt_adds", c_txt_adds);
+    ("txt_removes", c_txt_removes);
+    ("txt_probes", c_txt_probes);
+    ("txt_candidates", c_txt_candidates);
+    ("txt_hits", c_txt_hits);
+    ("txt_stale", c_txt_stale);
+    ("txt_misses", c_txt_misses);
+    ("txt_dups", c_txt_dups);
+    ("txt_rebuilds", c_txt_rebuilds);
+    ("txt_dropped", c_txt_dropped);
   |]
 
 let n_counters = Array.length all

@@ -84,6 +84,16 @@ val c_srv_requests : int
 val c_srv_replies : int
 val c_srv_errors : int
 val c_srv_shed : int
+val c_txt_adds : int
+val c_txt_removes : int
+val c_txt_probes : int
+val c_txt_candidates : int
+val c_txt_hits : int
+val c_txt_stale : int
+val c_txt_misses : int
+val c_txt_dups : int
+val c_txt_rebuilds : int
+val c_txt_dropped : int
 
 val n_counters : int
 val name : int -> string

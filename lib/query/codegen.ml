@@ -38,7 +38,10 @@ exception Unsupported of string
 
 (* Pipeline leaves, in emission order — the host builds the [sources]
    closure array from these with the exact closures Fuse would use. *)
-type leaf = L_scan of Source.t | L_probe of Source.index_info * Value.t
+type leaf =
+  | L_scan of Source.t
+  | L_probe of Source.index_info * Value.t
+  | L_text of Source.text_info * Smc_text.Sa_index.op * string
 
 let indent n = String.make (2 * n) ' '
 
@@ -149,6 +152,19 @@ let render plan =
       line depth "(* index scan %s.%s via %s: off-heap hash probe, hits" src.Source.name
         index.Source.ix_column index.Source.ix_name;
       line depth "   incarnation-validated and re-checked structurally *)";
+      line depth "Array.get sources %d (fun %s ->" i row;
+      k (depth + 1) row;
+      line (depth + 1) "());"
+    | Plan.TextScan { src; text; op; needle } ->
+      (* The needle rides in the leaf closure, not the rendered source:
+         plans differing only in needle share one compiled plugin, exactly
+         like L_probe constants. *)
+      let i = add_leaf (L_text (text, op, needle)) in
+      let row = fresh "row" in
+      line depth "(* text scan %s.%s via %s (%s): suffix-array probe, hits"
+        src.Source.name text.Source.tx_column text.Source.tx_name
+        (match op with Smc_text.Sa_index.Prefix -> "prefix" | Smc_text.Sa_index.Substring -> "substring");
+      line depth "   incarnation-validated and text-re-checked *)";
       line depth "Array.get sources %d (fun %s ->" i row;
       k (depth + 1) row;
       line (depth + 1) "());"
@@ -334,13 +350,23 @@ let assemble ~digest ~limit_exns body =
   add "  let n = String.length needle and h = String.length haystack in";
   add "  if n = 0 then true";
   add "  else begin";
-  add "    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in";
+  add "    let at i =";
+  add "      let rec go j =";
+  add "        j >= n";
+  add "        || (String.unsafe_get haystack (i + j) = String.unsafe_get needle j && go (j + 1))";
+  add "      in";
+  add "      go 0";
+  add "    in";
+  add "    let rec go i = i + n <= h && (at i || go (i + 1)) in";
   add "    go 0";
   add "  end";
   add "";
   add "let starts_with prefix s =";
   add "  let n = String.length prefix in";
-  add "  String.length s >= n && String.sub s 0 n = prefix";
+  add "  String.length s >= n";
+  add "  &&";
+  add "  let rec go j = j >= n || (String.unsafe_get s j = String.unsafe_get prefix j && go (j + 1)) in";
+  add "  go 0";
   add "";
   add "let str_of = function V.Str s -> s | v -> V.to_string v";
   add "";
@@ -498,7 +524,7 @@ let rec plan_obs plan =
   let src_obs (s : Source.t) = s.Source.obs in
   match plan with
   | Plan.Scan s -> src_obs s
-  | Plan.IndexScan { src; _ } -> src_obs src
+  | Plan.IndexScan { src; _ } | Plan.TextScan { src; _ } -> src_obs src
   | Plan.Where (_, p) | Plan.Select (_, p) | Plan.OrderBy (_, p) | Plan.Limit (_, p)
   | Plan.Distinct p ->
     plan_obs p
@@ -511,6 +537,7 @@ let rec plan_obs plan =
 let leaf_closure = function
   | L_scan src -> src.Source.scan
   | L_probe (index, value) -> fun emit -> index.Source.ix_probe value emit
+  | L_text (text, op, needle) -> fun emit -> text.Source.tx_probe op needle emit
 
 let prepare plan =
   let obs = plan_obs plan in
@@ -555,7 +582,7 @@ let collect plan =
   List.rev !out
 
 let rec operator_count = function
-  | Plan.Scan _ | Plan.IndexScan _ -> 1
+  | Plan.Scan _ | Plan.IndexScan _ | Plan.TextScan _ -> 1
   | Plan.Where (_, p) | Plan.Select (_, p) | Plan.OrderBy (_, p) | Plan.Limit (_, p)
   | Plan.Distinct p ->
     1 + operator_count p

@@ -25,11 +25,29 @@ let str s = Const (Value.Str s)
 let date s = Const (Value.Date (Smc_util.Date.of_string s))
 let bool b = Const (Value.Bool b)
 
+(* Byte-loop substring/prefix tests: no [String.sub] per candidate
+   position, so predicate evaluation allocates nothing per row. *)
+let string_starts_with ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n
+  &&
+  let rec go j =
+    j >= n || (String.unsafe_get s j = String.unsafe_get prefix j && go (j + 1))
+  in
+  go 0
+
 let string_contains ~needle haystack =
   let n = String.length needle and h = String.length haystack in
   if n = 0 then true
   else begin
-    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+    let at i =
+      let rec go j =
+        j >= n
+        || (String.unsafe_get haystack (i + j) = String.unsafe_get needle j && go (j + 1))
+      in
+      go 0
+    in
+    let rec go i = i + n <= h && (at i || go (i + 1)) in
     go 0
   end
 
@@ -91,13 +109,10 @@ let rec compile ~schema expr =
       | v -> Value.Bool (string_contains ~needle (Value.to_string v)))
   | StartsWith (a, prefix) ->
     let fa = compile ~schema a in
-    let n = String.length prefix in
     fun row ->
       (match fa row with
-      | Value.Str s -> Value.Bool (String.length s >= n && String.sub s 0 n = prefix)
-      | v ->
-        let s = Value.to_string v in
-        Value.Bool (String.length s >= n && String.sub s 0 n = prefix))
+      | Value.Str s -> Value.Bool (string_starts_with ~prefix s)
+      | v -> Value.Bool (string_starts_with ~prefix (Value.to_string v)))
 
 let compile_pred ~schema expr =
   let f = compile ~schema expr in

@@ -35,6 +35,13 @@ val date : string -> t
 
 val bool : bool -> t
 
+val string_contains : needle:string -> string -> bool
+(** Allocation-free substring test ([Contains] semantics: the empty needle
+    matches everything). Shared by the engines' scalar paths. *)
+
+val string_starts_with : prefix:string -> string -> bool
+(** Allocation-free prefix test ([StartsWith] semantics). *)
+
 val compile : schema:string array -> t -> Value.t array -> Value.t
 (** Raises [Invalid_argument] for unknown columns. *)
 

@@ -7,6 +7,8 @@ let rec compile plan =
   match plan with
   | Plan.Scan src -> src.Source.scan
   | Plan.IndexScan { index; value; _ } -> fun emit -> index.Source.ix_probe value emit
+  | Plan.TextScan { text; op; needle; _ } ->
+    fun emit -> text.Source.tx_probe op needle emit
   | Plan.Where (pred, input) ->
     let upstream = compile input in
     let test = Expr.compile_pred ~schema:(Plan.schema input) pred in

@@ -30,6 +30,17 @@ let rec open_cursor plan =
       | row :: rest ->
         remaining := rest;
         Some row)
+  | Plan.TextScan { text; op; needle; _ } ->
+    (* Same pull adapter over the suffix-array probe. *)
+    let rows = ref [] in
+    text.Source.tx_probe op needle (fun row -> rows := row :: !rows);
+    let remaining = ref (List.rev !rows) in
+    fun () ->
+      (match !remaining with
+      | [] -> None
+      | row :: rest ->
+        remaining := rest;
+        Some row)
   | Plan.Where (pred, input) ->
     let next = open_cursor input in
     let test = Expr.compile_pred ~schema:(Plan.schema input) pred in

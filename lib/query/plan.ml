@@ -10,6 +10,12 @@ type agg =
 type t =
   | Scan of Source.t
   | IndexScan of { src : Source.t; index : Source.index_info; value : Value.t }
+  | TextScan of {
+      src : Source.t;
+      text : Source.text_info;
+      op : Smc_text.Sa_index.op;
+      needle : string;
+    }
   | Where of Expr.t * t
   | Select of (string * Expr.t) list * t
   | HashJoin of { left : t; right : t; on : (string * string) list }
@@ -31,7 +37,7 @@ let joined_schema ls rs =
   combined
 
 let rec schema = function
-  | Scan src | IndexScan { src; _ } -> src.Source.schema
+  | Scan src | IndexScan { src; _ } | TextScan { src; _ } -> src.Source.schema
   | Where (_, p) | OrderBy (_, p) | Limit (_, p) | Distinct p -> schema p
   | Select (cols, _) -> Array.of_list (List.map fst cols)
   | GroupBy { keys; aggs; _ } ->
@@ -70,6 +76,14 @@ let index_scan src ~column ~value =
         (Printf.sprintf "Plan.index_scan: index %s cannot hold constant %s"
            index.Source.ix_name (Value.to_string value));
     IndexScan { src; index; value }
+
+let text_scan src ~column ~op ~needle =
+  match Source.find_text src column with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Plan.text_scan: source %s has no text index on column %S"
+         src.Source.name column)
+  | Some text -> TextScan { src; text; op; needle }
 
 let where e p =
   check_columns "Where" (schema p) (Expr.columns e);
@@ -110,6 +124,8 @@ let rec validate = function
   | Scan _ -> ()
   | IndexScan { src; index; _ } ->
     check_columns "IndexScan" src.Source.schema [ index.Source.ix_column ]
+  | TextScan { src; text; _ } ->
+    check_columns "TextScan" src.Source.schema [ text.Source.tx_column ]
   | Where (e, p) ->
     validate p;
     check_columns "Where" (schema p) (Expr.columns e)

@@ -31,6 +31,17 @@ type t =
       (** rows of [src] whose indexed column equals [value], via one index
           probe instead of a full scan; same schema and bag of rows as
           [Where (col = value, Scan src)], row order unspecified *)
+  | TextScan of {
+      src : Source.t;
+      text : Source.text_info;
+      op : Smc_text.Sa_index.op;
+      needle : string;
+    }
+      (** rows of [src] whose indexed string column matches [(op, needle)]
+          ([Prefix] = starts-with, [Substring] = contains), via a
+          suffix-array probe instead of a full scan; same schema and bag of
+          rows as the equivalent [Where (StartsWith/Contains, Scan src)],
+          row order unspecified *)
   | Where of Expr.t * t
   | Select of (string * Expr.t) list * t
   | HashJoin of { left : t; right : t; on : (string * string) list }
@@ -55,6 +66,12 @@ val index_scan : Source.t -> column:string -> value:Value.t -> t
 (** Raises [Invalid_argument] when the source has no index on [column] or
     the index cannot hold [value]. {!Planner.choose_access_paths} builds
     these automatically from eligible [Where] shapes. *)
+
+val text_scan :
+  Source.t -> column:string -> op:Smc_text.Sa_index.op -> needle:string -> t
+(** Raises [Invalid_argument] when the source has no text index on
+    [column]. {!Planner.choose_access_paths} builds these automatically
+    from [Contains]/[StartsWith] conjuncts in eligible [Where] shapes. *)
 
 val where : Expr.t -> t -> t
 val select : (string * Expr.t) list -> t -> t

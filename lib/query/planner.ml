@@ -14,6 +14,14 @@ let eq_const = function
   | Expr.Eq (Expr.Col c, Expr.Const v) | Expr.Eq (Expr.Const v, Expr.Col c) -> Some (c, v)
   | _ -> None
 
+(* A substring/prefix test over a bare column, as (column, op, needle).
+   Empty needles are not routed: they match every row, so the probe would
+   be a slower full scan. *)
+let text_const = function
+  | Expr.Contains (Expr.Col c, s) when s <> "" -> Some (c, Smc_text.Sa_index.Substring, s)
+  | Expr.StartsWith (Expr.Col c, s) when s <> "" -> Some (c, Smc_text.Sa_index.Prefix, s)
+  | _ -> None
+
 (* Pick the first conjunct the source can answer with an index probe. The
    whole predicate — matched equality included — stays behind as a
    residual filter over the probe's output: the probe is an access path,
@@ -23,7 +31,7 @@ let eq_const = function
    across value types; a column/index association that violates the
    [Source.of_smc] agreement contract). *)
 let rewrite_where pred src =
-  let rec find = function
+  let rec find_eq = function
     | [] -> None
     | e :: rest ->
       (match eq_const e with
@@ -31,16 +39,29 @@ let rewrite_where pred src =
         (match Source.find_index src c with
         | Some index when index.Source.ix_accepts v ->
           Some (Plan.IndexScan { src; index; value = v })
-        | _ -> find rest)
-      | None -> find rest)
+        | _ -> find_eq rest)
+      | None -> find_eq rest)
   in
-  match find (conjuncts pred) with
+  let rec find_text = function
+    | [] -> None
+    | e :: rest ->
+      (match text_const e with
+      | Some (c, op, needle) ->
+        (match Source.find_text src c with
+        | Some text -> Some (Plan.TextScan { src; text; op; needle })
+        | None -> find_text rest)
+      | None -> find_text rest)
+  in
+  let cs = conjuncts pred in
+  (* Equality probes first: a hash/suffix tie would be rare, and the
+     equality path is the more selective one when both apply. *)
+  match (match find_eq cs with Some b -> Some b | None -> find_text cs) with
   | None -> None
   | Some base -> Some (Plan.Where (pred, base))
 
 let rec choose_access_paths plan =
   match plan with
-  | Plan.Scan _ | Plan.IndexScan _ -> plan
+  | Plan.Scan _ | Plan.IndexScan _ | Plan.TextScan _ -> plan
   | Plan.Where (pred, input) ->
     (match choose_access_paths input with
     | Plan.Scan src as input' ->
@@ -66,7 +87,7 @@ let rec choose_access_paths plan =
   | Plan.Distinct p -> Plan.Distinct (choose_access_paths p)
 
 let rec uses_index = function
-  | Plan.IndexScan _ | Plan.IndexJoin _ -> true
+  | Plan.IndexScan _ | Plan.IndexJoin _ | Plan.TextScan _ -> true
   | Plan.Scan _ -> false
   | Plan.Where (_, p)
   | Plan.Select (_, p)

@@ -9,6 +9,12 @@
       predicate (matched conjunct included) is kept as a residual filter
       over the probe output, so the rewritten plan filters exactly like
       the scan plan even if a probe over-matches;
+    - [Where (Contains (col, s), Scan src)] and [StartsWith] likewise —
+      including as a conjunct inside an [And] tree — become
+      {!Plan.TextScan} when [src] advertises a text index on [col]
+      (built with [Source.of_smc ~text_indexes]) and the needle is
+      non-empty. Equality conjuncts win when both apply; the whole
+      predicate again stays as a residual filter;
     - a single-key [HashJoin] whose right (build) side is a scan of an
       indexed source becomes {!Plan.IndexJoin} (index nested-loop join),
       skipping the build phase entirely. The executors preserve

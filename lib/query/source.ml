@@ -10,6 +10,12 @@ type index_info = {
   ix_accepts : Value.t -> bool;
 }
 
+type text_info = {
+  tx_name : string;
+  tx_column : string;
+  tx_probe : Smc_text.Sa_index.op -> string -> (Value.t array -> unit) -> unit;
+}
+
 (* Typed column spec: naming the field's layout kind (instead of handing
    over an opaque closure) is what lets the batch path fill unboxed column
    chunks and the vectorized engine pick typed kernels. [C_fn] keeps the
@@ -32,6 +38,7 @@ type t = {
   scan_batches : (rows:int -> ?cols:bool array -> (Batch.t -> unit) -> unit) option;
   obs : Smc_obs.t option;
   indexes : index_info list;
+  texts : text_info list;
 }
 
 let kind_of_column = function
@@ -127,9 +134,9 @@ let key_of_value kind v =
    committers. The view must stay open while the source is consumed, and
    index access paths are rejected — index probes validate against current
    state and would disagree with the frozen frontier. *)
-let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
+let of_smc ?pool ?domains ?view ?(indexes = []) ?(text_indexes = []) coll ~columns =
   (match view with
-  | Some v when indexes <> [] ->
+  | Some v when indexes <> [] || text_indexes <> [] ->
     ignore (Smc.Collection.view_csn v : int);
     invalid_arg
       (Printf.sprintf
@@ -308,6 +315,53 @@ let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
         })
       indexes
   in
+  let texts =
+    List.map
+      (fun (col, tx) ->
+        (* Same claims-checked-where-made discipline as [indexes]: a text
+           index attached to a different collection would silently answer
+           from the wrong rows. *)
+        if Smc_text.Sa_index.collection tx != coll then
+          invalid_arg
+            (Printf.sprintf
+               "Source.of_smc: text index %S is attached to collection %S, not %S"
+               (Smc_text.Sa_index.name tx)
+               (Smc_text.Sa_index.collection tx).Smc.Collection.name
+               coll.Smc.Collection.name);
+        let ci =
+          match schema_pos col with
+          | Some i -> i
+          | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Source.of_smc: text index %S declared on column %S, which is not in the \
+                  source schema"
+                 (Smc_text.Sa_index.name tx) col)
+        in
+        {
+          tx_name = Smc_text.Sa_index.name tx;
+          tx_column = col;
+          tx_probe =
+            (fun op needle emit ->
+              Smc_text.Sa_index.probe tx op needle ~f:(fun _r blk slot ->
+                  let row = extract blk slot in
+                  (* Structural re-check against the declared column,
+                     mirroring [ix_probe]: the probe validated the field
+                     the index was attached over, this re-tests the value
+                     the scan plan would see, so a mispaired column/index
+                     association never over-matches. *)
+                  let s =
+                    match row.(ci) with Value.Str s -> s | v -> Value.to_string v
+                  in
+                  let ok =
+                    match op with
+                    | Smc_text.Sa_index.Prefix -> Expr.string_starts_with ~prefix:needle s
+                    | Smc_text.Sa_index.Substring -> Expr.string_contains ~needle s
+                  in
+                  if ok then emit row));
+        })
+      text_indexes
+  in
   {
     name = coll.Smc.Collection.name;
     schema;
@@ -316,6 +370,7 @@ let of_smc ?pool ?domains ?view ?(indexes = []) coll ~columns =
     scan_batches = Some scan_batches;
     obs = Some obs;
     indexes;
+    texts;
   }
 
 let of_array ~name ~schema rows =
@@ -328,6 +383,7 @@ let of_array ~name ~schema rows =
     scan_batches = None;
     obs = None;
     indexes = [];
+    texts = [];
   }
 
 let of_fun ~name ~schema scan =
@@ -340,6 +396,7 @@ let of_fun ~name ~schema scan =
     scan_batches = None;
     obs = None;
     indexes = [];
+    texts = [];
   }
 
 let column_index t col =
@@ -352,3 +409,5 @@ let column_index t col =
 
 let find_index t col =
   List.find_opt (fun ix -> String.equal ix.ix_column col) t.indexes
+
+let find_text t col = List.find_opt (fun tx -> String.equal tx.tx_column col) t.texts

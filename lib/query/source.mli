@@ -21,6 +21,17 @@ type index_info = {
           executors must fall back to scan-equality for rejected values *)
 }
 
+type text_info = {
+  tx_name : string;  (** text index name (diagnostics, codegen) *)
+  tx_column : string;  (** the source string column the index covers *)
+  tx_probe : Smc_text.Sa_index.op -> string -> (Value.t array -> unit) -> unit;
+      (** push every live row whose declared column matches the
+          (operator, needle) pair — suffix-array candidates are
+          incarnation-validated and text-re-checked by the index, then the
+          extracted row value is re-tested here, so a text path and a scan
+          path produce identical row bags *)
+}
+
 type t = {
   name : string;
   schema : string array;
@@ -35,6 +46,7 @@ type t = {
           filled — their contents are unspecified. Omitted = fill all. *)
   obs : Smc_obs.t option;  (** counter instance of the backing runtime *)
   indexes : index_info list;  (** access paths advertised to the planner *)
+  texts : text_info list;  (** substring/prefix access paths *)
 }
 
 (** Typed column spec. Naming the field's layout kind lets the batch path
@@ -56,6 +68,7 @@ val of_smc :
   ?domains:int ->
   ?view:Smc.Collection.view ->
   ?indexes:(string * Smc_index.Hash_index.t) list ->
+  ?text_indexes:(string * Smc_text.Sa_index.t) list ->
   Smc.Collection.t ->
   columns:(string * column) list ->
   t
@@ -86,7 +99,13 @@ val of_smc :
     would otherwise silently answer queries from the wrong rows. Probe
     results are extracted with the same [columns] closures as the scan
     and re-checked against the probe value, so an index path and a scan
-    path produce identical rows for matching keys. *)
+    path produce identical rows for matching keys.
+
+    [?text_indexes] advertises attached {!Smc_text.Sa_index}es the same
+    way, as substring/prefix access paths ([texts]); the same attachment
+    and schema checks apply, with the same [Invalid_argument]s, and probe
+    hits are re-tested against the extracted column value. Mutually
+    exclusive with [?view] like [?indexes]. *)
 
 val of_array : name:string -> schema:string list -> Value.t array array -> t
 
@@ -97,3 +116,6 @@ val column_index : t -> string -> int
 
 val find_index : t -> string -> index_info option
 (** The advertised access path keyed on the given column, if any. *)
+
+val find_text : t -> string -> text_info option
+(** The advertised text access path over the given column, if any. *)

@@ -370,6 +370,42 @@ let rec compile_filter ~schema ~kinds pred : Batch.t -> unit =
           refine bt (fun i -> test (Int.compare (ga i) (gb i)))
       | _ -> orig ())
   in
+  (* Typed substring/prefix kernels over string and char columns. A K_str
+     column's vec is always [V_str] and never holds Null, so the scalar
+     Contains/StartsWith semantics collapse to the allocation-free byte
+     loops from [Expr]. A K_char column boxes as a 1-char [Str]: the empty
+     needle matches everything, a 1-byte needle is byte equality, anything
+     longer matches nothing. Other kinds keep the boxed fallback (its
+     [Value.to_string] coercions, verbatim). *)
+  let text_filter e col needle ~is_prefix =
+    let ci = resolve schema col in
+    match kinds.(ci) with
+    | Batch.K_str ->
+      let test =
+        if is_prefix then Expr.string_starts_with ~prefix:needle
+        else Expr.string_contains ~needle
+      in
+      fun bt ->
+        let arr =
+          match bt.Batch.cols.(ci) with Batch.V_str a -> a | _ -> assert false
+        in
+        let sel = bt.Batch.sel in
+        refine bt (fun i ->
+            test (Array.unsafe_get arr (Bigarray.Array1.unsafe_get sel i)))
+    | Batch.K_char ->
+      let n = String.length needle in
+      if n = 0 then fun _ -> ()
+      else if n > 1 then fun bt -> bt.Batch.len <- 0
+      else begin
+        let c0 = Char.code needle.[0] in
+        fun bt ->
+          let arr = int_array_of_vec bt.Batch.cols.(ci) in
+          let sel = bt.Batch.sel in
+          refine bt (fun i ->
+              Array.unsafe_get arr (Bigarray.Array1.unsafe_get sel i) = c0)
+      end
+    | _ -> boxed_keep e
+  in
   match pred with
   | Expr.And (a, b) ->
     (* Sequential refinement preserves &&'s short-circuit: [b] only ever
@@ -394,6 +430,8 @@ let rec compile_filter ~schema ~kinds pred : Batch.t -> unit =
       | Some wlo, Some whi -> filter_col_between ci wlo whi
       | _ -> compile_filter ~schema ~kinds (Expr.And (Expr.Ge (x, lo), Expr.Le (x, hi))))
     | _ -> compile_filter ~schema ~kinds (Expr.And (Expr.Ge (x, lo), Expr.Le (x, hi))))
+  | Expr.Contains (Expr.Col col, needle) as e -> text_filter e col needle ~is_prefix:false
+  | Expr.StartsWith (Expr.Col col, needle) as e -> text_filter e col needle ~is_prefix:true
   | other -> boxed_keep other
 
 (* ---- aggregation ----------------------------------------------------- *)
@@ -570,6 +608,21 @@ let rec compile ~batch_rows ~need plan : pipe =
         (fun emit ->
           batches_of ~ncols ~rows:batch_rows
             (fun push -> index.Source.ix_probe value push)
+            emit);
+      obs = src.Source.obs;
+    }
+  | Plan.TextScan { src; text; op; needle } ->
+    (* Same re-batching shape as IndexScan: suffix-array hits arrive as
+       boxed rows, so the batch is all [K_any] and the residual predicate
+       runs through the fallback filter. *)
+    let ncols = Array.length src.Source.schema in
+    {
+      schema = src.Source.schema;
+      kinds = all_any ncols;
+      run =
+        (fun emit ->
+          batches_of ~ncols ~rows:batch_rows
+            (fun push -> text.Source.tx_probe op needle push)
             emit);
       obs = src.Source.obs;
     }

@@ -1,0 +1,555 @@
+(* Off-heap suffix-array text index (see sa_index.mli for the contract).
+
+   Storage: one published [store] value holds everything a probe needs —
+
+     arena    : byte arena of NUL-terminated entry texts, back to back
+     ent_ref  : packed indirect reference per entry
+     ent_off  : arena byte offset of each entry's first byte (ascending)
+     ent_len  : entry text length in bytes (NUL excluded)
+     sa       : absolute arena offsets of every suffix, sorted
+                lexicographically (suffixes end at their entry's NUL, so
+                none crosses an entry boundary)
+     pending  : packed refs appended by write hooks since the last rebuild
+
+   The arrays are private off-heap Bigarrays: not runtime blocks, not
+   registered with the block registry, so the structural audit is
+   unaffected and a rebuild drops the old store without any free protocol.
+
+   The pending log lives INSIDE the store record on purpose: plain OCaml
+   mutable fields give no cross-field ordering, so a probe reading a
+   separate [t.pending] could pair a pre-rebuild array with a post-rebuild
+   (emptied) log and miss rows live all along. With the log in the record,
+   the single [t.store <- ...] write is the only publication point — a
+   lock-free probe snapshots one consistent (array, log) pair, complete
+   under bag semantics. Appending to the log publishes a new record that
+   shares the arrays.
+
+   Probes never trust the arena: a candidate's text is re-extracted from
+   the live row (inside the probe's critical section, after incarnation
+   validation) and re-tested against the predicate. The arena only narrows
+   the candidate set; stale bytes can only cause a miss, never a hit. *)
+
+open Smc_offheap
+
+type op = Prefix | Substring
+
+type byte_ba = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type store = {
+  arena : byte_ba;
+  ent_ref : int_ba;
+  ent_off : int_ba;
+  ent_len : int_ba;
+  n_entries : int;
+  sa : int_ba;
+  n_sa : int;
+  pending : int list; (* newest first *)
+  n_pending : int;
+}
+
+type t = {
+  name : string;
+  coll : Smc.Collection.t;
+  field : Layout.field;
+  col_name : string;
+  churn_limit : int option;
+  lock : Mutex.t; (* serialises appends and rebuilds *)
+  mutable store : store;
+  stale_seen : int Atomic.t; (* probe sightings of stale entries since last rebuild *)
+  dead_pending : int Atomic.t; (* removes since last rebuild *)
+  obs : Smc_obs.t;
+}
+
+let int_ba n : int_ba = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+let byte_ba n : byte_ba = Bigarray.Array1.create Bigarray.int8_unsigned Bigarray.c_layout n
+
+let empty_store =
+  {
+    arena = byte_ba 0;
+    ent_ref = int_ba 0;
+    ent_off = int_ba 0;
+    ent_len = int_ba 0;
+    n_entries = 0;
+    sa = int_ba 0;
+    n_sa = 0;
+    pending = [];
+    n_pending = 0;
+  }
+
+let name t = t.name
+let collection t = t.coll
+let column t = t.col_name
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ---- scalar predicate over the live row's text --------------------- *)
+
+(* Same semantics as the query layer's Contains/StartsWith (Expr lives
+   above this library, so the byte loops are restated here): the empty
+   needle matches everything. *)
+let text_starts_with ~prefix s =
+  let n = String.length prefix in
+  String.length s >= n
+  &&
+  let rec go j = j >= n || (String.unsafe_get s j = String.unsafe_get prefix j && go (j + 1)) in
+  go 0
+
+let text_contains ~needle s =
+  let n = String.length needle and h = String.length s in
+  if n = 0 then true
+  else begin
+    let at i =
+      let rec go j =
+        j >= n || (String.unsafe_get s (i + j) = String.unsafe_get needle j && go (j + 1))
+      in
+      go 0
+    in
+    let rec go i = i + n <= h && (at i || go (i + 1)) in
+    go 0
+  end
+
+let matches op needle s =
+  match op with
+  | Prefix -> text_starts_with ~prefix:needle s
+  | Substring -> text_contains ~needle s
+
+(* ---- suffix comparisons ------------------------------------------- *)
+
+(* Full lexicographic order of two arena suffixes; entries are
+   NUL-terminated, round-tripped column strings never contain an interior
+   NUL ([Block.get_string] stops at the first), so 0 is a safe terminator
+   and the shorter suffix sorts first. *)
+let compare_suffixes (arena : byte_ba) a b =
+  if a = b then 0
+  else begin
+    let rec go i =
+      let ca = Bigarray.Array1.unsafe_get arena (a + i) in
+      let cb = Bigarray.Array1.unsafe_get arena (b + i) in
+      if ca <> cb then compare ca cb else if ca = 0 then 0 else go (i + 1)
+    in
+    go 0
+  end
+
+(* Suffix vs needle, in the needle-truncated order the range search uses:
+   -1 when the suffix's first bytes sort below the needle (including the
+   suffix running out at its NUL), 0 when the needle is a prefix of the
+   suffix, +1 when they sort above. *)
+let compare_suffix_needle (arena : byte_ba) off needle =
+  let n = String.length needle in
+  let rec go j =
+    if j >= n then 0
+    else
+      let c = Bigarray.Array1.unsafe_get arena (off + j) in
+      let nc = Char.code (String.unsafe_get needle j) in
+      if c <> nc then compare c nc else go (j + 1)
+  in
+  go 0
+
+(* First index in [0, n) whose suffix compares >= (resp. >) the needle. *)
+let search_bound s needle ~upper =
+  let lo = ref 0 and hi = ref s.n_sa in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let c = compare_suffix_needle s.arena (Bigarray.Array1.unsafe_get s.sa mid) needle in
+    if c < 0 || (upper && c = 0) then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Entry owning an arena offset: greatest e with ent_off.(e) <= off
+   (offsets are ascending by construction). *)
+let entry_of_offset s off =
+  let lo = ref 0 and hi = ref (s.n_entries - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi + 1) / 2 in
+    if Bigarray.Array1.unsafe_get s.ent_off mid <= off then lo := mid else hi := mid - 1
+  done;
+  !lo
+
+(* ---- probes -------------------------------------------------------- *)
+
+let probe t op needle ~f =
+  Smc_obs.incr t.obs Smc_obs.c_txt_probes;
+  let s = t.store in
+  let obs = t.obs in
+  Smc.Collection.with_read t.coll (fun () ->
+      let seen = Hashtbl.create 16 in
+      (* One candidate sighting ends exactly one way — hit, stale, miss,
+         or dup — which is the probe-side partition Obs_check balances. *)
+      let candidate packed =
+        Smc_obs.incr obs Smc_obs.c_txt_candidates;
+        if Hashtbl.mem seen packed then Smc_obs.incr obs Smc_obs.c_txt_dups
+        else begin
+          Hashtbl.add seen packed ();
+          let r = Smc.Ref.of_packed packed in
+          match Smc.Collection.deref_opt t.coll r with
+          | None ->
+            Atomic.incr t.stale_seen;
+            Smc_obs.incr obs Smc_obs.c_txt_stale
+          | Some (blk, slot) ->
+            if matches op needle (Smc.Field.get_string t.field blk slot) then begin
+              Smc_obs.incr obs Smc_obs.c_txt_hits;
+              f r blk slot
+            end
+            else Smc_obs.incr obs Smc_obs.c_txt_misses
+        end
+      in
+      if String.length needle = 0 then
+        (* Every row matches the empty needle; walk entries, not suffixes
+           (an empty-text entry has no suffix at all). *)
+        for e = 0 to s.n_entries - 1 do
+          candidate (Bigarray.Array1.unsafe_get s.ent_ref e)
+        done
+      else begin
+        let lo = search_bound s needle ~upper:false in
+        let hi = search_bound s needle ~upper:true in
+        for i = lo to hi - 1 do
+          let off = Bigarray.Array1.unsafe_get s.sa i in
+          let e = entry_of_offset s off in
+          (* A Prefix probe only accepts the suffix that starts the entry;
+             interior suffixes witness containment, not prefixhood. *)
+          if op = Substring || Bigarray.Array1.unsafe_get s.ent_off e = off then
+            candidate (Bigarray.Array1.unsafe_get s.ent_ref e)
+        done
+      end;
+      List.iter candidate s.pending)
+
+let probe_refs t op needle =
+  let acc = ref [] in
+  probe t op needle ~f:(fun r _ _ -> acc := r :: !acc);
+  List.rev !acc
+
+let contains_match t op needle =
+  let exception Found in
+  try
+    probe t op needle ~f:(fun _ _ _ -> raise Found);
+    false
+  with Found -> true
+
+(* ---- top-k fragment similarity ------------------------------------ *)
+
+let qgram = 3
+
+let fragments_of query =
+  let n = String.length query in
+  let tbl = Hashtbl.create 16 in
+  if n = 0 then []
+  else if n < qgram then begin
+    Hashtbl.replace tbl query ();
+    [ query ]
+  end
+  else begin
+    for i = 0 to n - qgram do
+      let g = String.sub query i qgram in
+      if not (Hashtbl.mem tbl g) then Hashtbl.replace tbl g ()
+    done;
+    Hashtbl.fold (fun g () acc -> g :: acc) tbl []
+  end
+
+let score_of frags text =
+  List.fold_left (fun acc g -> if text_contains ~needle:g text then acc + 1 else acc) 0 frags
+
+let top_k_similar t ~k query =
+  Smc_obs.incr t.obs Smc_obs.c_txt_probes;
+  let s = t.store in
+  let obs = t.obs in
+  let frags = fragments_of query in
+  let out = ref [] in
+  Smc.Collection.with_read t.coll (fun () ->
+      let seen = Hashtbl.create 64 in
+      (* Candidates are narrowed by the suffix array per fragment, then
+         scored against the live text — same hit/stale/miss/dup partition
+         as [probe], with "matches" meaning a positive score. *)
+      let candidate packed =
+        Smc_obs.incr obs Smc_obs.c_txt_candidates;
+        if Hashtbl.mem seen packed then Smc_obs.incr obs Smc_obs.c_txt_dups
+        else begin
+          Hashtbl.add seen packed ();
+          let r = Smc.Ref.of_packed packed in
+          match Smc.Collection.deref_opt t.coll r with
+          | None ->
+            Atomic.incr t.stale_seen;
+            Smc_obs.incr obs Smc_obs.c_txt_stale
+          | Some (blk, slot) ->
+            let score = score_of frags (Smc.Field.get_string t.field blk slot) in
+            if score > 0 then begin
+              Smc_obs.incr obs Smc_obs.c_txt_hits;
+              out := (r, packed, score) :: !out
+            end
+            else Smc_obs.incr obs Smc_obs.c_txt_misses
+        end
+      in
+      List.iter
+        (fun g ->
+          let lo = search_bound s g ~upper:false in
+          let hi = search_bound s g ~upper:true in
+          for i = lo to hi - 1 do
+            let off = Bigarray.Array1.unsafe_get s.sa i in
+            candidate (Bigarray.Array1.unsafe_get s.ent_ref (entry_of_offset s off))
+          done)
+        frags;
+      List.iter candidate s.pending);
+  let ranked =
+    List.sort
+      (fun (_, pa, sa_) (_, pb, sb) -> if sa_ <> sb then compare sb sa_ else compare pa pb)
+      !out
+  in
+  let rec take n = function
+    | (r, _, sc) :: rest when n > 0 -> (r, sc) :: take (n - 1) rest
+    | _ -> []
+  in
+  take k ranked
+
+(* ---- rebuild ------------------------------------------------------- *)
+
+let churn_limit t s = match t.churn_limit with Some l -> l | None -> max 64 (s.n_entries / 4)
+
+(* Merge-rebuild: fold the pending log into the array, dropping entries
+   whose row died or whose text moved on. Candidates are the old entries
+   plus the log (deduplicated); each survivor's text is re-extracted from
+   the live row inside the critical section. The fresh store — arena,
+   tables, sorted suffix array — is FULLY populated before the [t.store]
+   assignment: that single write is the publication point, so a lock-free
+   probe snapshots either the old store (complete) or the new one
+   (complete), never a half-built array. The old arrays stay alive for any
+   in-flight probe that already snapshotted them. *)
+let rebuild_locked t =
+  let s = t.store in
+  (* Drain churn counters up front (exchange, not a trailing reset):
+     increments landing mid-rebuild carry over to the next trigger instead
+     of being lost. *)
+  ignore (Atomic.exchange t.stale_seen 0 : int);
+  ignore (Atomic.exchange t.dead_pending 0 : int);
+  let cand = Hashtbl.create (max 64 (s.n_entries + s.n_pending)) in
+  for e = 0 to s.n_entries - 1 do
+    let p = Bigarray.Array1.unsafe_get s.ent_ref e in
+    if not (Hashtbl.mem cand p) then Hashtbl.replace cand p ()
+  done;
+  List.iter (fun p -> if not (Hashtbl.mem cand p) then Hashtbl.replace cand p ()) s.pending;
+  let live = ref [] in
+  let n_live = ref 0 and bytes = ref 0 and dropped = ref 0 in
+  Smc.Collection.with_read t.coll (fun () ->
+      Hashtbl.iter
+        (fun p () ->
+          match Smc.Collection.deref_opt t.coll (Smc.Ref.of_packed p) with
+          | None -> incr dropped
+          | Some (blk, slot) ->
+            let text = Smc.Field.get_string t.field blk slot in
+            live := (p, text) :: !live;
+            incr n_live;
+            bytes := !bytes + String.length text)
+        cand);
+  let n = !n_live in
+  let arena = byte_ba (!bytes + n) in
+  let ent_ref = int_ba n and ent_off = int_ba n and ent_len = int_ba n in
+  let off = ref 0 in
+  List.iteri
+    (fun e (p, text) ->
+      let len = String.length text in
+      Bigarray.Array1.unsafe_set ent_ref e p;
+      Bigarray.Array1.unsafe_set ent_off e !off;
+      Bigarray.Array1.unsafe_set ent_len e len;
+      for j = 0 to len - 1 do
+        Bigarray.Array1.unsafe_set arena (!off + j) (Char.code (String.unsafe_get text j))
+      done;
+      Bigarray.Array1.unsafe_set arena (!off + len) 0;
+      off := !off + len + 1)
+    (List.rev !live);
+  let n_sa = !bytes in
+  (* Sort a heap scratch array (Array.sort over a Bigarray would box every
+     swap through the comparator anyway), then blit into the off-heap
+     array the store publishes. *)
+  let scratch = Array.make n_sa 0 in
+  let si = ref 0 in
+  for e = 0 to n - 1 do
+    let o = Bigarray.Array1.unsafe_get ent_off e in
+    for j = 0 to Bigarray.Array1.unsafe_get ent_len e - 1 do
+      scratch.(!si) <- o + j;
+      incr si
+    done
+  done;
+  Array.sort (fun a b -> compare_suffixes arena a b) scratch;
+  let sa = int_ba n_sa in
+  for i = 0 to n_sa - 1 do
+    Bigarray.Array1.unsafe_set sa i (Array.unsafe_get scratch i)
+  done;
+  t.store <-
+    { arena; ent_ref; ent_off; ent_len; n_entries = n; sa; n_sa; pending = []; n_pending = 0 };
+  Smc_obs.add t.obs Smc_obs.c_txt_dropped !dropped;
+  Smc_obs.incr t.obs Smc_obs.c_txt_rebuilds
+
+let maintain_locked t =
+  let s = t.store in
+  if s.n_pending + Atomic.get t.dead_pending > churn_limit t s then rebuild_locked t
+
+let rebuild t = locked t (fun () -> rebuild_locked t)
+let maintain t = locked t (fun () -> maintain_locked t)
+
+(* ---- maintenance hooks --------------------------------------------- *)
+
+(* Appending publishes a new store record sharing the arrays — the single
+   publication point again. The ref alone is logged (no text): the probe
+   re-extracts the live text anyway, so a pending entry is always exactly
+   as fresh as the row itself. *)
+let append_pending_locked t packed =
+  let s = t.store in
+  t.store <- { s with pending = packed :: s.pending; n_pending = s.n_pending + 1 };
+  Smc_obs.incr t.obs Smc_obs.c_txt_adds;
+  maintain_locked t
+
+let on_add t r _blk _slot =
+  locked t (fun () ->
+      Smc.Collection.with_read t.coll (fun () ->
+          (* removed before we got the lock → nothing to index *)
+          if Smc.Collection.deref_opt t.coll r <> None then
+            append_pending_locked t (Smc.Ref.to_packed r)))
+
+(* Removal is O(1): entries go stale by incarnation and are dropped by the
+   next rebuild. No text extraction — the row is already gone. *)
+let on_remove t _r =
+  Atomic.incr t.dead_pending;
+  Smc_obs.incr t.obs Smc_obs.c_txt_removes
+
+(* A store re-keys the row iff it hit the indexed column's words. The ref
+   keeps its identity across the write (including the transactional
+   copy-on-write path), so the old arena entry goes stale through the
+   probe's text re-check, and the pending append makes the new text
+   findable. *)
+let on_store t r ~word =
+  if word >= t.field.Layout.word && word < t.field.Layout.word + t.field.Layout.words then
+    locked t (fun () -> append_pending_locked t (Smc.Ref.to_packed r))
+
+(* ---- lifecycle ------------------------------------------------------ *)
+
+let attach ?churn_limit ~name ~column coll =
+  let field = Smc.Field.str coll.Smc.Collection.layout column in
+  (match churn_limit with
+  | Some l when l <= 0 -> invalid_arg "Sa_index.attach: churn_limit must be positive"
+  | _ -> ());
+  let t =
+    {
+      name;
+      coll;
+      field;
+      col_name = column;
+      churn_limit;
+      lock = Mutex.create ();
+      store = empty_store;
+      stale_seen = Atomic.make 0;
+      dead_pending = Atomic.make 0;
+      obs = coll.Smc.Collection.rt.Runtime.obs;
+    }
+  in
+  (* Hooks first (rejects direct mode / duplicate names before any work),
+     then the bulk load; attach is a quiescent-point operation so no add
+     can slip between the two. The load stages every live row through the
+     pending log and runs one merge-rebuild — the same path incremental
+     maintenance takes. *)
+  Smc.Collection.attach_index coll
+    {
+      Smc.Collection.ih_name = name;
+      ih_on_add = on_add t;
+      ih_on_remove = on_remove t;
+      ih_on_store = on_store t;
+    };
+  locked t (fun () ->
+      Smc.Collection.iter coll ~f:(fun blk slot ->
+          let r = Smc.Collection.ref_of_slot coll blk slot in
+          let s = t.store in
+          t.store <-
+            { s with pending = Smc.Ref.to_packed r :: s.pending; n_pending = s.n_pending + 1 };
+          Smc_obs.incr t.obs Smc_obs.c_txt_adds);
+      rebuild_locked t);
+  t
+
+let detach t = Smc.Collection.detach_index t.coll t.name
+
+(* ---- introspection -------------------------------------------------- *)
+
+type stats = {
+  entries : int;
+  suffixes : int;
+  pending : int;
+  arena_bytes : int;
+  memory_words : int;
+}
+
+let stats t =
+  let s = t.store in
+  let words_of_bytes b = (b + 7) / 8 in
+  {
+    entries = s.n_entries;
+    suffixes = s.n_sa;
+    pending = s.n_pending;
+    arena_bytes = Bigarray.Array1.dim s.arena;
+    memory_words =
+      words_of_bytes (Bigarray.Array1.dim s.arena)
+      + (3 * s.n_entries) + s.n_sa;
+  }
+
+let audit t =
+  let s = t.store in
+  let violations = ref [] in
+  let bad fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  (* entry tables: offsets ascending, back to back, NUL-terminated *)
+  let expect_off = ref 0 in
+  for e = 0 to s.n_entries - 1 do
+    let o = Bigarray.Array1.get s.ent_off e and l = Bigarray.Array1.get s.ent_len e in
+    if o <> !expect_off then
+      bad "text index %s entry %d: offset %d, expected %d" t.name e o !expect_off;
+    if l < 0 then bad "text index %s entry %d: negative length %d" t.name e l;
+    if o + l < Bigarray.Array1.dim s.arena && Bigarray.Array1.get s.arena (o + l) <> 0 then
+      bad "text index %s entry %d: missing NUL terminator" t.name e;
+    expect_off := o + l + 1
+  done;
+  (* suffix array: right size, sorted, covers each suffix exactly once *)
+  let total = ref 0 in
+  for e = 0 to s.n_entries - 1 do
+    total := !total + Bigarray.Array1.get s.ent_len e
+  done;
+  if s.n_sa <> !total then
+    bad "text index %s: suffix array has %d offsets but entries hold %d bytes" t.name s.n_sa
+      !total;
+  let marks = Bytes.make (Bigarray.Array1.dim s.arena) '\000' in
+  for i = 0 to s.n_sa - 1 do
+    let off = Bigarray.Array1.get s.sa i in
+    if off < 0 || off >= Bigarray.Array1.dim s.arena then
+      bad "text index %s sa[%d]: offset %d outside the arena" t.name i off
+    else begin
+      if Bytes.get marks off <> '\000' then
+        bad "text index %s sa[%d]: offset %d listed twice" t.name i off;
+      Bytes.set marks off '\001';
+      if Bigarray.Array1.get s.arena off = 0 then
+        bad "text index %s sa[%d]: offset %d points at a terminator" t.name i off
+    end;
+    if i > 0 && compare_suffixes s.arena (Bigarray.Array1.get s.sa (i - 1)) off > 0 then
+      bad "text index %s: suffix array out of order at %d" t.name i
+  done;
+  (* every live row findable: in the pending log, or an entry whose arena
+     text equals the row's current text (a live row whose arena text went
+     stale must be pending — the store hook guarantees it) *)
+  let by_ref = Hashtbl.create (max 16 s.n_entries) in
+  for e = 0 to s.n_entries - 1 do
+    Hashtbl.replace by_ref (Bigarray.Array1.get s.ent_ref e) e
+  done;
+  let pend = Hashtbl.create (max 16 s.n_pending) in
+  List.iter (fun p -> Hashtbl.replace pend p ()) s.pending;
+  let arena_text e =
+    let o = Bigarray.Array1.get s.ent_off e and l = Bigarray.Array1.get s.ent_len e in
+    String.init l (fun j -> Char.chr (Bigarray.Array1.get s.arena (o + j)))
+  in
+  Smc.Collection.iter t.coll ~f:(fun blk slot ->
+      let r = Smc.Collection.ref_of_slot t.coll blk slot in
+      let p = Smc.Ref.to_packed r in
+      if not (Hashtbl.mem pend p) then begin
+        match Hashtbl.find_opt by_ref p with
+        | None -> bad "text index %s: live row %d is neither indexed nor pending" t.name p
+        | Some e ->
+          let cur = Smc.Field.get_string t.field blk slot in
+          if not (String.equal (arena_text e) cur) then
+            bad "text index %s entry %d: arena text %S stale for live row (now %S, not pending)"
+              t.name e (arena_text e) cur
+      end);
+  List.rev !violations

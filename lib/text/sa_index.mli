@@ -1,0 +1,113 @@
+(** Off-heap suffix-array text index over one string column of a
+    self-managed collection.
+
+    The index owns a private [Bigarray] byte arena holding each indexed
+    row's column text (NUL-terminated), per-entry tables mapping arena
+    entries back to packed {!Smc.Ref.t}s, and a sorted suffix array over
+    the arena — so [prefix] and [substring] probes are two binary searches
+    plus a range walk, instead of a full scan. Like {!Smc_index.Hash_index}
+    the storage is private off-heap memory: not runtime blocks, not
+    registered with the block registry, dropped wholesale when a rebuild
+    publishes a fresh store.
+
+    Safety is the hash index's discipline taken to a value index: probes
+    run inside one epoch critical section and every candidate is validated
+    twice before emission — the reference's incarnation against the
+    indirection table, then the column text re-extracted from the live row
+    against the probe predicate. A removed or overwritten row's arena entry
+    therefore reads as stale/miss and can never resurrect.
+
+    Maintenance is log-structured: [add]s and column [store]s append the
+    row's reference to a pending log that probes scan linearly (checking
+    the live text directly); removals only bump a churn counter. When churn
+    crosses a threshold a merge-rebuild collects the still-live entries,
+    re-extracts their current text, and builds a complete fresh
+    arena + suffix array which is published with a single store-field
+    write — the fully-populate-before-swap rule, so lock-free probes see
+    either the old store or the new one, never a half-built array.
+
+    Concurrency: one writer at a time (internal mutex); probes are
+    lock-free and may run concurrently with writers under bag semantics —
+    rows added concurrently may or may not be seen, and every emitted row
+    is live and matching at emission time. *)
+
+type op = Prefix | Substring
+(** Probe operators: [Prefix] matches rows whose column text starts with
+    the needle; [Substring] matches rows whose text contains it. The empty
+    needle matches every row under both. *)
+
+type t
+
+val attach : ?churn_limit:int -> name:string -> column:string -> Smc.Collection.t -> t
+(** Creates the index over the named [Str] column, bulk-loads every live
+    row, and registers maintenance hooks via {!Smc.Collection.attach_index}
+    so subsequent [add]/[remove]/[store] maintain it incrementally. A
+    quiescent-point operation (no concurrent mutators during the bulk
+    load). Raises [Invalid_argument] on direct-mode collections, duplicate
+    index names, or a column that is not a string field. [churn_limit]
+    overrides the pending+dead threshold that triggers a merge-rebuild
+    (default [max 64 (entries / 4)]). *)
+
+val detach : t -> unit
+(** Unregisters the maintenance hooks; further probes see a frozen
+    (increasingly stale) view. Quiescent-point operation. *)
+
+val name : t -> string
+val collection : t -> Smc.Collection.t
+
+val column : t -> string
+(** Name of the indexed string column. *)
+
+val probe : t -> op -> string -> f:(Smc.Ref.t -> Smc_offheap.Block.t -> int -> unit) -> unit
+(** Yields every live row whose column text matches [(op, needle)], inside
+    one epoch critical section. Candidates come from the suffix-array
+    range and from the pending log, deduplicated per probe (a row with
+    several matching suffixes, or present in both the array and the log,
+    is emitted once); each is incarnation-validated and its text
+    re-extracted and re-tested before emission. Bag semantics; emission
+    order is unspecified. *)
+
+val probe_refs : t -> op -> string -> Smc.Ref.t list
+(** Convenience: collected references (probe order). *)
+
+val contains_match : t -> op -> string -> bool
+(** Whether any live row matches. *)
+
+val top_k_similar : t -> k:int -> string -> (Smc.Ref.t * int) list
+(** Fragment-similarity lookup: scores every candidate row by how many
+    distinct 3-byte fragments (q-grams) of [query] occur in its current
+    column text, validates the candidates live, and returns the top [k]
+    as [(ref, score)] sorted by descending score. Queries shorter than
+    3 bytes degrade to a single-fragment (substring) score. *)
+
+(** {1 Maintenance and introspection} *)
+
+val rebuild : t -> unit
+(** Forces a merge-rebuild now (pending log folded in, stale entries
+    dropped, fresh suffix array published). Writer-serialised; probes
+    racing the swap finish against the old store. *)
+
+val maintain : t -> unit
+(** Runs the churn check (and a rebuild if over threshold) — what the
+    write hooks do on every append. Useful after remove-heavy phases,
+    since removals alone never take the writer lock. *)
+
+type stats = {
+  entries : int;  (** arena entries (may include stale ones) *)
+  suffixes : int;  (** suffix-array size = total indexed bytes *)
+  pending : int;  (** refs in the pending log awaiting merge *)
+  arena_bytes : int;
+  memory_words : int;  (** off-heap words across arena + tables + array *)
+}
+
+val stats : t -> stats
+
+val audit : t -> string list
+(** Structural invariant sweep; call only at a quiescent point. Checks the
+    suffix array is sorted and covers exactly the arena's suffixes, the
+    entry tables are mutually consistent, and every live row of the
+    collection is findable — its reference is in the pending log, or its
+    arena entry's text equals its current column text. (A live row whose
+    arena text went stale {e must} therefore be in the pending log: the
+    store hook guarantees it.) Returns violation descriptions, [[]] when
+    clean. *)

@@ -656,6 +656,196 @@ let test_index_churn () =
   Alcotest.(check bool) "index populated" true (s.H.occupied > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Text-index churn: 2 writers churn rows through the Collection API
+   (adds, removes, and whole-field text rewrites through the store hook),
+   substring probers hammer the suffix array concurrently, and a
+   compactor relocates rows under everything. Every round ends at a
+   quiescent checkpoint where the text audit runs on top of the
+   structural audit and the counter balances, and the index is diffed
+   against the merged writer models: every live handle's current
+   generation token must match, the flipped generation and every removed
+   handle must miss. A maintenance pass (merge-rebuild on even rounds)
+   then runs and the audit repeats. *)
+(* ------------------------------------------------------------------ *)
+
+module TX = Smc_text.Sa_index
+
+let txt_layout =
+  Layout.create ~name:"stress_txt" [ ("key", Layout.Int); ("txt", Layout.Str 28) ]
+
+(* Generation tokens embed the handle digits at fixed positions, so even a
+   probe racing a word-by-word rewrite (generation flip) can only surface
+   rows of the probed handle: the two generations differ in the letter,
+   never in the digits. *)
+let txt_token gen h = Printf.sprintf "%c%09d" (if gen land 1 = 0 then 'a' else 'b') h
+let txt_text gen h = txt_token gen h ^ " lorem"
+
+let txt_store_text coll (f : Layout.field) r s =
+  let words = Block.string_words f s in
+  Array.iteri
+    (fun i w -> Smc.Collection.store coll r ~word:(f.Layout.word + i) ~value:w)
+    words
+
+(* Same handle discipline as [ix_writer_round], plus a store arm: flipping
+   a live row's text generation drives the [ih_on_store] hook (old arena
+   text must go stale, the new text must surface via the pending log). *)
+let txt_writer_round coll fkey ftxt st gens prng ops errs =
+  for _ = 1 to ops do
+    let d = Smc_util.Prng.int prng 100 in
+    if d < 50 || st.w_n = 0 then begin
+      let h = 1 + st.w_id + (2 * st.w_next) in
+      st.w_next <- st.w_next + 1;
+      let r =
+        Smc.Collection.with_read coll (fun () ->
+            Smc.Collection.add coll ~init:(fun blk slot ->
+                (* text first: a racing prober that sees the key must never
+                   see a half-initialised text field *)
+                Smc.Field.set_string ftxt blk slot (txt_text 0 h);
+                Smc.Field.set_int fkey blk slot h))
+      in
+      Hashtbl.replace st.w_live h (Smc.Ref.to_packed r);
+      Hashtbl.replace gens h 0;
+      w_push st h
+    end
+    else if d < 75 then begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Smc.Ref.of_packed (Hashtbl.find st.w_live h) in
+      let g = 1 - Hashtbl.find gens h in
+      txt_store_text coll ftxt r (txt_text g h);
+      Hashtbl.replace gens h g
+    end
+    else begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Smc.Ref.of_packed (Hashtbl.find st.w_live h) in
+      if not (Smc.Collection.remove coll r) then
+        errs :=
+          Printf.sprintf "text writer %d: remove of live handle %d failed" st.w_id h :: !errs;
+      Hashtbl.remove st.w_live h;
+      w_drop st h
+    end
+  done
+
+(* Prober: substring probes for either generation's token of random
+   handles across the whole range, hitting live, flipped, removed, and
+   never-allocated tokens alike. Every emission passed the index's live
+   text re-check, the key field never changes after init, and the token
+   digits pin the handle — so an emitted row must carry the probed
+   handle. *)
+let txt_prober_round ix fkey ~seed:s ~sweeps ~key_bound errs =
+  let prng = Smc_util.Prng.create ~seed:s () in
+  for _ = 1 to sweeps do
+    for _ = 1 to 100 do
+      let h = 1 + Smc_util.Prng.int prng key_bound in
+      let gen = Smc_util.Prng.int prng 2 in
+      TX.probe ix TX.Substring (txt_token gen h) ~f:(fun _r blk slot ->
+          let k = Smc.Field.get_int fkey blk slot in
+          if k <> h then
+            errs := Printf.sprintf "text prober: token of %d surfaced key %d" h k :: !errs)
+    done;
+    Domain.cpu_relax ()
+  done
+
+let txt_check_merged coll ix (writers : wstate array) gens errs =
+  let expected = Hashtbl.create 1024 in
+  Array.iter
+    (fun (st : wstate) ->
+      Hashtbl.iter
+        (fun h _ -> Hashtbl.replace expected h (Hashtbl.find gens.(st.w_id) h))
+        st.w_live)
+    writers;
+  Hashtbl.iter
+    (fun h g ->
+      if not (TX.contains_match ix TX.Substring (txt_token g h)) then
+        errs :=
+          Printf.sprintf "text checkpoint: live handle %d (gen %d) missing from index" h g
+          :: !errs;
+      if TX.contains_match ix TX.Substring (txt_token (1 - g) h) then
+        errs :=
+          Printf.sprintf "text checkpoint: handle %d matches its flipped generation" h
+          :: !errs)
+    expected;
+  Array.iter
+    (fun st ->
+      for i = 0 to st.w_next - 1 do
+        let h = 1 + st.w_id + (2 * i) in
+        if
+          (not (Hashtbl.mem expected h))
+          && (TX.contains_match ix TX.Substring (txt_token 0 h)
+             || TX.contains_match ix TX.Substring (txt_token 1 h))
+        then
+          errs :=
+            Printf.sprintf "text checkpoint: removed handle %d still matches" h :: !errs
+      done)
+    writers;
+  let total = Hashtbl.length expected in
+  if Smc.Collection.count coll <> total then
+    errs :=
+      Printf.sprintf "text checkpoint: valid_count %d but writers hold %d objects"
+        (Smc.Collection.count coll) total
+      :: !errs
+
+let test_text_churn () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"stress_txt" ~layout:txt_layout ~slots_per_block:128
+      ~reclaim_threshold:0.25 ()
+  in
+  let fkey = Smc.Field.int txt_layout "key" and ftxt = Smc.Field.str txt_layout "txt" in
+  let ix = TX.attach ~name:"stress_txt_by_txt" ~column:"txt" coll in
+  let auditor = Audit.create rt in
+  let writers = [| new_wstate 0; new_wstate 1 |] in
+  let gens = [| Hashtbl.create 512; Hashtbl.create 512 |] in
+  let rounds = 5 in
+  let per_writer = max 150 (iters / 16) in
+  let errs = ref [] in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng =
+            Smc_util.Prng.create ~seed:(subseed (11000 + (100 * round) + st.w_id)) ()
+          in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              txt_writer_round coll fkey ftxt st gens.(st.w_id) prng per_writer local;
+              Epoch.release_current_domain ();
+              !local))
+        writers
+    in
+    let pd =
+      Domain.spawn (fun () ->
+          let local = ref [] in
+          txt_prober_round ix fkey
+            ~seed:(subseed (11500 + round))
+            ~sweeps:(5 + (per_writer / 50))
+            ~key_bound:(2 * per_writer * round) local;
+          Epoch.release_current_domain ();
+          !local)
+    in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round coll.Smc.Collection.ctx 6;
+          Epoch.release_current_domain ())
+    in
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    errs := Domain.join pd @ !errs;
+    Domain.join cd;
+    (* Quiescent checkpoint: structural audit, counter balances, text
+       audit, then the model diff — both directions and both generations. *)
+    audit_quiescent (Printf.sprintf "text-churn round %d" round) auditor rt
+      coll.Smc.Collection.ctx;
+    assert_clean (Printf.sprintf "text audit, round %d" round) (Text_check.check [ ix ]);
+    txt_check_merged coll ix writers gens errs;
+    assert_clean (Printf.sprintf "text-churn checkpoint, round %d" round) !errs;
+    if round mod 2 = 0 then TX.rebuild ix else TX.maintain ix;
+    assert_clean
+      (Printf.sprintf "text audit after maintenance, round %d" round)
+      (Text_check.check [ ix ])
+  done;
+  let s = TX.stats ix in
+  Alcotest.(check bool) "text index populated" true (s.TX.entries > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Persistence under churn: 2 writers churn keys through the Collection
    API with a WAL attached and a compactor relocating rows underneath.
    Every round ends at a quiescent checkpoint where the previous round's
@@ -1191,6 +1381,7 @@ let () =
           qc "queue race: remote frees vs owner recycling (direct)"
             (test_queue_race Context.Direct);
           qc "index churn: writers + probers + compactor" test_index_churn;
+          qc "text churn: writers + substring probers + compactor" test_text_churn;
           qc "persistence: snapshots + WAL recovery under churn" test_persist_under_churn;
           qc "transactions: pair atomicity vs snapshot readers + compactor" test_txn_churn;
           qc "vectorized scans: writers + batch queries + compactor" test_vector_churn;

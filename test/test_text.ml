@@ -1,0 +1,407 @@
+(* Tests for the suffix-array text index and its planner integration:
+   probes validate staleness like the hash index, store hooks re-key
+   through the pending log, merge-rebuilds preserve findability, the
+   planner routes Contains/StartsWith conjuncts onto TextScan, and all
+   four engines answer text predicates identically — including the edge
+   cases (empty needle, over-capacity needle, word-boundary straddles,
+   non-ASCII bytes, Null-bearing computed columns). *)
+
+open Smc_query
+module T = Smc_text.Sa_index
+
+let check = Alcotest.check
+
+let rows_testable =
+  Alcotest.testable
+    (fun fmt rows ->
+      Format.fprintf fmt "%s"
+        (String.concat ";"
+           (List.map
+              (fun row ->
+                String.concat "," (Array.to_list (Array.map Value.to_string row)))
+              rows)))
+    (List.equal (fun a b -> Array.for_all2 Value.equal a b))
+
+let sorted rows = List.sort Stdlib.compare rows
+
+(* ---- fixture -------------------------------------------------------- *)
+
+let mk_coll ?(name = "docs") rt texts =
+  let layout =
+    Smc_offheap.Layout.create ~name
+      [ ("id", Smc_offheap.Layout.Int); ("txt", Smc_offheap.Layout.Str 42) ]
+  in
+  let coll = Smc.Collection.create rt ~name ~layout () in
+  let fid = Smc.Field.int layout "id" and ftxt = Smc.Field.str layout "txt" in
+  let refs =
+    Array.mapi
+      (fun i s ->
+        Smc.Collection.add coll ~init:(fun blk slot ->
+            Smc.Field.set_int fid blk slot i;
+            Smc.Field.set_string ftxt blk slot s))
+      (Array.of_list texts)
+  in
+  (coll, fid, ftxt, refs)
+
+let store_string coll (f : Smc_offheap.Layout.field) r s =
+  let words = Smc_offheap.Block.string_words f s in
+  Array.iteri
+    (fun i w ->
+      Smc.Collection.store coll r ~word:(f.Smc_offheap.Layout.word + i) ~value:w)
+    words
+
+let fixture_texts =
+  [ "alpha wolf"; "alphabet soup"; "beta wolf"; "gamma ray burst"; "delta"; "werewolf" ]
+
+let mem_ref r refs = List.exists (Smc.Ref.equal r) refs
+
+(* ---- Sa_index unit tests -------------------------------------------- *)
+
+let test_probe_basics () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, _, _, refs = mk_coll rt fixture_texts in
+  let ix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  let prefix n = T.probe_refs ix T.Prefix n and sub n = T.probe_refs ix T.Substring n in
+  check Alcotest.int "prefix alpha: 2 rows" 2 (List.length (prefix "alpha"));
+  check Alcotest.bool "alpha wolf found" true (mem_ref refs.(0) (prefix "alpha"));
+  check Alcotest.bool "alphabet found" true (mem_ref refs.(1) (prefix "alpha"));
+  check Alcotest.int "substring wolf: 3 rows" 3 (List.length (sub "wolf"));
+  check Alcotest.bool "werewolf found by substring" true (mem_ref refs.(5) (sub "wolf"));
+  check Alcotest.int "prefix wolf: 0 rows (not a prefix anywhere)" 0
+    (List.length (prefix "wolf"));
+  check Alcotest.int "empty needle matches every row" (List.length fixture_texts)
+    (List.length (sub ""));
+  check Alcotest.int "absent needle" 0 (List.length (sub "zebra"));
+  (* A row with several matching suffixes is emitted once. *)
+  check Alcotest.int "dedup across suffix hits" 1 (List.length (sub "a r"));
+  check (Alcotest.list Alcotest.string) "audit clean" [] (T.audit ix);
+  let st = T.stats ix in
+  check Alcotest.int "entries" (List.length fixture_texts) st.T.entries;
+  check Alcotest.int "pending drained by bulk load" 0 st.T.pending
+
+let test_staleness () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, _, _, refs = mk_coll rt fixture_texts in
+  let ix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  check Alcotest.bool "werewolf matches before remove" true
+    (T.contains_match ix T.Substring "werewolf");
+  ignore (Smc.Collection.remove coll refs.(5));
+  check Alcotest.bool "removed row never resurrects" false
+    (T.contains_match ix T.Substring "werewolf");
+  check Alcotest.int "other rows unaffected" 2
+    (List.length (T.probe_refs ix T.Substring "wolf"));
+  T.rebuild ix;
+  check Alcotest.bool "still gone after rebuild" false
+    (T.contains_match ix T.Substring "werewolf");
+  check (Alcotest.list Alcotest.string) "audit clean after rebuild" [] (T.audit ix)
+
+let test_store_rekey () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, _, ftxt, refs = mk_coll rt fixture_texts in
+  let ix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  store_string coll ftxt refs.(4) "epsilon horizon";
+  (* The old arena entry must read as stale via the text re-check, and the
+     new text must be findable straight from the pending log. *)
+  check Alcotest.bool "old text misses after store" false
+    (T.contains_match ix T.Substring "delta");
+  check Alcotest.bool "new text hits from the pending log" true
+    (T.contains_match ix T.Substring "horizon");
+  check (Alcotest.list Alcotest.string) "audit clean with pending entries" []
+    (T.audit ix);
+  T.rebuild ix;
+  check Alcotest.bool "new text survives the merge-rebuild" true
+    (T.contains_match ix T.Substring "horizon");
+  check Alcotest.bool "old text still gone" false (T.contains_match ix T.Substring "delta");
+  check (Alcotest.list Alcotest.string) "audit clean after rebuild" [] (T.audit ix)
+
+let test_churn_rebuild () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, fid, ftxt, _ = mk_coll rt fixture_texts in
+  let ix = T.attach ~churn_limit:3 ~name:"by_txt" ~column:"txt" coll in
+  for i = 0 to 9 do
+    ignore
+      (Smc.Collection.add coll ~init:(fun blk slot ->
+           Smc.Field.set_int fid blk slot (100 + i);
+           Smc.Field.set_string ftxt blk slot (Printf.sprintf "extra row %d here" i)))
+  done;
+  (* With a churn limit of 3, ten appends force merges: the pending log
+     cannot have accumulated all of them. *)
+  let st = T.stats ix in
+  check Alcotest.bool "pending bounded by churn limit" true (st.T.pending <= 3);
+  check Alcotest.int "all rows indexed" (List.length fixture_texts + 10)
+    (List.length (T.probe_refs ix T.Substring ""));
+  check Alcotest.int "appended rows findable" 10
+    (List.length (T.probe_refs ix T.Substring "extra row"));
+  check (Alcotest.list Alcotest.string) "audit clean" [] (T.audit ix)
+
+let test_top_k_similar () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, _, _, refs =
+    mk_coll rt [ "the quick brown fox"; "the quick brown cat"; "slow green turtle" ]
+  in
+  let ix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  (match T.top_k_similar ix ~k:2 "the quick brown fox" with
+  | (r, s1) :: rest ->
+    check Alcotest.bool "best match is the identical row" true (Smc.Ref.equal r refs.(0));
+    check Alcotest.bool "positive score" true (s1 > 0);
+    (match rest with
+    | [ (r2, s2) ] ->
+      check Alcotest.bool "runner-up is the near-duplicate" true
+        (Smc.Ref.equal r2 refs.(1));
+      check Alcotest.bool "scores ordered" true (s1 >= s2)
+    | _ -> Alcotest.fail "expected exactly two results")
+  | [] -> Alcotest.fail "no similarity results");
+  check Alcotest.int "k bounds the result" 1
+    (List.length (T.top_k_similar ix ~k:1 "quick brown"))
+
+let test_attach_detach () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, fid, ftxt, _ = mk_coll rt fixture_texts in
+  let ix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  check Alcotest.string "name" "by_txt" (T.name ix);
+  check Alcotest.string "column" "txt" (T.column ix);
+  (match T.attach ~name:"by_txt" ~column:"txt" coll with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate name must be rejected");
+  (match T.attach ~name:"by_id" ~column:"id" coll with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-string column must be rejected");
+  T.detach ix;
+  ignore
+    (Smc.Collection.add coll ~init:(fun blk slot ->
+         Smc.Field.set_int fid blk slot 999;
+         Smc.Field.set_string ftxt blk slot "post-detach row"));
+  check Alcotest.bool "detached index is frozen" false
+    (T.contains_match ix T.Substring "post-detach")
+
+(* ---- planner -------------------------------------------------------- *)
+
+let mk_src ?(with_text = true) rt texts =
+  let coll, fid, ftxt, refs = mk_coll rt texts in
+  let tix = if with_text then Some (T.attach ~name:"by_txt" ~column:"txt" coll) else None in
+  let src =
+    Source.of_smc coll
+      ?text_indexes:(Option.map (fun ix -> [ ("txt", ix) ]) tix)
+      ~columns:[ ("id", Source.C_int fid); ("txt", Source.C_str ftxt) ]
+  in
+  (src, coll, fid, ftxt, refs)
+
+let test_planner_rewrites () =
+  let rt = Smc_offheap.Runtime.create () in
+  let src, _, _, _, _ = mk_src rt fixture_texts in
+  let plan = Plan.(where Expr.(Contains (Col "txt", "wolf")) (scan src)) in
+  let p = Planner.choose_access_paths plan in
+  check Alcotest.bool "Contains routed to TextScan" true (Planner.uses_index p);
+  (match p with
+  | Plan.Where (_, Plan.TextScan { op = T.Substring; needle = "wolf"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Where over TextScan(Substring)");
+  let pre = Plan.(where Expr.(StartsWith (Col "txt", "alpha")) (scan src)) in
+  (match Planner.choose_access_paths pre with
+  | Plan.Where (_, Plan.TextScan { op = T.Prefix; needle = "alpha"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Where over TextScan(Prefix)");
+  (* Inside an And tree, with the whole predicate kept residual. *)
+  let conj =
+    Plan.(
+      where Expr.(And (Ge (Col "id", int 0), Contains (Col "txt", "wolf"))) (scan src))
+  in
+  (match Planner.choose_access_paths conj with
+  | Plan.Where (Expr.And _, Plan.TextScan _) -> ()
+  | _ -> Alcotest.fail "conjunct routing must keep the whole predicate residual");
+  (* The empty needle matches everything: routing it would be a slower
+     full scan, so the plan stays as written. *)
+  let empty = Plan.(where Expr.(Contains (Col "txt", "")) (scan src)) in
+  check Alcotest.bool "empty needle not routed" false
+    (Planner.uses_index (Planner.choose_access_paths empty));
+  (* No advertised text index: no rewrite. *)
+  let rt2 = Smc_offheap.Runtime.create () in
+  let bare, _, _, _, _ = mk_src ~with_text:false rt2 fixture_texts in
+  let plain = Plan.(where Expr.(Contains (Col "txt", "wolf")) (scan bare)) in
+  check Alcotest.bool "no text index, no rewrite" false
+    (Planner.uses_index (Planner.choose_access_paths plain));
+  (* text_scan smart constructor validates the column. *)
+  (match Plan.text_scan src ~column:"id" ~op:T.Substring ~needle:"x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "text_scan over an unindexed column must be rejected")
+
+let test_equality_wins () =
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, fid, ftxt, _ = mk_coll rt fixture_texts in
+  let hix =
+    Smc_index.Hash_index.attach ~name:"by_id"
+      ~key:(Smc_index.Hash_index.Int_key (Smc.Field.get_int fid))
+      coll
+  in
+  let tix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  let src =
+    Source.of_smc coll
+      ~indexes:[ ("id", hix) ]
+      ~text_indexes:[ ("txt", tix) ]
+      ~columns:[ ("id", Source.C_int fid); ("txt", Source.C_str ftxt) ]
+  in
+  let plan =
+    Plan.(
+      where Expr.(And (Contains (Col "txt", "wolf"), Eq (Col "id", int 0))) (scan src))
+  in
+  (match Planner.choose_access_paths plan with
+  | Plan.Where (_, Plan.IndexScan _) -> ()
+  | _ -> Alcotest.fail "equality conjunct must win over the text conjunct")
+
+(* ---- four-engine parity --------------------------------------------- *)
+
+let all_engines name plan =
+  let reference = sorted (Interp.collect plan) in
+  List.iter
+    (fun (engine, collect) ->
+      check rows_testable
+        (Printf.sprintf "%s: %s agrees with Volcano" name engine)
+        reference
+        (sorted (collect plan)))
+    [
+      ("Fuse", Fuse.collect);
+      ("Vector", fun p -> Vector.collect p);
+      ("Compiled", Codegen.collect);
+    ];
+  reference
+
+let parity_case name ?(expect : int option) pred =
+  let rt = Smc_offheap.Runtime.create () in
+  let texts =
+    [
+      "alpha wolf";
+      "alphabet";
+      "s\xc3\xa9ance caf\xc3\xa9";  (* non-ASCII bytes *)
+      "boundary7x straddle";  (* 'x' sits at the 7-byte word seam *)
+      "";
+      "exactly42bytes-0123456789012345678901234567";
+    ]
+  in
+  let src, _, _, _, _ = mk_src rt texts in
+  let plan = Plan.(where pred (scan src)) in
+  let scan_rows = all_engines (name ^ " (scan)") plan in
+  let routed = Planner.choose_access_paths plan in
+  let idx_rows = all_engines (name ^ " (routed)") routed in
+  check rows_testable (name ^ ": routed plan matches scan plan") scan_rows idx_rows;
+  Option.iter (fun n -> check Alcotest.int (name ^ ": row count") n (List.length scan_rows)) expect
+
+let test_parity_empty_needle () =
+  parity_case "empty needle" ~expect:6 Expr.(Contains (Col "txt", ""));
+  parity_case "empty prefix" ~expect:6 Expr.(StartsWith (Col "txt", ""))
+
+let test_parity_over_capacity () =
+  let long = String.make 60 'a' in
+  parity_case "needle over field capacity" ~expect:0 Expr.(Contains (Col "txt", long));
+  parity_case "prefix over field capacity" ~expect:0 Expr.(StartsWith (Col "txt", long))
+
+let test_parity_word_boundary () =
+  (* "boundary7x": bytes 0-6 fill packed word 0, "7x…" spills into word 1 —
+     both needles straddle the seam. *)
+  parity_case "substring across the word seam" ~expect:1
+    Expr.(Contains (Col "txt", "ary7x s"));
+  parity_case "prefix across the word seam" ~expect:1
+    Expr.(StartsWith (Col "txt", "boundary7x"))
+
+let test_parity_non_ascii () =
+  parity_case "non-ASCII needle" ~expect:1 Expr.(Contains (Col "txt", "caf\xc3\xa9"));
+  parity_case "non-ASCII prefix" ~expect:1 Expr.(StartsWith (Col "txt", "s\xc3\xa9"))
+
+let test_parity_null_column () =
+  (* A computed column that is Null on odd ids: the scalar engines coerce
+     Null via [Value.to_string] = "null", and every engine must agree. *)
+  let rt = Smc_offheap.Runtime.create () in
+  let coll, fid, ftxt, _ = mk_coll rt fixture_texts in
+  let src =
+    Source.of_smc coll
+      ~columns:
+        [
+          ("id", Source.C_int fid);
+          ( "maybe",
+            Source.C_fn
+              (fun blk slot ->
+                if Smc.Field.get_int fid blk slot mod 2 = 0 then
+                  Value.Str (Smc.Field.get_string ftxt blk slot)
+                else Value.Null) );
+        ]
+  in
+  let rows =
+    all_engines "Null column Contains"
+      Plan.(where Expr.(Contains (Col "maybe", "null")) (scan src))
+  in
+  check Alcotest.int "Null rows match the literal \"null\"" 3 (List.length rows);
+  let rows =
+    all_engines "Null column StartsWith"
+      Plan.(where Expr.(StartsWith (Col "maybe", "alpha")) (scan src))
+  in
+  check Alcotest.int "only the even alpha row matches" 1 (List.length rows)
+
+(* ---- packed-word field predicates ----------------------------------- *)
+
+let test_field_predicates () =
+  let rt = Smc_offheap.Runtime.create () in
+  let texts =
+    [
+      "";
+      "a";
+      "abcdefg";  (* exactly one packed word *)
+      "abcdefgh";  (* one byte into the second word *)
+      "abcdefghijklmn";  (* exactly two packed words *)
+      "s\xc3\xa9ance caf\xc3\xa9";
+      "exactly42bytes-0123456789012345678901234567";
+      "nul\x01control";
+    ]
+  in
+  let coll, _, ftxt, _ = mk_coll rt texts in
+  let needles =
+    [
+      ""; "a"; "ab"; "abcdefg"; "abcdefgh"; "abcdefghijklmn"; "bcdefgh"; "fgh"; "hij";
+      "caf\xc3\xa9"; "\xc3\xa9"; "42bytes"; "7"; "zzz"; "abcdefgz";
+      String.make 43 'a'; "bad\x00nul";
+    ]
+  in
+  List.iter
+    (fun needle ->
+      let pre = Smc.Field.string_prefix ftxt needle in
+      let con = Smc.Field.string_contains ftxt needle in
+      let nul_free = not (String.contains needle '\000') in
+      Smc.Collection.with_read coll (fun () ->
+          Smc.Collection.iter coll ~f:(fun blk slot ->
+              let s = Smc.Field.get_string ftxt blk slot in
+              let want_pre = nul_free && String.starts_with ~prefix:needle s in
+              let want_con =
+                nul_free && Smc_query.Expr.string_contains ~needle s
+              in
+              check Alcotest.bool
+                (Printf.sprintf "string_prefix %S on %S" needle s)
+                want_pre (pre blk slot);
+              check Alcotest.bool
+                (Printf.sprintf "string_contains %S on %S" needle s)
+                want_con (con blk slot))))
+    needles
+
+let () =
+  Alcotest.run "smc_text"
+    [
+      ( "sa_index",
+        [
+          Alcotest.test_case "probe basics" `Quick test_probe_basics;
+          Alcotest.test_case "staleness never resurrects" `Quick test_staleness;
+          Alcotest.test_case "store re-keys via pending" `Quick test_store_rekey;
+          Alcotest.test_case "churn limit forces merges" `Quick test_churn_rebuild;
+          Alcotest.test_case "top-k similarity" `Quick test_top_k_similar;
+          Alcotest.test_case "attach/detach" `Quick test_attach_detach;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "Contains/StartsWith routing" `Quick test_planner_rewrites;
+          Alcotest.test_case "equality conjunct wins" `Quick test_equality_wins;
+        ] );
+      ( "parity",
+        [
+          Alcotest.test_case "empty needle" `Quick test_parity_empty_needle;
+          Alcotest.test_case "needle over capacity" `Quick test_parity_over_capacity;
+          Alcotest.test_case "word-boundary straddle" `Quick test_parity_word_boundary;
+          Alcotest.test_case "non-ASCII bytes" `Quick test_parity_non_ascii;
+          Alcotest.test_case "Null computed column" `Quick test_parity_null_column;
+        ] );
+      ( "field",
+        [ Alcotest.test_case "packed-word predicates" `Quick test_field_predicates ] );
+    ]
