@@ -240,6 +240,34 @@ let run_text quick rows =
     exit 1
   end
 
+(* Materialized views, doubling as the view-maintenance self-check: the
+   experiment verifies ViewRead plans return the GroupBy scan plans' exact
+   rows on all four engines after every churn phase (bare ops,
+   transactional batches, a WAL crash-recovery replay into a fresh view),
+   gates the repeated-read workload on a speedup floor, and finishes with
+   the view audit plus the runtime audit/balance sweeps on both runtimes —
+   violations are fatal, like [run_index]. *)
+let run_matview quick rows =
+  meta_bool "quick" quick;
+  meta_int "rows" rows;
+  let rows = if quick then min rows 50_000 else rows in
+  let points, violations = E.Matview_bench.run ~rows () in
+  print_table (E.Matview_bench.table points);
+  List.iter
+    (fun (p : E.Matview_bench.point) ->
+      if not p.E.Matview_bench.identical then
+        prerr_endline
+          (Printf.sprintf "view plan result mismatch: %s/%s" p.E.Matview_bench.phase
+             p.E.Matview_bench.engine))
+    points;
+  if
+    violations <> []
+    || List.exists (fun (p : E.Matview_bench.point) -> not p.E.Matview_bench.identical) points
+  then begin
+    prerr_endline (Smc_check.Audit.report violations);
+    exit 1
+  end
+
 (* Persistence throughput, doubling as the durability self-check: the
    recovered collection must pass the full audit sweep and answer Q1/Q6
    bit-identically to the original — violations are fatal, like
@@ -439,6 +467,16 @@ let text_cmd =
      and audits are fatal)"
     Term.(const (fun quick rows () -> run_text quick rows) $ quick_arg $ text_rows_arg)
 
+let mv_rows_arg =
+  let doc = "Row count for the materialized-view comparison." in
+  Arg.(value & opt int 1_000_000 & info [ "rows" ] ~docv:"N" ~doc)
+
+let matview_cmd =
+  cmd "matview"
+    "Incremental materialized views vs re-aggregation (self-checking: parity \
+     mismatches and audits are fatal)"
+    Term.(const (fun quick rows () -> run_matview quick rows) $ quick_arg $ mv_rows_arg)
+
 let dir_arg =
   let doc =
     "Directory to keep the snapshot/WAL artifacts in (default: a temporary \
@@ -481,7 +519,7 @@ let () =
       [
         fig6_cmd; fig7_cmd; fig8_cmd; fig9_cmd; fig10_cmd; fig11_cmd; fig12_cmd; fig13_cmd;
         linq_cmd; ext_cmd; qscale_cmd; ablations_cmd; stats_cmd; index_cmd; text_cmd;
-        persist_cmd; vectorized_cmd; shard_cmd; all_cmd;
+        matview_cmd; persist_cmd; vectorized_cmd; shard_cmd; all_cmd;
       ]
   in
   exit (Cmd.eval group)

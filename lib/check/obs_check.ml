@@ -96,6 +96,14 @@ let check (rt : Runtime.t) ~(contexts : Context.t list) =
       (g Smc_obs.c_txt_candidates)
       (g Smc_obs.c_txt_hits + g Smc_obs.c_txt_stale + g Smc_obs.c_txt_misses
      + g Smc_obs.c_txt_dups);
+    (* Every materialized-view delta comes from exactly one mutation kind,
+       and every view read is answered exactly one way: entirely from
+       maintained state, or with a re-scan/re-derivation. *)
+    eq "view delta balance (deltas applied = adds + removes + stores)"
+      (g Smc_obs.c_mv_applied)
+      (g Smc_obs.c_mv_adds + g Smc_obs.c_mv_removes + g Smc_obs.c_mv_stores);
+    eq "view read balance (reads = hits + rescans)" (g Smc_obs.c_mv_reads)
+      (g Smc_obs.c_mv_hits + g Smc_obs.c_mv_rescans);
     List.rev !out
   end
 

@@ -30,13 +30,14 @@ type t = {
   ctx : Context.t;
   rt : Runtime.t;
   mutable hooks : index_hook list;
+  mutable view_names : string list;
   mutable wal : wal_hook option;
   txn_lock : Mutex.t;
 }
 
 let create rt ~name ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () =
   let ctx = Context.create rt ~layout ?placement ?mode ?slots_per_block ?reclaim_threshold () in
-  { name; layout; ctx; rt; hooks = []; wal = None; txn_lock = Mutex.create () }
+  { name; layout; ctx; rt; hooks = []; view_names = []; wal = None; txn_lock = Mutex.create () }
 
 let add t ~init =
   let packed = Context.alloc t.ctx in
@@ -125,12 +126,49 @@ let attach_index t hook =
   t.hooks <- hook :: t.hooks
 
 let detach_index t name =
+  if List.exists (String.equal name) t.view_names then
+    invalid_arg
+      (Printf.sprintf "Collection.detach_index: %S is a materialized view on %S (use \
+                       detach_view)" name t.name);
   if not (List.exists (fun h -> String.equal h.ih_name name) t.hooks) then
     invalid_arg
       (Printf.sprintf "Collection.detach_index: no index %S attached to %S" name t.name);
   t.hooks <- List.filter (fun h -> not (String.equal h.ih_name name)) t.hooks
 
-let index_names t = List.rev_map (fun h -> h.ih_name) t.hooks
+let index_names t =
+  List.rev
+    (List.filter_map
+       (fun h ->
+         if List.exists (String.equal h.ih_name) t.view_names then None else Some h.ih_name)
+       t.hooks)
+
+(* Materialized views ride the same hook registry as indexes — same firing
+   points, same exactly-once contract — but are tracked by name so the two
+   attachment namespaces cannot detach each other's hooks. *)
+let attach_view t hook =
+  (match t.ctx.Context.mode with
+  | Context.Direct ->
+      invalid_arg
+        (Printf.sprintf
+           "Collection.attach_view: collection %S uses direct references; \
+            views require indirect mode (refs stable across compaction)"
+           t.name)
+  | Context.Indirect -> ());
+  if List.exists (fun h -> String.equal h.ih_name hook.ih_name) t.hooks then
+    invalid_arg
+      (Printf.sprintf "Collection.attach_view: hook %S already attached to %S" hook.ih_name
+         t.name);
+  t.hooks <- hook :: t.hooks;
+  t.view_names <- hook.ih_name :: t.view_names
+
+let detach_view t name =
+  if not (List.exists (String.equal name) t.view_names) then
+    invalid_arg
+      (Printf.sprintf "Collection.detach_view: no view %S attached to %S" name t.name);
+  t.view_names <- List.filter (fun n -> not (String.equal n name)) t.view_names;
+  t.hooks <- List.filter (fun h -> not (String.equal h.ih_name name)) t.hooks
+
+let view_hook_names t = List.rev t.view_names
 
 let attach_wal t hook =
   (match t.ctx.Context.mode with

@@ -62,6 +62,9 @@ type t = {
   ctx : Smc_offheap.Context.t;
   rt : Smc_offheap.Runtime.t;
   mutable hooks : index_hook list;
+  mutable view_names : string list;
+      (** hook names registered through {!attach_view} (newest first) —
+          the same registry as indexes, partitioned by name *)
   mutable wal : wal_hook option;
   txn_lock : Mutex.t;
       (** serialises transaction commits and view-frontier reads; never
@@ -117,7 +120,24 @@ val detach_index : t -> string -> unit
     Raises [Invalid_argument] if no such index is attached. *)
 
 val index_names : t -> string list
-(** Names of currently attached indexes, in attachment order. *)
+(** Names of currently attached indexes, in attachment order. Hooks
+    registered through {!attach_view} are excluded. *)
+
+val attach_view : t -> index_hook -> unit
+(** Registers a materialized view's maintenance hooks. Views share the
+    index hook registry — every mutation path that fires index hooks fires
+    view hooks at the same points, exactly once per published op — but are
+    tracked by name in a separate namespace: {!detach_index} refuses to
+    remove a view and vice versa. Same quiescent-point and indirect-mode
+    requirements as {!attach_index}; raises [Invalid_argument] on a
+    duplicate hook name (across indexes and views). *)
+
+val detach_view : t -> string -> unit
+(** Unregisters the named view's hooks (quiescent-point operation).
+    Raises [Invalid_argument] if no such view is attached. *)
+
+val view_hook_names : t -> string list
+(** Names of currently attached materialized views, in attachment order. *)
 
 val attach_wal : t -> wal_hook -> unit
 (** Registers a write-ahead log's redo callbacks so every {!add}/{!remove}

@@ -102,6 +102,15 @@ let c_txt_misses = 81 (* live candidates whose current text no longer matches *)
 let c_txt_dups = 82 (* candidates suppressed by per-probe deduplication *)
 let c_txt_rebuilds = 83 (* suffix-array merge-rebuilds *)
 let c_txt_dropped = 84 (* entries dropped (stale/dead) by rebuilds *)
+let c_mv_builds = 85 (* materialized-view full builds (attach + invalidation recovery) *)
+let c_mv_adds = 86 (* +delta applications from row adds *)
+let c_mv_removes = 87 (* -delta applications from row removes *)
+let c_mv_stores = 88 (* remove+add delta applications from in-place stores *)
+let c_mv_applied = 89 (* total deltas applied (= adds + removes + stores) *)
+let c_mv_reads = 90 (* view read operations *)
+let c_mv_hits = 91 (* reads served entirely from maintained state *)
+let c_mv_rescans = 92 (* reads that re-derived dirty groups by bounded re-scan *)
+let c_mv_invalidations = 93 (* whole-view invalidations (non-incrementalizable delta) *)
 
 let all =
   [|
@@ -190,6 +199,15 @@ let all =
     ("txt_dups", c_txt_dups);
     ("txt_rebuilds", c_txt_rebuilds);
     ("txt_dropped", c_txt_dropped);
+    ("mv_builds", c_mv_builds);
+    ("mv_adds", c_mv_adds);
+    ("mv_removes", c_mv_removes);
+    ("mv_stores", c_mv_stores);
+    ("mv_applied", c_mv_applied);
+    ("mv_reads", c_mv_reads);
+    ("mv_hits", c_mv_hits);
+    ("mv_rescans", c_mv_rescans);
+    ("mv_invalidations", c_mv_invalidations);
   |]
 
 let n_counters = Array.length all

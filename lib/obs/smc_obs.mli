@@ -94,6 +94,15 @@ val c_txt_misses : int
 val c_txt_dups : int
 val c_txt_rebuilds : int
 val c_txt_dropped : int
+val c_mv_builds : int
+val c_mv_adds : int
+val c_mv_removes : int
+val c_mv_stores : int
+val c_mv_applied : int
+val c_mv_reads : int
+val c_mv_hits : int
+val c_mv_rescans : int
+val c_mv_invalidations : int
 
 val n_counters : int
 val name : int -> string

@@ -611,7 +611,16 @@ let replay_wal (coll : Smc.Collection.t) ~path ~cut =
         Indirection.free ind ~tid minted
       end;
       Indirection.set_ptr ind entry (Constants.pack_ptr ~block:blk.Block.id ~slot);
-      Indirection.set_inc_word ind entry (inc land Constants.inc_mask)
+      Indirection.set_inc_word ind entry (inc land Constants.inc_mask);
+      (* Same firing point as the live add path: fields initialised, the
+         logged identity rewired. [restore] replays before any index is
+         reattached, so there the list is empty; a caller that attaches
+         hooks first (view replay-on-recovery) sees each op exactly once. *)
+      (match coll.Smc.Collection.hooks with
+      | [] -> ()
+      | hooks ->
+        let r = Smc.Ref.of_packed (Constants.pack_ref ~entry ~inc) in
+        List.iter (fun h -> h.Smc.Collection.ih_on_add r blk slot) hooks)
   in
   let apply_remove ~lsn entry inc =
     let packed = Constants.pack_ref ~entry ~inc in
@@ -632,7 +641,13 @@ let replay_wal (coll : Smc.Collection.t) ~path ~cut =
         BA1.set blk.Block.backptr slot Constants.null_ref;
         ignore (Atomic.fetch_and_add blk.Block.limbo_count (-1) : int);
         Smc_obs.incr rt.Runtime.obs Smc_obs.c_slot_recycles
-      end
+      end;
+      (* After the free, like the live remove path (lazy staleness). *)
+      (match coll.Smc.Collection.hooks with
+      | [] -> ()
+      | hooks ->
+        let r = Smc.Ref.of_packed packed in
+        List.iter (fun h -> h.Smc.Collection.ih_on_remove r) hooks)
   in
   let apply_store ~lsn entry inc word value =
     let packed = Constants.pack_ref ~entry ~inc in
@@ -642,7 +657,12 @@ let replay_wal (coll : Smc.Collection.t) ~path ~cut =
     | Some (blk, slot) ->
       if word < 0 || word >= sw then
         Pio.corrupt "%s: record %d stores outside the layout (word %d)" what lsn word;
-      Block.set_word blk ~slot ~word value
+      Block.set_word blk ~slot ~word value;
+      (match coll.Smc.Collection.hooks with
+      | [] -> ()
+      | hooks ->
+        let r = Smc.Ref.of_packed packed in
+        List.iter (fun h -> h.Smc.Collection.ih_on_store r ~word) hooks)
   in
   let applied = ref 0 in
   let apply_op ~lsn record =

@@ -80,6 +80,19 @@ type restored = {
   r_torn_dropped : int;  (** torn final WAL records discarded (0 or 1) *)
 }
 
+val replay_wal : Smc.Collection.t -> path:string -> cut:int -> int * int
+(** Replays the log tail (records at or after LSN [cut]; [cut = -1] means
+    the log's base) over the collection, applying bare records directly
+    and transaction frames atomically on their commit record — an
+    unterminated or orphaned frame is discarded as a unit. Every applied
+    op fires the collection's attached index/view hooks exactly once, at
+    the same points as the live mutation paths, so maintenance structures
+    attached {e before} the replay stay current through it; {!restore}
+    replays before reattaching indexes, so its replay fires none. Returns
+    [(applied, torn_dropped)]. Raises {!Pio.Corrupt} on mid-log corruption
+    or a snapshot/log gap. Single-threaded recovery use only: no
+    concurrent mutators, probes or compaction. *)
+
 val restore : ?wal:string -> path:string -> unit -> restored
 (** Reads the image back into a fresh runtime and collection: blocks are
     rebuilt with their object stores, slot directories and incarnation

@@ -42,6 +42,7 @@ type leaf =
   | L_scan of Source.t
   | L_probe of Source.index_info * Value.t
   | L_text of Source.text_info * Smc_text.Sa_index.op * string
+  | L_view of Source.matview_info
 
 let indent n = String.make (2 * n) ' '
 
@@ -121,6 +122,8 @@ let render plan =
         v (g x) v (g lo) v (g hi)
     | Expr.Contains (a, needle) ->
       Printf.sprintf "(V.Bool (string_contains ~needle:%S (str_of %s)))" needle (g a)
+    | Expr.ContainsCI (a, needle) ->
+      Printf.sprintf "(V.Bool (string_contains_ci ~needle:%S (str_of %s)))" needle (g a)
     | Expr.StartsWith (a, prefix) ->
       Printf.sprintf "(V.Bool (starts_with %S (str_of %s)))" prefix (g a)
   in
@@ -163,8 +166,21 @@ let render plan =
       let row = fresh "row" in
       line depth "(* text scan %s.%s via %s (%s): suffix-array probe, hits"
         src.Source.name text.Source.tx_column text.Source.tx_name
-        (match op with Smc_text.Sa_index.Prefix -> "prefix" | Smc_text.Sa_index.Substring -> "substring");
+        (match op with
+        | Smc_text.Sa_index.Prefix -> "prefix"
+        | Smc_text.Sa_index.Substring -> "substring"
+        | Smc_text.Sa_index.Substring_ci -> "substring-ci");
       line depth "   incarnation-validated and text-re-checked *)";
+      line depth "Array.get sources %d (fun %s ->" i row;
+      k (depth + 1) row;
+      line (depth + 1) "());"
+    | Plan.ViewRead { src; matview } ->
+      (* The maintained view result is a host-side closure like the other
+         leaves; only the view's identity shapes the rendered plan. *)
+      let i = add_leaf (L_view matview) in
+      let row = fresh "row" in
+      line depth "(* view read %s.%s: maintained aggregate groups, O(groups) *)"
+        src.Source.name matview.Source.mv_name;
       line depth "Array.get sources %d (fun %s ->" i row;
       k (depth + 1) row;
       line (depth + 1) "());"
@@ -361,6 +377,26 @@ let assemble ~digest ~limit_exns body =
   add "    go 0";
   add "  end";
   add "";
+  add "let lower_byte c =";
+  add "  if c >= 'A' && c <= 'Z' then Char.unsafe_chr (Char.code c + 32) else c";
+  add "";
+  add "let string_contains_ci ~needle haystack =";
+  add "  let n = String.length needle and h = String.length haystack in";
+  add "  if n = 0 then true";
+  add "  else begin";
+  add "    let at i =";
+  add "      let rec go j =";
+  add "        j >= n";
+  add "        || (lower_byte (String.unsafe_get haystack (i + j))";
+  add "              = lower_byte (String.unsafe_get needle j)";
+  add "           && go (j + 1))";
+  add "      in";
+  add "      go 0";
+  add "    in";
+  add "    let rec go i = i + n <= h && (at i || go (i + 1)) in";
+  add "    go 0";
+  add "  end";
+  add "";
   add "let starts_with prefix s =";
   add "  let n = String.length prefix in";
   add "  String.length s >= n";
@@ -524,7 +560,8 @@ let rec plan_obs plan =
   let src_obs (s : Source.t) = s.Source.obs in
   match plan with
   | Plan.Scan s -> src_obs s
-  | Plan.IndexScan { src; _ } | Plan.TextScan { src; _ } -> src_obs src
+  | Plan.IndexScan { src; _ } | Plan.TextScan { src; _ } | Plan.ViewRead { src; _ } ->
+    src_obs src
   | Plan.Where (_, p) | Plan.Select (_, p) | Plan.OrderBy (_, p) | Plan.Limit (_, p)
   | Plan.Distinct p ->
     plan_obs p
@@ -538,6 +575,7 @@ let leaf_closure = function
   | L_scan src -> src.Source.scan
   | L_probe (index, value) -> fun emit -> index.Source.ix_probe value emit
   | L_text (text, op, needle) -> fun emit -> text.Source.tx_probe op needle emit
+  | L_view matview -> matview.Source.mv_read
 
 let prepare plan =
   let obs = plan_obs plan in
@@ -582,7 +620,7 @@ let collect plan =
   List.rev !out
 
 let rec operator_count = function
-  | Plan.Scan _ | Plan.IndexScan _ | Plan.TextScan _ -> 1
+  | Plan.Scan _ | Plan.IndexScan _ | Plan.TextScan _ | Plan.ViewRead _ -> 1
   | Plan.Where (_, p) | Plan.Select (_, p) | Plan.OrderBy (_, p) | Plan.Limit (_, p)
   | Plan.Distinct p ->
     1 + operator_count p

@@ -17,6 +17,7 @@ type t =
   | Not of t
   | Between of t * t * t
   | Contains of t * string
+  | ContainsCI of t * string
   | StartsWith of t * string
 
 let int n = Const (Value.Int n)
@@ -44,6 +45,29 @@ let string_contains ~needle haystack =
       let rec go j =
         j >= n
         || (String.unsafe_get haystack (i + j) = String.unsafe_get needle j && go (j + 1))
+      in
+      go 0
+    in
+    let rec go i = i + n <= h && (at i || go (i + 1)) in
+    go 0
+  end
+
+(* ASCII-case-insensitive substring test, same allocation-free shape:
+   both sides are folded byte-wise through [A-Z] -> [a-z]. Bytes outside
+   ASCII are compared verbatim (no locale/Unicode folding). *)
+let lower_byte c =
+  if c >= 'A' && c <= 'Z' then Char.unsafe_chr (Char.code c + 32) else c
+
+let string_contains_ci ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  if n = 0 then true
+  else begin
+    let at i =
+      let rec go j =
+        j >= n
+        || (lower_byte (String.unsafe_get haystack (i + j))
+              = lower_byte (String.unsafe_get needle j)
+           && go (j + 1))
       in
       go 0
     in
@@ -107,6 +131,12 @@ let rec compile ~schema expr =
       (match fa row with
       | Value.Str s -> Value.Bool (string_contains ~needle s)
       | v -> Value.Bool (string_contains ~needle (Value.to_string v)))
+  | ContainsCI (a, needle) ->
+    let fa = compile ~schema a in
+    fun row ->
+      (match fa row with
+      | Value.Str s -> Value.Bool (string_contains_ci ~needle s)
+      | v -> Value.Bool (string_contains_ci ~needle (Value.to_string v)))
   | StartsWith (a, prefix) ->
     let fa = compile ~schema a in
     fun row ->
@@ -138,6 +168,7 @@ let rec to_string = function
   | Between (x, lo, hi) ->
     Printf.sprintf "(%s between %s and %s)" (to_string x) (to_string lo) (to_string hi)
   | Contains (a, s) -> Printf.sprintf "(%s contains %S)" (to_string a) s
+  | ContainsCI (a, s) -> Printf.sprintf "(%s contains_ci %S)" (to_string a) s
   | StartsWith (a, s) -> Printf.sprintf "(%s starts_with %S)" (to_string a) s
 
 let columns expr =
@@ -150,7 +181,7 @@ let columns expr =
     | And (a, b) | Or (a, b) ->
       go a;
       go b
-    | Neg a | Not a | Contains (a, _) | StartsWith (a, _) -> go a
+    | Neg a | Not a | Contains (a, _) | ContainsCI (a, _) | StartsWith (a, _) -> go a
     | Between (x, lo, hi) ->
       go x;
       go lo;

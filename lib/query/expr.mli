@@ -23,6 +23,7 @@ type t =
   | Not of t
   | Between of t * t * t  (** inclusive *)
   | Contains of t * string  (** SQL LIKE '%s%' *)
+  | ContainsCI of t * string  (** ASCII-case-insensitive [Contains] *)
   | StartsWith of t * string
 
 val int : int -> t
@@ -41,6 +42,11 @@ val string_contains : needle:string -> string -> bool
 
 val string_starts_with : prefix:string -> string -> bool
 (** Allocation-free prefix test ([StartsWith] semantics). *)
+
+val string_contains_ci : needle:string -> string -> bool
+(** ASCII-case-insensitive {!string_contains} ([ContainsCI] semantics):
+    bytes in [A-Z] fold to [a-z] on both sides, everything else compares
+    verbatim — no locale or Unicode case folding. *)
 
 val compile : schema:string array -> t -> Value.t array -> Value.t
 (** Raises [Invalid_argument] for unknown columns. *)

@@ -9,6 +9,7 @@ let rec compile plan =
   | Plan.IndexScan { index; value; _ } -> fun emit -> index.Source.ix_probe value emit
   | Plan.TextScan { text; op; needle; _ } ->
     fun emit -> text.Source.tx_probe op needle emit
+  | Plan.ViewRead { matview; _ } -> fun emit -> matview.Source.mv_read emit
   | Plan.Where (pred, input) ->
     let upstream = compile input in
     let test = Expr.compile_pred ~schema:(Plan.schema input) pred in

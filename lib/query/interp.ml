@@ -41,6 +41,17 @@ let rec open_cursor plan =
       | row :: rest ->
         remaining := rest;
         Some row)
+  | Plan.ViewRead { matview; _ } ->
+    (* Same pull adapter over the maintained view result. *)
+    let rows = ref [] in
+    matview.Source.mv_read (fun row -> rows := row :: !rows);
+    let remaining = ref (List.rev !rows) in
+    fun () ->
+      (match !remaining with
+      | [] -> None
+      | row :: rest ->
+        remaining := rest;
+        Some row)
   | Plan.Where (pred, input) ->
     let next = open_cursor input in
     let test = Expr.compile_pred ~schema:(Plan.schema input) pred in

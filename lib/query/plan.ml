@@ -16,6 +16,7 @@ type t =
       op : Smc_text.Sa_index.op;
       needle : string;
     }
+  | ViewRead of { src : Source.t; matview : Source.matview_info }
   | Where of Expr.t * t
   | Select of (string * Expr.t) list * t
   | HashJoin of { left : t; right : t; on : (string * string) list }
@@ -38,6 +39,9 @@ let joined_schema ls rs =
 
 let rec schema = function
   | Scan src | IndexScan { src; _ } | TextScan { src; _ } -> src.Source.schema
+  | ViewRead { matview; _ } ->
+    Array.of_list
+      (List.map fst matview.Source.mv_keys @ List.map fst matview.Source.mv_aggs)
   | Where (_, p) | OrderBy (_, p) | Limit (_, p) | Distinct p -> schema p
   | Select (cols, _) -> Array.of_list (List.map fst cols)
   | GroupBy { keys; aggs; _ } ->
@@ -85,6 +89,26 @@ let text_scan src ~column ~op ~needle =
          src.Source.name column)
   | Some text -> TextScan { src; text; op; needle }
 
+(* Translate Plan aggregates into Source's mirror type (Source sits below
+   Plan, so the view advertises its reified plan in [Source.view_agg]). *)
+let view_agg_of_agg = function
+  | Count -> Source.V_count
+  | Sum e -> Source.V_sum e
+  | Min e -> Source.V_min e
+  | Max e -> Source.V_max e
+  | Avg e -> Source.V_avg e
+
+let view_read src ~keys ~aggs ~where =
+  let vaggs = List.map (fun (n, a) -> (n, view_agg_of_agg a)) aggs in
+  match Source.find_matview src ~keys ~aggs:vaggs ~where with
+  | None ->
+    invalid_arg
+      (Printf.sprintf
+         "Plan.view_read: source %s advertises no materialized view matching the \
+          requested aggregate shape"
+         src.Source.name)
+  | Some matview -> ViewRead { src; matview }
+
 let where e p =
   check_columns "Where" (schema p) (Expr.columns e);
   Where (e, p)
@@ -126,6 +150,19 @@ let rec validate = function
     check_columns "IndexScan" src.Source.schema [ index.Source.ix_column ]
   | TextScan { src; text; _ } ->
     check_columns "TextScan" src.Source.schema [ text.Source.tx_column ]
+  | ViewRead { src; matview } ->
+    (* the view's reified plan reads the source's columns *)
+    check_columns "ViewRead" src.Source.schema
+      (List.concat_map (fun (_, e) -> Expr.columns e) matview.Source.mv_keys
+      @ List.concat_map
+          (fun (_, a) ->
+            match a with
+            | Source.V_count -> []
+            | Source.V_sum e | Source.V_min e | Source.V_max e | Source.V_avg e ->
+              Expr.columns e)
+          matview.Source.mv_aggs
+      @
+      match matview.Source.mv_where with None -> [] | Some e -> Expr.columns e)
   | Where (e, p) ->
     validate p;
     check_columns "Where" (schema p) (Expr.columns e)

@@ -42,6 +42,12 @@ type t =
           suffix-array probe instead of a full scan; same schema and bag of
           rows as the equivalent [Where (StartsWith/Contains, Scan src)],
           row order unspecified *)
+  | ViewRead of { src : Source.t; matview : Source.matview_info }
+      (** the maintained result of the view's reified aggregate plan
+          ([GroupBy (keys, aggs)] over [Where (mv_where)] over [Scan src]),
+          read in O(groups) instead of re-aggregating the whole scan; same
+          schema and bag of rows as evaluating that plan from scratch,
+          group order unspecified *)
   | Where of Expr.t * t
   | Select of (string * Expr.t) list * t
   | HashJoin of { left : t; right : t; on : (string * string) list }
@@ -72,6 +78,21 @@ val text_scan :
 (** Raises [Invalid_argument] when the source has no text index on
     [column]. {!Planner.choose_access_paths} builds these automatically
     from [Contains]/[StartsWith] conjuncts in eligible [Where] shapes. *)
+
+val view_read :
+  Source.t ->
+  keys:(string * Expr.t) list ->
+  aggs:(string * agg) list ->
+  where:Expr.t option ->
+  t
+(** Raises [Invalid_argument] when the source advertises no materialized
+    view whose reified plan matches the given shape structurally.
+    {!Planner.choose_access_paths} builds these automatically from
+    eligible [GroupBy] shapes. *)
+
+val view_agg_of_agg : agg -> Source.view_agg
+(** Translation into {!Source.view_agg}, the mirror type materialized
+    views describe their reified plans in. *)
 
 val where : Expr.t -> t -> t
 val select : (string * Expr.t) list -> t -> t

@@ -19,6 +19,8 @@ let eq_const = function
    be a slower full scan. *)
 let text_const = function
   | Expr.Contains (Expr.Col c, s) when s <> "" -> Some (c, Smc_text.Sa_index.Substring, s)
+  | Expr.ContainsCI (Expr.Col c, s) when s <> "" ->
+    Some (c, Smc_text.Sa_index.Substring_ci, s)
   | Expr.StartsWith (Expr.Col c, s) when s <> "" -> Some (c, Smc_text.Sa_index.Prefix, s)
   | _ -> None
 
@@ -59,9 +61,31 @@ let rewrite_where pred src =
   | None -> None
   | Some base -> Some (Plan.Where (pred, base))
 
+(* A [GroupBy] whose shape is exactly a view's reified plan — same keys,
+   same aggregates, same filter (or no filter), over a bare scan of the
+   advertising source — reads the maintained result instead of
+   re-aggregating. The match is structural on the Expr ASTs, so spelling
+   the query differently (commuted conjuncts, renamed output columns)
+   deliberately does NOT match: the view answers exactly the plan it
+   reified, nothing it would have to prove equivalent. *)
+let rewrite_group_by ~keys ~aggs input =
+  let shape =
+    match input with
+    | Plan.Scan src -> Some (src, None)
+    | Plan.Where (pred, Plan.Scan src) -> Some (src, Some pred)
+    | _ -> None
+  in
+  match shape with
+  | None -> None
+  | Some (src, where) ->
+    let vaggs = List.map (fun (n, a) -> (n, Plan.view_agg_of_agg a)) aggs in
+    (match Source.find_matview src ~keys ~aggs:vaggs ~where with
+    | Some matview -> Some (Plan.ViewRead { src; matview })
+    | None -> None)
+
 let rec choose_access_paths plan =
   match plan with
-  | Plan.Scan _ | Plan.IndexScan _ | Plan.TextScan _ -> plan
+  | Plan.Scan _ | Plan.IndexScan _ | Plan.TextScan _ | Plan.ViewRead _ -> plan
   | Plan.Where (pred, input) ->
     (match choose_access_paths input with
     | Plan.Scan src as input' ->
@@ -81,13 +105,18 @@ let rec choose_access_paths plan =
   | Plan.IndexJoin { left; src; index; left_col } ->
     Plan.IndexJoin { left = choose_access_paths left; src; index; left_col }
   | Plan.GroupBy { keys; aggs; input } ->
-    Plan.GroupBy { keys; aggs; input = choose_access_paths input }
+    (* The view match runs against the ORIGINAL input shape: a lower
+       rewrite (e.g. the filter lowering to a TextScan) would hide the
+       [Where (pred, Scan src)] pattern the view reified. *)
+    (match rewrite_group_by ~keys ~aggs input with
+    | Some rewritten -> rewritten
+    | None -> Plan.GroupBy { keys; aggs; input = choose_access_paths input })
   | Plan.OrderBy (specs, p) -> Plan.OrderBy (specs, choose_access_paths p)
   | Plan.Limit (n, p) -> Plan.Limit (n, choose_access_paths p)
   | Plan.Distinct p -> Plan.Distinct (choose_access_paths p)
 
 let rec uses_index = function
-  | Plan.IndexScan _ | Plan.IndexJoin _ | Plan.TextScan _ -> true
+  | Plan.IndexScan _ | Plan.IndexJoin _ | Plan.TextScan _ | Plan.ViewRead _ -> true
   | Plan.Scan _ -> false
   | Plan.Where (_, p)
   | Plan.Select (_, p)

@@ -16,6 +16,29 @@ type text_info = {
   tx_probe : Smc_text.Sa_index.op -> string -> (Value.t array -> unit) -> unit;
 }
 
+(* Aggregate spec mirror of [Plan.agg]. Source sits below Plan in the
+   dependency order, so a materialized view describes its reified plan in
+   these terms and [Planner] translates when matching a [GroupBy] node. *)
+type view_agg =
+  | V_count
+  | V_sum of Expr.t
+  | V_min of Expr.t
+  | V_max of Expr.t
+  | V_avg of Expr.t
+
+type matview_info = {
+  mv_name : string;  (** view name (diagnostics, codegen) *)
+  mv_keys : (string * Expr.t) list;  (** the reified plan's group-by keys *)
+  mv_aggs : (string * view_agg) list;  (** the reified plan's aggregates *)
+  mv_where : Expr.t option;  (** the filter under the aggregate, if any *)
+  mv_read : (Value.t array -> unit) -> unit;
+      (** push the maintained result rows (key columns then aggregate
+          columns, group order unspecified) — bit-identical to evaluating
+          the reified plan from scratch at the view's frontier *)
+  mv_frontier : unit -> int;  (** CSN frontier the maintained state reflects *)
+  mv_collection : Smc.Collection.t;  (** backing collection (identity check) *)
+}
+
 (* Typed column spec: naming the field's layout kind (instead of handing
    over an opaque closure) is what lets the batch path fill unboxed column
    chunks and the vectorized engine pick typed kernels. [C_fn] keeps the
@@ -39,6 +62,7 @@ type t = {
   obs : Smc_obs.t option;
   indexes : index_info list;
   texts : text_info list;
+  matviews : matview_info list;
 }
 
 let kind_of_column = function
@@ -61,6 +85,8 @@ let extractor_of_column = function
   | C_char f -> fun blk slot -> Value.Str (Batch.char_str (Smc.Field.get_int f blk slot))
   | C_str f -> fun blk slot -> Value.Str (Smc.Field.get_string f blk slot)
   | C_fn fn -> fn
+
+let extract_column = extractor_of_column
 
 (* Dense word gather, placement arithmetic hoisted out of the loop — the
    paper's direct block access, amortized over a whole selection. *)
@@ -134,9 +160,10 @@ let key_of_value kind v =
    committers. The view must stay open while the source is consumed, and
    index access paths are rejected — index probes validate against current
    state and would disagree with the frozen frontier. *)
-let of_smc ?pool ?domains ?view ?(indexes = []) ?(text_indexes = []) coll ~columns =
+let of_smc ?pool ?domains ?view ?(indexes = []) ?(text_indexes = []) ?(matviews = []) coll
+    ~columns =
   (match view with
-  | Some v when indexes <> [] || text_indexes <> [] ->
+  | Some v when indexes <> [] || text_indexes <> [] || matviews <> [] ->
     ignore (Smc.Collection.view_csn v : int);
     invalid_arg
       (Printf.sprintf
@@ -144,6 +171,17 @@ let of_smc ?pool ?domains ?view ?(indexes = []) ?(text_indexes = []) coll ~colum
           mutually exclusive (probes read current state, not the view frontier)"
          coll.Smc.Collection.name)
   | _ -> ());
+  List.iter
+    (fun mv ->
+      (* Same claims-checked-where-made discipline as indexes and text
+         indexes: a view maintained over a different collection would
+         silently answer the aggregate from the wrong rows. *)
+      if mv.mv_collection != coll then
+        invalid_arg
+          (Printf.sprintf
+             "Source.of_smc: materialized view %S is maintained over collection %S, not %S"
+             mv.mv_name mv.mv_collection.Smc.Collection.name coll.Smc.Collection.name))
+    matviews;
   let schema = Array.of_list (List.map fst columns) in
   let cols = Array.of_list (List.map snd columns) in
   let kinds = Array.map kind_of_column cols in
@@ -357,6 +395,7 @@ let of_smc ?pool ?domains ?view ?(indexes = []) ?(text_indexes = []) coll ~colum
                     match op with
                     | Smc_text.Sa_index.Prefix -> Expr.string_starts_with ~prefix:needle s
                     | Smc_text.Sa_index.Substring -> Expr.string_contains ~needle s
+                    | Smc_text.Sa_index.Substring_ci -> Expr.string_contains_ci ~needle s
                   in
                   if ok then emit row));
         })
@@ -371,6 +410,7 @@ let of_smc ?pool ?domains ?view ?(indexes = []) ?(text_indexes = []) coll ~colum
     obs = Some obs;
     indexes;
     texts;
+    matviews;
   }
 
 let of_array ~name ~schema rows =
@@ -384,6 +424,7 @@ let of_array ~name ~schema rows =
     obs = None;
     indexes = [];
     texts = [];
+    matviews = [];
   }
 
 let of_fun ~name ~schema scan =
@@ -397,6 +438,7 @@ let of_fun ~name ~schema scan =
     obs = None;
     indexes = [];
     texts = [];
+    matviews = [];
   }
 
 let column_index t col =
@@ -411,3 +453,11 @@ let find_index t col =
   List.find_opt (fun ix -> String.equal ix.ix_column col) t.indexes
 
 let find_text t col = List.find_opt (fun tx -> String.equal tx.tx_column col) t.texts
+
+(* Matching a [GroupBy] shape against an advertised view is structural:
+   Expr.t is a pure data AST, so OCaml's polymorphic equality decides
+   whether the plan's keys/aggregates/filter are the reified ones. *)
+let find_matview t ~keys ~aggs ~where =
+  List.find_opt
+    (fun mv -> mv.mv_keys = keys && mv.mv_aggs = aggs && mv.mv_where = where)
+    t.matviews

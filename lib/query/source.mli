@@ -32,6 +32,29 @@ type text_info = {
           path produce identical row bags *)
 }
 
+(** Aggregate spec mirror of [Plan.agg] ([Source] sits below [Plan] in the
+    dependency order): a materialized view describes its reified plan in
+    these terms and {!Planner} translates when matching a [GroupBy] node. *)
+type view_agg =
+  | V_count
+  | V_sum of Expr.t
+  | V_min of Expr.t
+  | V_max of Expr.t
+  | V_avg of Expr.t
+
+type matview_info = {
+  mv_name : string;  (** view name (diagnostics, codegen) *)
+  mv_keys : (string * Expr.t) list;  (** the reified plan's group-by keys *)
+  mv_aggs : (string * view_agg) list;  (** the reified plan's aggregates *)
+  mv_where : Expr.t option;  (** the filter under the aggregate, if any *)
+  mv_read : (Value.t array -> unit) -> unit;
+      (** push the maintained result rows (key columns then aggregate
+          columns, group order unspecified) — bit-identical to evaluating
+          the reified plan from scratch at the view's frontier *)
+  mv_frontier : unit -> int;  (** CSN frontier the maintained state reflects *)
+  mv_collection : Smc.Collection.t;  (** backing collection (identity check) *)
+}
+
 type t = {
   name : string;
   schema : string array;
@@ -47,6 +70,7 @@ type t = {
   obs : Smc_obs.t option;  (** counter instance of the backing runtime *)
   indexes : index_info list;  (** access paths advertised to the planner *)
   texts : text_info list;  (** substring/prefix access paths *)
+  matviews : matview_info list;  (** maintained aggregate access paths *)
 }
 
 (** Typed column spec. Naming the field's layout kind lets the batch path
@@ -69,6 +93,7 @@ val of_smc :
   ?view:Smc.Collection.view ->
   ?indexes:(string * Smc_index.Hash_index.t) list ->
   ?text_indexes:(string * Smc_text.Sa_index.t) list ->
+  ?matviews:matview_info list ->
   Smc.Collection.t ->
   columns:(string * column) list ->
   t
@@ -105,7 +130,22 @@ val of_smc :
     way, as substring/prefix access paths ([texts]); the same attachment
     and schema checks apply, with the same [Invalid_argument]s, and probe
     hits are re-tested against the extracted column value. Mutually
-    exclusive with [?view] like [?indexes]. *)
+    exclusive with [?view] like [?indexes].
+
+    [?matviews] advertises maintained aggregate results (built by
+    [Smc_matview.Matview.info]) so {!Planner.choose_access_paths} can
+    rewrite a structurally matching [GroupBy] to a [ViewRead] leaf.
+    Raises [Invalid_argument] when a view is maintained over a different
+    collection than the one being scanned. Mutually exclusive with
+    [?view]: a view read reflects the maintained frontier, not a frozen
+    snapshot. *)
+
+val extract_column : column -> Smc_offheap.Block.t -> int -> Value.t
+(** The extraction closure a column spec compiles to — the exact closure
+    [of_smc]'s scan and probe paths use, exported so maintenance
+    structures (materialized views) extract row values in verbatim
+    agreement with the sources that advertise them. Call only on a live
+    (block, slot) inside a critical section. *)
 
 val of_array : name:string -> schema:string list -> Value.t array array -> t
 
@@ -119,3 +159,12 @@ val find_index : t -> string -> index_info option
 
 val find_text : t -> string -> text_info option
 (** The advertised text access path over the given column, if any. *)
+
+val find_matview :
+  t ->
+  keys:(string * Expr.t) list ->
+  aggs:(string * view_agg) list ->
+  where:Expr.t option ->
+  matview_info option
+(** The advertised view whose reified plan (keys, aggregates, filter) is
+    structurally equal to the given shape, if any. *)

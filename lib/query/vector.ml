@@ -626,6 +626,25 @@ let rec compile ~batch_rows ~need plan : pipe =
             emit);
       obs = src.Source.obs;
     }
+  | Plan.ViewRead { src; matview } ->
+    (* Maintained view rows arrive boxed (one row per group), re-batched
+       like probe leaves; result sets are small, so the all-[K_any] batch
+       costs nothing measurable. *)
+    let schema =
+      Array.of_list
+        (List.map fst matview.Source.mv_keys @ List.map fst matview.Source.mv_aggs)
+    in
+    let ncols = Array.length schema in
+    {
+      schema;
+      kinds = all_any ncols;
+      run =
+        (fun emit ->
+          batches_of ~ncols ~rows:batch_rows
+            (fun push -> matview.Source.mv_read push)
+            emit);
+      obs = src.Source.obs;
+    }
   | Plan.Where (pred, input) ->
     let up = compile ~batch_rows ~need:(need_union need (Expr.columns pred)) input in
     let filt = compile_filter ~schema:up.schema ~kinds:up.kinds pred in

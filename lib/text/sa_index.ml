@@ -31,7 +31,7 @@
 
 open Smc_offheap
 
-type op = Prefix | Substring
+type op = Prefix | Substring | Substring_ci
 
 type byte_ba = (int, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
 type int_ba = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
@@ -111,10 +111,39 @@ let text_contains ~needle s =
     go 0
   end
 
+(* ASCII case folding, byte-wise: [A-Z] -> [a-z], everything else verbatim
+   (same contract as the query layer's ContainsCI). The arena stores folded
+   bytes — see [rebuild_locked] — so one suffix array serves both the
+   case-sensitive and case-insensitive operators: searching with a folded
+   needle yields every position where the folded text matches, a superset
+   of the case-sensitive matches, and the live-text re-check against the
+   original-case predicate decides. *)
+let lower_byte c =
+  if c >= 'A' && c <= 'Z' then Char.unsafe_chr (Char.code c + 32) else c
+
+let lower_code c = if c >= 65 && c <= 90 then c + 32 else c
+
+let text_contains_ci ~needle s =
+  let n = String.length needle and h = String.length s in
+  if n = 0 then true
+  else begin
+    let at i =
+      let rec go j =
+        j >= n
+        || (lower_byte (String.unsafe_get s (i + j)) = lower_byte (String.unsafe_get needle j)
+           && go (j + 1))
+      in
+      go 0
+    in
+    let rec go i = i + n <= h && (at i || go (i + 1)) in
+    go 0
+  end
+
 let matches op needle s =
   match op with
   | Prefix -> text_starts_with ~prefix:needle s
   | Substring -> text_contains ~needle s
+  | Substring_ci -> text_contains_ci ~needle s
 
 (* ---- suffix comparisons ------------------------------------------- *)
 
@@ -203,14 +232,19 @@ let probe t op needle ~f =
           candidate (Bigarray.Array1.unsafe_get s.ent_ref e)
         done
       else begin
-        let lo = search_bound s needle ~upper:false in
-        let hi = search_bound s needle ~upper:true in
+        (* The arena is case-folded, so the range search always runs on the
+           folded needle; for case-sensitive operators that widens the
+           candidate range (folded matches ⊇ exact matches) and the
+           live-text re-check above narrows it back. *)
+        let folded = String.map lower_byte needle in
+        let lo = search_bound s folded ~upper:false in
+        let hi = search_bound s folded ~upper:true in
         for i = lo to hi - 1 do
           let off = Bigarray.Array1.unsafe_get s.sa i in
           let e = entry_of_offset s off in
           (* A Prefix probe only accepts the suffix that starts the entry;
              interior suffixes witness containment, not prefixhood. *)
-          if op = Substring || Bigarray.Array1.unsafe_get s.ent_off e = off then
+          if op <> Prefix || Bigarray.Array1.unsafe_get s.ent_off e = off then
             candidate (Bigarray.Array1.unsafe_get s.ent_ref e)
         done
       end;
@@ -283,6 +317,7 @@ let top_k_similar t ~k query =
       in
       List.iter
         (fun g ->
+          let g = String.map lower_byte g in
           let lo = search_bound s g ~upper:false in
           let hi = search_bound s g ~upper:true in
           for i = lo to hi - 1 do
@@ -352,7 +387,12 @@ let rebuild_locked t =
       Bigarray.Array1.unsafe_set ent_off e !off;
       Bigarray.Array1.unsafe_set ent_len e len;
       for j = 0 to len - 1 do
-        Bigarray.Array1.unsafe_set arena (!off + j) (Char.code (String.unsafe_get text j))
+        (* case-folded arena: one suffix array answers both Substring and
+           Substring_ci ranges; probes re-check the original-case live
+           text, so folding can only widen candidate sets, never corrupt
+           results *)
+        Bigarray.Array1.unsafe_set arena (!off + j)
+          (lower_code (Char.code (String.unsafe_get text j)))
       done;
       Bigarray.Array1.unsafe_set arena (!off + len) 0;
       off := !off + len + 1)
@@ -547,8 +587,9 @@ let audit t =
         match Hashtbl.find_opt by_ref p with
         | None -> bad "text index %s: live row %d is neither indexed nor pending" t.name p
         | Some e ->
+          (* the arena stores case-folded bytes; compare folded forms *)
           let cur = Smc.Field.get_string t.field blk slot in
-          if not (String.equal (arena_text e) cur) then
+          if not (String.equal (arena_text e) (String.map lower_byte cur)) then
             bad "text index %s entry %d: arena text %S stale for live row (now %S, not pending)"
               t.name e (arena_text e) cur
       end);

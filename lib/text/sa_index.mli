@@ -31,10 +31,14 @@
     rows added concurrently may or may not be seen, and every emitted row
     is live and matching at emission time. *)
 
-type op = Prefix | Substring
+type op = Prefix | Substring | Substring_ci
 (** Probe operators: [Prefix] matches rows whose column text starts with
-    the needle; [Substring] matches rows whose text contains it. The empty
-    needle matches every row under both. *)
+    the needle; [Substring] matches rows whose text contains it;
+    [Substring_ci] is [Substring] under ASCII case folding ([A-Z] = [a-z],
+    other bytes verbatim). The empty needle matches every row under all
+    three. The arena stores case-folded bytes, so all operators run at
+    full index speed: the range search uses the folded needle and every
+    candidate is re-tested against the live row's original-case text. *)
 
 type t
 

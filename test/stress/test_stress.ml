@@ -1345,6 +1345,174 @@ let test_vector_churn () =
     (Smc_obs.get s Smc_obs.c_vec_filter_rows_in > 0)
 
 (* ------------------------------------------------------------------ *)
+(* Materialized-view churn: 2 writers churn rows through the Collection
+   API (adds, removes, and stores to both the aggregate input and the
+   group key — the latter moving contributions between groups through the
+   remove+add delta pair), a view-reader domain hammers [Matview.read]
+   concurrently, and a compactor relocates rows under everything. The
+   reader checks only delta-atomic invariants (count and sum move
+   together, so count >= 1 and, with all inputs >= 1, sum >= count);
+   min/max may transiently read [Null] or cross over, because a dirty
+   re-scan races rows whose remove hooks are still waiting on the view
+   lock. Every round ends at a quiescent checkpoint where the view audit
+   (Matview_check) runs on top of the structural audit and the counter
+   balances, and the maintained result is diffed against a from-scratch
+   aggregation by the Volcano engine. *)
+(* ------------------------------------------------------------------ *)
+
+module MV = Smc_matview.Matview
+
+let mv_layout =
+  Layout.create ~name:"stress_mv" [ ("key", Layout.Int); ("value", Layout.Int) ]
+
+let mv_keys = [ ("key", Q.Expr.Col "key") ]
+
+let mv_plan_aggs =
+  [
+    ("n", Q.Plan.Count);
+    ("s", Q.Plan.Sum (Q.Expr.Col "value"));
+    ("mn", Q.Plan.Min (Q.Expr.Col "value"));
+    ("mx", Q.Plan.Max (Q.Expr.Col "value"));
+  ]
+
+(* [ix_writer_round]'s handle discipline, plus two store arms: re-pointing
+   the aggregate input drives the remove+add delta pair on one group, and
+   re-pointing the group key moves the contribution between groups. All
+   values stay >= 1 so the reader's sum >= count invariant holds. *)
+let mv_writer_round coll fkey fval st prng ops errs =
+  for _ = 1 to ops do
+    let d = Smc_util.Prng.int prng 100 in
+    if d < 45 || st.w_n = 0 then begin
+      let h = 1 + st.w_id + (2 * st.w_next) in
+      st.w_next <- st.w_next + 1;
+      let r =
+        Smc.Collection.with_read coll (fun () ->
+            Smc.Collection.add coll ~init:(fun blk slot ->
+                Smc.Field.set_int fval blk slot (payload_of h);
+                Smc.Field.set_int fkey blk slot (h mod 13)))
+      in
+      Hashtbl.replace st.w_live h (Smc.Ref.to_packed r);
+      w_push st h
+    end
+    else if d < 65 then begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Smc.Ref.of_packed (Hashtbl.find st.w_live h) in
+      Smc.Collection.store coll r ~word:fval.Layout.word
+        ~value:(1 + Smc_util.Prng.int prng 10_000)
+    end
+    else if d < 75 then begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Smc.Ref.of_packed (Hashtbl.find st.w_live h) in
+      Smc.Collection.store coll r ~word:fkey.Layout.word
+        ~value:(Smc_util.Prng.int prng 13)
+    end
+    else begin
+      let h = st.w_handles.(Smc_util.Prng.int prng st.w_n) in
+      let r = Smc.Ref.of_packed (Hashtbl.find st.w_live h) in
+      if not (Smc.Collection.remove coll r) then
+        errs :=
+          Printf.sprintf "mv writer %d: remove of live handle %d failed" st.w_id h :: !errs;
+      Hashtbl.remove st.w_live h;
+      w_drop st h
+    end
+  done
+
+let mv_reader_round mv sweeps errs =
+  let fail fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  for sweep = 1 to sweeps do
+    MV.read mv (fun row ->
+        match row with
+        | [| Q.Value.Int _; Q.Value.Int n; Q.Value.Int s; mn; mx |] ->
+          if n < 1 then fail "mv sweep %d: emitted group with count %d" sweep n
+          else if s < n then fail "mv sweep %d: sum %d below count %d" sweep s n;
+          let int_or_null = function Q.Value.Int _ | Q.Value.Null -> true | _ -> false in
+          if not (int_or_null mn && int_or_null mx) then
+            fail "mv sweep %d: min/max of unexpected type" sweep
+        | _ -> fail "mv sweep %d: group row of unexpected shape" sweep);
+    Domain.cpu_relax ()
+  done
+
+let mv_check_parity src mv errs =
+  let expected =
+    List.sort Stdlib.compare
+      (Q.Interp.collect (Q.Plan.group_by ~keys:mv_keys ~aggs:mv_plan_aggs (Q.Plan.scan src)))
+  in
+  let got = ref [] in
+  MV.read mv (fun row -> got := Array.copy row :: !got);
+  let got = List.sort Stdlib.compare !got in
+  if not (List.equal (fun a b -> a = b) expected got) then
+    errs :=
+      Printf.sprintf "mv checkpoint: maintained result diverges (%d groups vs %d)"
+        (List.length got) (List.length expected)
+      :: !errs
+
+let test_matview_churn () =
+  let rt = Runtime.create () in
+  let coll =
+    Smc.Collection.create rt ~name:"stress_mv" ~layout:mv_layout ~slots_per_block:128
+      ~reclaim_threshold:0.25 ()
+  in
+  let fkey = Smc.Field.int mv_layout "key" and fval = Smc.Field.int mv_layout "value" in
+  let mv =
+    MV.attach ~name:"stress_mv_by_key" coll
+      ~columns:[ ("key", Q.Source.C_int fkey); ("value", Q.Source.C_int fval) ]
+      ~keys:mv_keys
+      ~aggs:(List.map (fun (n, a) -> (n, Q.Plan.view_agg_of_agg a)) mv_plan_aggs)
+      ()
+  in
+  let src =
+    Q.Source.of_smc coll
+      ~columns:[ ("key", Q.Source.C_int fkey); ("value", Q.Source.C_int fval) ]
+  in
+  let auditor = Audit.create rt in
+  let writers = [| new_wstate 0; new_wstate 1 |] in
+  let rounds = 4 in
+  let per_writer = max 150 (iters / 16) in
+  let errs = ref [] in
+  for round = 1 to rounds do
+    let wd =
+      Array.map
+        (fun st ->
+          let prng =
+            Smc_util.Prng.create ~seed:(subseed (17_000 + (100 * round) + st.w_id)) ()
+          in
+          Domain.spawn (fun () ->
+              let local = ref [] in
+              mv_writer_round coll fkey fval st prng per_writer local;
+              Epoch.release_current_domain ();
+              !local))
+        writers
+    in
+    let rd =
+      Domain.spawn (fun () ->
+          let local = ref [] in
+          mv_reader_round mv (8 + (per_writer / 25)) local;
+          Epoch.release_current_domain ();
+          !local)
+    in
+    let cd =
+      Domain.spawn (fun () ->
+          compactor_round coll.Smc.Collection.ctx 6;
+          Epoch.release_current_domain ())
+    in
+    Array.iter (fun d -> errs := Domain.join d @ !errs) wd;
+    errs := Domain.join rd @ !errs;
+    Domain.join cd;
+    (* Quiescent checkpoint: structural audit, counter balances (incl. the
+       mv delta/read balances), the view audit, then the engine diff. *)
+    audit_quiescent (Printf.sprintf "mv-churn round %d" round) auditor rt
+      coll.Smc.Collection.ctx;
+    assert_clean (Printf.sprintf "mv audit, round %d" round) (Matview_check.check [ mv ]);
+    mv_check_parity src mv errs;
+    assert_clean (Printf.sprintf "mv-churn checkpoint, round %d" round) !errs;
+    let st = MV.stats mv in
+    if st.MV.st_invalid <> None then
+      Alcotest.failf "mv-churn round %d: view invalidated (%s)" round
+        (Option.value ~default:"?" st.MV.st_invalid)
+  done;
+  Alcotest.(check bool) "view populated" true ((MV.stats mv).MV.st_groups > 0)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   (* The balance checks and queue-race assertions need counting on. *)
@@ -1385,5 +1553,6 @@ let () =
           qc "persistence: snapshots + WAL recovery under churn" test_persist_under_churn;
           qc "transactions: pair atomicity vs snapshot readers + compactor" test_txn_churn;
           qc "vectorized scans: writers + batch queries + compactor" test_vector_churn;
+          qc "materialized views: writers + view reader + compactor" test_matview_churn;
         ] );
     ]

@@ -43,7 +43,7 @@ let contains_sub ~sub s =
 let subcommands =
   [
     "fig6"; "fig7"; "fig8"; "fig9"; "fig10"; "fig11"; "fig12"; "fig13"; "linq"; "ext";
-    "qscale"; "ablations"; "stats"; "index"; "text"; "persist"; "all";
+    "qscale"; "ablations"; "stats"; "index"; "text"; "matview"; "persist"; "all";
   ]
 
 let test_unknown_subcommand () =

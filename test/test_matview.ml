@@ -1,0 +1,662 @@
+(* Tests for incremental materialized aggregate views: initial build and
+   read parity against all four engines, planner rewrite of matching
+   GroupBy shapes onto ViewRead, delta maintenance across every mutation
+   path (bare ops, transactional commit, two-phase commit, WAL replay),
+   Min/Max dirty-group re-scans, sum type-tag fidelity under mixed
+   Int/Dec churn, loud invalidation with from-scratch fallback and
+   re-validation, the exactly-once hook-firing contract per mutation
+   path, view/index namespace separation, and the Obs_check/Matview_check
+   gates. *)
+
+open Smc_offheap
+module C = Smc.Collection
+module MV = Smc_matview.Matview
+module Snapshot = Smc_persist.Snapshot
+module Wal = Smc_persist.Wal
+module D = Smc_decimal.Decimal
+open Smc_query
+
+(* Obs_check's balances integrate the runtime's whole history, so counters
+   must be on before any runtime in this file is created. *)
+let () = Smc_obs.enabled := true
+
+let check = Alcotest.check
+
+let rows_testable =
+  Alcotest.testable
+    (fun fmt rows ->
+      Format.fprintf fmt "%s"
+        (String.concat ";"
+           (List.map
+              (fun row ->
+                String.concat "," (Array.to_list (Array.map Value.to_string row)))
+              rows)))
+    (List.equal (fun a b -> Array.for_all2 Value.equal a b))
+
+let sorted rows = List.sort Stdlib.compare rows
+let clean = Alcotest.list Alcotest.string
+
+let tmp ext =
+  let f = Filename.temp_file "smc_mv_test" ext in
+  at_exit (fun () -> try Sys.remove f with Sys_error _ -> ());
+  f
+
+(* ---- fixture: (k:int, v:int, d:dec) rows ---------------------------- *)
+
+let kvd_layout =
+  Layout.create ~name:"kvd" [ ("k", Layout.Int); ("v", Layout.Int); ("d", Layout.Dec) ]
+
+let fk = Smc.Field.int kvd_layout "k"
+let fv = Smc.Field.int kvd_layout "v"
+let fd = Smc.Field.dec kvd_layout "d"
+
+let columns =
+  [ ("k", Source.C_int fk); ("v", Source.C_int fv); ("d", Source.C_dec fd) ]
+
+let make () =
+  let rt = Runtime.create () in
+  let coll = C.create rt ~name:"kvd" ~layout:kvd_layout ~slots_per_block:32 () in
+  (rt, coll)
+
+let add_row coll k v =
+  C.add coll ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot k;
+      Smc.Field.set_int fv blk slot v;
+      Smc.Field.set_dec fd blk slot (D.of_int v))
+
+let mk_src ?matviews coll = Source.of_smc ?matviews coll ~columns
+
+(* The reified shape most tests share: per-k count/sum/min/max/avg of v. *)
+let keys = [ ("k", Expr.Col "k") ]
+
+let plan_aggs =
+  [
+    ("n", Plan.Count);
+    ("s", Plan.Sum (Expr.Col "v"));
+    ("mn", Plan.Min (Expr.Col "v"));
+    ("mx", Plan.Max (Expr.Col "v"));
+    ("av", Plan.Avg (Expr.Col "v"));
+  ]
+
+let view_aggs = List.map (fun (n, a) -> (n, Plan.view_agg_of_agg a)) plan_aggs
+
+let attach_kvd ?where coll =
+  MV.attach ~name:"mv_k" coll ~columns ~keys ~aggs:view_aggs ?where ()
+
+(* From-scratch reference: the same GroupBy evaluated by the Volcano
+   engine over a plain scan source (no advertised views). *)
+let scratch ?where coll =
+  let src = mk_src coll in
+  let input =
+    match where with None -> Plan.scan src | Some p -> Plan.(where p (scan src))
+  in
+  sorted (Interp.collect (Plan.group_by ~keys ~aggs:plan_aggs input))
+
+let view_rows mv =
+  let out = ref [] in
+  MV.read mv (fun row -> out := row :: !out);
+  sorted !out
+
+let assert_parity what ?where coll mv =
+  check rows_testable (what ^ ": view matches from-scratch") (scratch ?where coll)
+    (view_rows mv);
+  check clean (what ^ ": audit clean") [] (MV.audit mv)
+
+(* ---- all-engine parity helper (same shape as test_text's) ----------- *)
+
+let all_engines name plan =
+  let reference = sorted (Interp.collect plan) in
+  List.iter
+    (fun (engine, collect) ->
+      check rows_testable
+        (Printf.sprintf "%s: %s agrees with Volcano" name engine)
+        reference
+        (sorted (collect plan)))
+    [
+      ("Fuse", Fuse.collect);
+      ("Vector", fun p -> Vector.collect p);
+      ("Compiled", Codegen.collect);
+    ];
+  reference
+
+(* ---- build + read --------------------------------------------------- *)
+
+let test_build_and_read () =
+  let _rt, coll = make () in
+  List.iter (fun (k, v) -> ignore (add_row coll k v))
+    [ (1, 10); (1, 20); (2, 5); (2, 5); (3, 7) ];
+  let mv = attach_kvd coll in
+  assert_parity "initial build" coll mv;
+  let st = MV.stats mv in
+  check Alcotest.int "3 groups" 3 st.MV.st_groups;
+  check Alcotest.int "5 contributions" 5 st.MV.st_contributions;
+  check Alcotest.int "no dirty groups" 0 st.MV.st_dirty_groups;
+  check Alcotest.bool "valid" true (st.MV.st_invalid = None);
+  check Alcotest.string "name" "mv_k" (MV.name mv);
+  check Alcotest.bool "collection identity" true (MV.collection mv == coll);
+  (* Attaching a second view under the same name is rejected. *)
+  (match attach_kvd coll with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate view name must be rejected")
+
+let test_filtered_view () =
+  let _rt, coll = make () in
+  List.iter (fun (k, v) -> ignore (add_row coll k v))
+    [ (1, 10); (1, 2); (2, 50); (2, 3); (3, 1) ];
+  let where = Expr.(Gt (Col "v", int 5)) in
+  let mv = attach_kvd ~where coll in
+  assert_parity "filtered build" ~where coll mv;
+  (* Rows failing the filter contribute nothing. *)
+  check Alcotest.int "2 contributions" 2 (MV.stats mv).MV.st_contributions;
+  (* A store that moves a row across the filter boundary adds/removes its
+     contribution. *)
+  let r = add_row coll 3 100 in
+  assert_parity "filter-passing add" ~where coll mv;
+  C.store coll r ~word:fv.Layout.word ~value:4;
+  assert_parity "store crossing out of the filter" ~where coll mv;
+  C.store coll r ~word:fv.Layout.word ~value:40;
+  assert_parity "store crossing back in" ~where coll mv
+
+(* ---- planner rewrite + engine parity -------------------------------- *)
+
+let test_planner_rewrite () =
+  let _rt, coll = make () in
+  List.iter (fun (k, v) -> ignore (add_row coll k v))
+    [ (1, 10); (1, 20); (2, 5); (3, 7); (3, 9) ];
+  let mv = attach_kvd coll in
+  let src = mk_src ~matviews:[ MV.info mv ] coll in
+  let plan = Plan.group_by ~keys ~aggs:plan_aggs (Plan.scan src) in
+  (match Planner.choose_access_paths plan with
+  | Plan.ViewRead { matview; _ } ->
+    check Alcotest.string "routed to the view" "mv_k" matview.Source.mv_name
+  | _ -> Alcotest.fail "matching GroupBy must rewrite to ViewRead");
+  (* All four engines agree between the routed and the unrouted plan. *)
+  let scan_rows = all_engines "groupby (scan)" plan in
+  let routed = Planner.choose_access_paths plan in
+  let view_rows' = all_engines "groupby (view)" routed in
+  check rows_testable "routed matches scan" scan_rows view_rows';
+  (* Shape mismatches stay as written: different aggregate list, *)
+  let other = Plan.group_by ~keys ~aggs:[ ("n", Plan.Count) ] (Plan.scan src) in
+  (match Planner.choose_access_paths other with
+  | Plan.GroupBy _ -> ()
+  | _ -> Alcotest.fail "different aggs must not match");
+  (* different keys, *)
+  let other_keys =
+    Plan.group_by ~keys:[ ("v", Expr.Col "v") ] ~aggs:plan_aggs (Plan.scan src)
+  in
+  (match Planner.choose_access_paths other_keys with
+  | Plan.GroupBy _ -> ()
+  | _ -> Alcotest.fail "different keys must not match");
+  (* and a filter the view does not maintain. *)
+  let filtered =
+    Plan.group_by ~keys ~aggs:plan_aggs
+      Plan.(where Expr.(Gt (Col "v", int 5)) (Plan.scan src))
+  in
+  (match Planner.choose_access_paths filtered with
+  | Plan.GroupBy _ -> ()
+  | _ -> Alcotest.fail "unmaintained filter must not match");
+  (* A filtered view matches the GroupBy-over-Where spelling exactly. *)
+  let fpred = Expr.(Gt (Col "v", int 5)) in
+  let fmv =
+    MV.attach ~name:"mv_k_gt5" coll ~columns ~keys ~aggs:view_aggs ~where:fpred ()
+  in
+  let src2 = mk_src ~matviews:[ MV.info mv; MV.info fmv ] coll in
+  let fplan =
+    Plan.group_by ~keys ~aggs:plan_aggs (Plan.where fpred (Plan.scan src2))
+  in
+  (match Planner.choose_access_paths fplan with
+  | Plan.ViewRead { matview; _ } ->
+    check Alcotest.string "filtered shape routed" "mv_k_gt5" matview.Source.mv_name
+  | _ -> Alcotest.fail "filtered GroupBy must rewrite to the filtered view");
+  let f_scan = all_engines "filtered groupby (scan)" fplan in
+  let f_view = all_engines "filtered groupby (view)" (Planner.choose_access_paths fplan) in
+  check rows_testable "filtered routed matches scan" f_scan f_view;
+  (* view_read's smart constructor rejects shapes no view advertises. *)
+  (match
+     Plan.view_read src2 ~keys:[ ("v", Expr.Col "v") ] ~aggs:plan_aggs ~where:None
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "view_read without a matching view must be rejected")
+
+(* ---- incremental maintenance ---------------------------------------- *)
+
+let test_incremental_churn () =
+  let _rt, coll = make () in
+  let refs = ref [] in
+  let mv = attach_kvd coll in
+  let f0 = MV.frontier mv in
+  for i = 0 to 49 do
+    refs := add_row coll (i mod 5) i :: !refs
+  done;
+  assert_parity "after 50 adds" coll mv;
+  check Alcotest.bool "frontier advanced" true (MV.frontier mv > f0);
+  (* Remove every third row. *)
+  List.iteri (fun i r -> if i mod 3 = 0 then ignore (C.remove coll r)) !refs;
+  assert_parity "after removes" coll mv;
+  (* Bare stores move rows between groups?  No — k is the key and stores
+     to key fields are the caller's contract to avoid for indexes, but a
+     view keys on extracted values, so re-keying through remove+add works.
+     Store to the aggregated field: *)
+  List.iteri
+    (fun i r -> if i mod 3 = 1 then C.store coll r ~word:fv.Layout.word ~value:(1000 + i))
+    !refs;
+  assert_parity "after stores to the aggregate input" coll mv;
+  (* And to the key field: the contribution moves between groups. *)
+  List.iteri
+    (fun i r -> if i mod 3 = 2 then C.store coll r ~word:fk.Layout.word ~value:9)
+    !refs;
+  assert_parity "after stores to the group key" coll mv;
+  (* Group collapse: empty groups disappear from the result. *)
+  List.iter (fun r -> ignore (C.remove coll r)) !refs;
+  assert_parity "after removing everything" coll mv;
+  check Alcotest.int "no groups left" 0 (MV.stats mv).MV.st_groups;
+  check Alcotest.int "no contributions left" 0 (MV.stats mv).MV.st_contributions
+
+let test_minmax_dirty_rescan () =
+  let rt, coll = make () in
+  ignore (add_row coll 1 10);
+  ignore (add_row coll 1 10);
+  let hi = add_row coll 1 99 in
+  let lo = add_row coll 1 3 in
+  let mv = attach_kvd coll in
+  (* Removing a duplicated extremum is O(1): the other copy keeps the
+     cell exact, no dirty mark. *)
+  let r10 = add_row coll 1 10 in
+  ignore (C.remove coll r10);
+  check Alcotest.int "duplicate extremum removal leaves no dirt" 0
+    (MV.stats mv).MV.st_dirty_groups;
+  (* Removing the unique max marks the group dirty; the next read runs
+     one bounded re-scan and resolves it. *)
+  ignore (C.remove coll hi);
+  check Alcotest.int "unique max removal dirties the group" 1
+    (MV.stats mv).MV.st_dirty_groups;
+  let s0 = Smc_obs.snapshot rt.Runtime.obs in
+  assert_parity "after losing the max" coll mv;
+  let d = Smc_obs.diff (Smc_obs.snapshot rt.Runtime.obs) s0 in
+  check Alcotest.bool "read classified as re-scan" true
+    (Smc_obs.get d Smc_obs.c_mv_rescans >= 1);
+  check Alcotest.int "dirt resolved" 0 (MV.stats mv).MV.st_dirty_groups;
+  (* A clean read right after is a hit. *)
+  let s1 = Smc_obs.snapshot rt.Runtime.obs in
+  ignore (view_rows mv);
+  let d1 = Smc_obs.diff (Smc_obs.snapshot rt.Runtime.obs) s1 in
+  check Alcotest.int "clean read is a hit" 1 (Smc_obs.get d1 Smc_obs.c_mv_hits);
+  (* Same dance on the min side. *)
+  ignore (C.remove coll lo);
+  assert_parity "after losing the min" coll mv
+
+let test_sum_tag_fidelity () =
+  (* A computed column that yields Int on some rows and Dec on others: the
+     maintained sum must carry the same type tag as a from-scratch fold —
+     Int iff no Dec contribution is present — through arbitrary churn. *)
+  let _rt, coll = make () in
+  let mixed blk slot =
+    let v = Smc.Field.get_int fv blk slot in
+    if v mod 2 = 0 then Value.Int v else Value.Dec (D.of_int v)
+  in
+  let cols = ("m", Source.C_fn mixed) :: columns in
+  let mkeys = [ ("k", Expr.Col "k") ] in
+  let maggs = [ ("s", Plan.Sum (Expr.Col "m")); ("av", Plan.Avg (Expr.Col "m")) ] in
+  let mv =
+    MV.attach ~name:"mv_mixed" coll ~columns:cols ~keys:mkeys
+      ~aggs:(List.map (fun (n, a) -> (n, Plan.view_agg_of_agg a)) maggs)
+      ()
+  in
+  let parity what =
+    let src = Source.of_smc coll ~columns:cols in
+    let expect = sorted (Interp.collect (Plan.group_by ~keys:mkeys ~aggs:maggs (Plan.scan src))) in
+    check rows_testable (what ^ ": tagged sum parity") expect (view_rows mv);
+    check clean (what ^ ": audit clean") [] (MV.audit mv)
+  in
+  let a = add_row coll 1 2 in
+  let _b = add_row coll 1 4 in
+  parity "all-Int group";
+  (match view_rows mv with
+  | [ [| _; Value.Int 6; _ |] ] -> ()
+  | rows ->
+    Alcotest.failf "expected Int-tagged sum 6, got %s"
+      (String.concat ";"
+         (List.map
+            (fun r -> String.concat "," (Array.to_list (Array.map Value.to_string r)))
+            rows)));
+  let c = add_row coll 1 3 in
+  parity "mixed group";
+  (match view_rows mv with
+  | [ [| _; Value.Dec _; _ |] ] -> ()
+  | _ -> Alcotest.fail "a Dec contribution must flip the sum tag to Dec");
+  ignore (C.remove coll c);
+  parity "Dec contribution removed";
+  (match view_rows mv with
+  | [ [| _; Value.Int 6; _ |] ] -> ()
+  | _ -> Alcotest.fail "removing the only Dec contribution must restore the Int tag");
+  ignore (C.remove coll a);
+  parity "partial removal"
+
+(* ---- transactional atomicity ---------------------------------------- *)
+
+let test_txn_atomicity () =
+  let _rt, coll = make () in
+  let r1 = add_row coll 1 10 in
+  let r2 = add_row coll 2 20 in
+  let mv = attach_kvd coll in
+  let before = view_rows mv in
+  (* One transaction staging all three op kinds applies as one unit. *)
+  let tx = C.txn coll in
+  C.stage_add tx ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot 1;
+      Smc.Field.set_int fv blk slot 30;
+      Smc.Field.set_dec fd blk slot (D.of_int 30));
+  C.stage_remove tx r2;
+  C.stage_store tx r1 ~word:fv.Layout.word ~value:11;
+  (match C.commit tx with
+  | C.Committed _ -> ()
+  | C.Conflict -> Alcotest.fail "unexpected Conflict");
+  assert_parity "after mixed txn commit" coll mv;
+  (* An aborted transaction leaves the view untouched. *)
+  let before_abort = view_rows mv in
+  let tx2 = C.txn coll in
+  C.stage_add tx2 ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot 9;
+      Smc.Field.set_int fv blk slot 900;
+      Smc.Field.set_dec fd blk slot D.zero);
+  C.stage_remove tx2 r1;
+  C.abort tx2;
+  check rows_testable "abort leaves the view unchanged" before_abort (view_rows mv);
+  assert_parity "after abort" coll mv;
+  check Alcotest.bool "the committed txn changed the result" true (before <> before_abort)
+
+let test_two_phase_commit () =
+  let _rt, coll = make () in
+  let r = add_row coll 1 10 in
+  let mv = attach_kvd coll in
+  (* prepare + commit_prepared publishes exactly like commit. *)
+  let tx = C.txn coll in
+  C.stage_store tx r ~word:fv.Layout.word ~value:42;
+  C.stage_add tx ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot 2;
+      Smc.Field.set_int fv blk slot 7;
+      Smc.Field.set_dec fd blk slot (D.of_int 7));
+  (match C.prepare tx with
+  | None -> Alcotest.fail "prepare must validate"
+  | Some p -> ignore (C.commit_prepared p : Smc.Ref.t list));
+  assert_parity "after commit_prepared" coll mv;
+  (* prepare + abort_prepared applies nothing. *)
+  let before = view_rows mv in
+  let tx2 = C.txn coll in
+  C.stage_store tx2 r ~word:fv.Layout.word ~value:500;
+  (match C.prepare tx2 with
+  | None -> Alcotest.fail "prepare must validate"
+  | Some p -> C.abort_prepared p);
+  check rows_testable "abort_prepared leaves the view unchanged" before (view_rows mv);
+  assert_parity "after abort_prepared" coll mv
+
+(* ---- invalidation + fallback ---------------------------------------- *)
+
+let test_invalidation_and_revalidation () =
+  let rt, coll = make () in
+  (* A computed column that reads Null for sentinel rows: Null aggregate
+     inputs are outside the invertible algebra. *)
+  let nullable blk slot =
+    let v = Smc.Field.get_int fv blk slot in
+    if v < 0 then Value.Null else Value.Int v
+  in
+  let cols = ("nv", Source.C_fn nullable) :: columns in
+  let naggs = [ ("mn", Plan.Min (Expr.Col "nv")) ] in
+  let mv =
+    MV.attach ~name:"mv_null" coll ~columns:cols ~keys
+      ~aggs:(List.map (fun (n, a) -> (n, Plan.view_agg_of_agg a)) naggs)
+      ()
+  in
+  ignore (add_row coll 1 5);
+  ignore (add_row coll 1 8);
+  check Alcotest.bool "valid while inputs are clean" true
+    ((MV.stats mv).MV.st_invalid = None);
+  let s0 = Smc_obs.snapshot rt.Runtime.obs in
+  let bad = add_row coll 1 (-1) in
+  (match (MV.stats mv).MV.st_invalid with
+  | Some _ -> ()
+  | None -> Alcotest.fail "a Null aggregate input must invalidate the view");
+  let d = Smc_obs.diff (Smc_obs.snapshot rt.Runtime.obs) s0 in
+  check Alcotest.bool "invalidation counted" true
+    (Smc_obs.get d Smc_obs.c_mv_invalidations >= 1);
+  (* Reads still answer, bit-identical to the engines (Null sorts below
+     everything, so the group min IS Null). *)
+  let src = Source.of_smc coll ~columns:cols in
+  let expect =
+    sorted (Interp.collect (Plan.group_by ~keys ~aggs:naggs (Plan.scan src)))
+  in
+  check rows_testable "invalid view falls back to from-scratch" expect (view_rows mv);
+  check Alcotest.bool "fallback read does not re-validate (input still bad)" true
+    ((MV.stats mv).MV.st_invalid <> None);
+  check clean "invalid view audits vacuously clean" [] (MV.audit mv);
+  (* Once the offending row is gone, the next read rebuilds and the view
+     is incremental again. *)
+  ignore (C.remove coll bad);
+  let expect2 =
+    sorted (Interp.collect (Plan.group_by ~keys ~aggs:naggs (Plan.scan src)))
+  in
+  check rows_testable "re-derived result after the bad row left" expect2 (view_rows mv);
+  check Alcotest.bool "read re-validated the view" true
+    ((MV.stats mv).MV.st_invalid = None);
+  (* And maintenance is live once more. *)
+  ignore (add_row coll 2 3);
+  let expect3 =
+    sorted (Interp.collect (Plan.group_by ~keys ~aggs:naggs (Plan.scan src)))
+  in
+  check rows_testable "incremental again after re-validation" expect3 (view_rows mv);
+  check clean "audit clean after re-validation" [] (MV.audit mv)
+
+(* ---- WAL replay ------------------------------------------------------ *)
+
+(* Counting hook: the exactly-once regression instrument for satellite
+   audits — each mutation path must fire each kind exactly once per
+   published op. *)
+type counts = { mutable adds : int; mutable removes : int; mutable stores : int }
+
+let counting_hook cnt name =
+  {
+    C.ih_name = name;
+    ih_on_add = (fun _ _ _ -> cnt.adds <- cnt.adds + 1);
+    ih_on_remove = (fun _ -> cnt.removes <- cnt.removes + 1);
+    ih_on_store = (fun _ ~word:_ -> cnt.stores <- cnt.stores + 1);
+  }
+
+let test_wal_replay_rebuilds_view () =
+  (* Live collection A logs its ops; a fresh collection B attaches a view
+     and a counting hook FIRST, then replays the log: the replay must
+     drive the view to parity through the same hook points, firing each
+     exactly once per applied op. *)
+  let _rtA, collA = make () in
+  let wal_path = tmp ".wal" in
+  let snap = tmp ".smcsnap" in
+  let wal = Wal.create ~sync:Wal.Always ~path:wal_path ~name:"kvd" () in
+  Wal.attach wal collA;
+  let (_ : Snapshot.manifest * int) = Snapshot.write ~wal ~path:snap collA in
+  let r1 = add_row collA 1 10 in
+  let r2 = add_row collA 1 20 in
+  let _r3 = add_row collA 2 5 in
+  C.store collA r1 ~word:fv.Layout.word ~value:11;
+  ignore (C.remove collA r2);
+  let tx = C.txn collA in
+  C.stage_add tx ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot 3;
+      Smc.Field.set_int fv blk slot 30;
+      Smc.Field.set_dec fd blk slot (D.of_int 30));
+  C.stage_store tx r1 ~word:fv.Layout.word ~value:12;
+  (match C.commit tx with
+  | C.Committed _ -> ()
+  | C.Conflict -> Alcotest.fail "unexpected Conflict");
+  Wal.close wal;
+  (* ops on the log: 4 adds, 1 remove, 2 stores *)
+  let _rtB, collB = make () in
+  let mv = attach_kvd collB in
+  let cnt = { adds = 0; removes = 0; stores = 0 } in
+  C.attach_index collB (counting_hook cnt "replay_counter");
+  let applied, torn = Snapshot.replay_wal collB ~path:wal_path ~cut:(-1) in
+  check Alcotest.int "no torn tail" 0 torn;
+  check Alcotest.int "all logged ops applied" 7 applied;
+  check Alcotest.int "replay fired add hooks exactly once each" 4 cnt.adds;
+  check Alcotest.int "replay fired remove hooks exactly once each" 1 cnt.removes;
+  check Alcotest.int "replay fired store hooks exactly once each" 2 cnt.stores;
+  (* The replayed collection holds A's final rows, and the view — fed
+     purely by replay deltas — agrees with a from-scratch aggregation of
+     both collections. *)
+  check rows_testable "replayed rows match the live collection" (scratch collA)
+    (scratch collB);
+  assert_parity "view maintained through replay" collB mv;
+  check rows_testable "replayed view matches the live result" (scratch collA)
+    (view_rows mv)
+
+(* ---- exactly-once hook firing per mutation path ---------------------- *)
+
+let test_hooks_fire_exactly_once () =
+  let _rt, coll = make () in
+  let cnt = { adds = 0; removes = 0; stores = 0 } in
+  C.attach_index coll (counting_hook cnt "counter");
+  (* Bare paths. *)
+  let r = add_row coll 1 10 in
+  check Alcotest.int "bare add fires once" 1 cnt.adds;
+  C.store coll r ~word:fv.Layout.word ~value:11;
+  check Alcotest.int "bare store fires once" 1 cnt.stores;
+  ignore (C.remove coll r);
+  check Alcotest.int "bare remove fires once" 1 cnt.removes;
+  (* Double remove of a dead ref fires nothing. *)
+  check Alcotest.bool "second remove is a no-op" false (C.remove coll r);
+  check Alcotest.int "dead remove fires no hook" 1 cnt.removes;
+  (* Transactional path: one firing per staged op, none before commit. *)
+  let keep = add_row coll 2 20 in
+  let keep2 = add_row coll 3 30 in
+  cnt.adds <- 0;
+  cnt.removes <- 0;
+  cnt.stores <- 0;
+  let tx = C.txn coll in
+  C.stage_add tx ~init:(fun blk slot ->
+      Smc.Field.set_int fk blk slot 4;
+      Smc.Field.set_int fv blk slot 40;
+      Smc.Field.set_dec fd blk slot D.zero);
+  C.stage_store tx keep ~word:fv.Layout.word ~value:21;
+  C.stage_remove tx keep2;
+  check Alcotest.int "staging fires nothing" 0 (cnt.adds + cnt.removes + cnt.stores);
+  (match C.commit tx with
+  | C.Committed _ -> ()
+  | C.Conflict -> Alcotest.fail "unexpected Conflict");
+  check Alcotest.int "txn commit: one add firing" 1 cnt.adds;
+  check Alcotest.int "txn commit: one store firing" 1 cnt.stores;
+  check Alcotest.int "txn commit: one remove firing" 1 cnt.removes;
+  (* Aborts fire nothing. *)
+  let tx2 = C.txn coll in
+  C.stage_store tx2 keep ~word:fv.Layout.word ~value:22;
+  C.abort tx2;
+  check Alcotest.int "abort fires nothing" 1 cnt.stores;
+  (* Two-phase path: fires at commit_prepared, never at prepare or
+     abort_prepared. *)
+  cnt.adds <- 0;
+  cnt.stores <- 0;
+  let tx3 = C.txn coll in
+  C.stage_store tx3 keep ~word:fv.Layout.word ~value:23;
+  (match C.prepare tx3 with
+  | None -> Alcotest.fail "prepare must validate"
+  | Some p ->
+    check Alcotest.int "prepare fires nothing" 0 cnt.stores;
+    ignore (C.commit_prepared p : Smc.Ref.t list));
+  check Alcotest.int "commit_prepared: one store firing" 1 cnt.stores;
+  let tx4 = C.txn coll in
+  C.stage_store tx4 keep ~word:fv.Layout.word ~value:24;
+  (match C.prepare tx4 with
+  | None -> Alcotest.fail "prepare must validate"
+  | Some p -> C.abort_prepared p);
+  check Alcotest.int "abort_prepared fires nothing" 1 cnt.stores
+
+(* ---- namespaces ------------------------------------------------------ *)
+
+let test_view_index_namespaces () =
+  let _rt, coll = make () in
+  ignore (add_row coll 1 10);
+  let mv = attach_kvd coll in
+  check (Alcotest.list Alcotest.string) "view listed" [ "mv_k" ]
+    (C.view_hook_names coll);
+  check (Alcotest.list Alcotest.string) "views excluded from index names" []
+    (C.index_names coll);
+  (match C.detach_index coll "mv_k" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "detach_index must refuse a view name");
+  (* A name collision across the namespaces is still a collision — the
+     registry is shared. *)
+  let cnt = { adds = 0; removes = 0; stores = 0 } in
+  (match C.attach_index coll (counting_hook cnt "mv_k") with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "attach_index must reject a name a view holds");
+  MV.detach mv;
+  check (Alcotest.list Alcotest.string) "view gone after detach" []
+    (C.view_hook_names coll);
+  (* A detached view is frozen: mutations no longer reach it. *)
+  let frozen = (MV.stats mv).MV.st_contributions in
+  ignore (add_row coll 1 99);
+  check Alcotest.int "detached view no longer maintained" frozen
+    (MV.stats mv).MV.st_contributions;
+  (match C.detach_view coll "mv_k" with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "double detach must be rejected")
+
+(* ---- gates ----------------------------------------------------------- *)
+
+let test_check_gates () =
+  let rt, coll = make () in
+  let mv = attach_kvd coll in
+  let refs = ref [] in
+  for i = 0 to 99 do
+    refs := add_row coll (i mod 7) i :: !refs
+  done;
+  List.iteri (fun i r -> if i mod 4 = 0 then ignore (C.remove coll r)) !refs;
+  List.iteri
+    (fun i r -> if i mod 4 = 1 then C.store coll r ~word:fv.Layout.word ~value:(i * 3))
+    !refs;
+  ignore (view_rows mv);
+  check clean "Matview_check clean after churn" []
+    (Smc_check.Matview_check.check [ mv ]);
+  check clean "Obs_check balances hold (incl. mv counters)" []
+    (Smc_check.Obs_check.check rt ~contexts:[ coll.C.ctx ]);
+  (* The checker surfaces a violation when the tables are stale: fire a
+     mutation past a detached view, reattach the hooks, and audit. *)
+  MV.detach mv;
+  ignore (add_row coll 1 1_000_000);
+  check Alcotest.bool "stale view caught by the checker" true
+    (Smc_check.Matview_check.check [ mv ] <> [])
+
+let () =
+  Alcotest.run "smc_matview"
+    [
+      ( "build",
+        [
+          Alcotest.test_case "build and read" `Quick test_build_and_read;
+          Alcotest.test_case "filtered view" `Quick test_filtered_view;
+        ] );
+      ( "planner",
+        [ Alcotest.test_case "GroupBy rewrites to ViewRead" `Quick test_planner_rewrite ] );
+      ( "maintenance",
+        [
+          Alcotest.test_case "incremental churn parity" `Quick test_incremental_churn;
+          Alcotest.test_case "min/max dirty re-scan" `Quick test_minmax_dirty_rescan;
+          Alcotest.test_case "sum type-tag fidelity" `Quick test_sum_tag_fidelity;
+        ] );
+      ( "transactions",
+        [
+          Alcotest.test_case "txn atomicity" `Quick test_txn_atomicity;
+          Alcotest.test_case "two-phase commit" `Quick test_two_phase_commit;
+        ] );
+      ( "invalidation",
+        [
+          Alcotest.test_case "invalidate loudly, fall back, re-validate" `Quick
+            test_invalidation_and_revalidation;
+        ] );
+      ( "recovery",
+        [ Alcotest.test_case "WAL replay rebuilds the view" `Quick test_wal_replay_rebuilds_view ] );
+      ( "hooks",
+        [
+          Alcotest.test_case "exactly-once per mutation path" `Quick
+            test_hooks_fire_exactly_once;
+          Alcotest.test_case "view/index namespaces" `Quick test_view_index_namespaces;
+        ] );
+      ( "gates",
+        [ Alcotest.test_case "Matview_check + Obs_check" `Quick test_check_gates ] );
+    ]

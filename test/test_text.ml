@@ -221,7 +221,15 @@ let test_planner_rewrites () =
   (* text_scan smart constructor validates the column. *)
   (match Plan.text_scan src ~column:"id" ~op:T.Substring ~needle:"x" with
   | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "text_scan over an unindexed column must be rejected")
+  | _ -> Alcotest.fail "text_scan over an unindexed column must be rejected");
+  (* Case-insensitive contains rides the same index via the folded arena. *)
+  let ci = Plan.(where Expr.(ContainsCI (Col "txt", "WoLf")) (scan src)) in
+  (match Planner.choose_access_paths ci with
+  | Plan.Where (_, Plan.TextScan { op = T.Substring_ci; needle = "WoLf"; _ }) -> ()
+  | _ -> Alcotest.fail "expected Where over TextScan(Substring_ci)");
+  let ci_empty = Plan.(where Expr.(ContainsCI (Col "txt", "")) (scan src)) in
+  check Alcotest.bool "empty CI needle not routed" false
+    (Planner.uses_index (Planner.choose_access_paths ci_empty))
 
 let test_equality_wins () =
   let rt = Smc_offheap.Runtime.create () in
@@ -303,6 +311,49 @@ let test_parity_word_boundary () =
 let test_parity_non_ascii () =
   parity_case "non-ASCII needle" ~expect:1 Expr.(Contains (Col "txt", "caf\xc3\xa9"));
   parity_case "non-ASCII prefix" ~expect:1 Expr.(StartsWith (Col "txt", "s\xc3\xa9"))
+
+let test_parity_case_insensitive () =
+  (* Mixed-case corpus: the arena is stored case-folded, so a
+     case-sensitive probe over-matches at the suffix array and must be
+     cut back by the live-text re-check, while the CI operator accepts
+     every folding. Both paths must agree with the scan on all engines. *)
+  let rt = Smc_offheap.Runtime.create () in
+  let texts =
+    [ "Alpha Wolf"; "ALPHABET SOUP"; "beta wolf"; "WereWOLF"; "Gamma Ray"; "delta" ]
+  in
+  let src, _, _, _, _ = mk_src rt texts in
+  let case name ~expect pred =
+    let plan = Plan.(where pred (scan src)) in
+    let scan_rows = all_engines (name ^ " (scan)") plan in
+    let routed = Planner.choose_access_paths plan in
+    check Alcotest.bool (name ^ ": routed") true (Planner.uses_index routed);
+    let idx_rows = all_engines (name ^ " (routed)") routed in
+    check rows_testable (name ^ ": routed matches scan") scan_rows idx_rows;
+    check Alcotest.int (name ^ ": row count") expect (List.length scan_rows)
+  in
+  case "CI needle, mixed case" ~expect:3 Expr.(ContainsCI (Col "txt", "wOlF"));
+  case "CI needle, upper" ~expect:2 Expr.(ContainsCI (Col "txt", "ALPHA"));
+  (* Case-sensitive ops over the folded arena: candidates over-match,
+     the re-check decides. *)
+  case "sensitive substring cut back" ~expect:1 Expr.(Contains (Col "txt", "wolf"));
+  case "sensitive substring upper" ~expect:1 Expr.(Contains (Col "txt", "WOLF"));
+  case "sensitive prefix cut back" ~expect:1 Expr.(StartsWith (Col "txt", "Alpha"));
+  (* Non-letter bytes fold to themselves ("Alpha Wolf", "beta wolf"). *)
+  case "CI with space" ~expect:2 Expr.(ContainsCI (Col "txt", "a wOLF"));
+  (* The folded arena still audits clean against the original-case rows,
+     and a store re-keys through the pending log under CI probes too. *)
+  let rt2 = Smc_offheap.Runtime.create () in
+  let coll, _, ftxt, refs = mk_coll rt2 texts in
+  let ix = T.attach ~name:"by_txt" ~column:"txt" coll in
+  check (Alcotest.list Alcotest.string) "audit clean with folded arena" [] (T.audit ix);
+  check Alcotest.int "CI probe_refs" 3 (List.length (T.probe_refs ix T.Substring_ci "WOLF"));
+  store_string coll ftxt refs.(5) "DELTA FORCE wolf";
+  check Alcotest.int "CI sees the pending store" 4
+    (List.length (T.probe_refs ix T.Substring_ci "Wolf"));
+  T.rebuild ix;
+  check Alcotest.int "CI survives the merge-rebuild" 4
+    (List.length (T.probe_refs ix T.Substring_ci "wolF"));
+  check (Alcotest.list Alcotest.string) "audit clean after rebuild" [] (T.audit ix)
 
 let test_parity_null_column () =
   (* A computed column that is Null on odd ids: the scalar engines coerce
@@ -400,6 +451,8 @@ let () =
           Alcotest.test_case "needle over capacity" `Quick test_parity_over_capacity;
           Alcotest.test_case "word-boundary straddle" `Quick test_parity_word_boundary;
           Alcotest.test_case "non-ASCII bytes" `Quick test_parity_non_ascii;
+          Alcotest.test_case "case-insensitive contains" `Quick
+            test_parity_case_insensitive;
           Alcotest.test_case "Null computed column" `Quick test_parity_null_column;
         ] );
       ( "field",
